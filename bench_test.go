@@ -1,0 +1,388 @@
+package peerlab
+
+// Benchmarks regenerate every table and figure of the paper (one benchmark
+// per exhibit) plus ablations of the design choices DESIGN.md calls out.
+// Each iteration runs the full experiment on virtual time; custom metrics
+// expose the headline quantities so `go test -bench` output doubles as a
+// compact reproduction report:
+//
+//	go test -bench=. -benchmem
+//
+// Absolute numbers are not expected to match the paper (the substrate is a
+// simulator); the *shape* assertions live in internal/experiments tests.
+
+import (
+	"testing"
+	"time"
+
+	"fmt"
+
+	"peerlab/internal/core"
+	"peerlab/internal/experiments"
+	"peerlab/internal/metrics"
+	"peerlab/internal/pipe"
+	"peerlab/internal/planetlab"
+	"peerlab/internal/simnet"
+	"peerlab/internal/stats"
+	"peerlab/internal/vtime"
+	"peerlab/internal/wire"
+)
+
+// benchCfg keeps per-iteration experiment cost moderate; seeds vary per
+// iteration so the benches also act as a light fuzz over seeds.
+func benchCfg(i int) experiments.Config {
+	return experiments.Config{Seed: int64(3000 + i), Reps: 2}
+}
+
+func BenchmarkTable1Catalog(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := experiments.Table1()
+		if len(tab.Rows) != 25 {
+			b.Fatalf("rows = %d", len(tab.Rows))
+		}
+	}
+}
+
+func BenchmarkFig2PetitionTime(b *testing.B) {
+	var sc7 float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig2PetitionTime(benchCfg(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sc7, _ = fig.Value("petition time", "SC7")
+	}
+	b.ReportMetric(sc7, "SC7-petition-s")
+}
+
+func BenchmarkFig3Transmission50Mb(b *testing.B) {
+	var sc7 float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig3Transmission50Mb(benchCfg(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sc7, _ = fig.Value("transmission time", "SC7")
+	}
+	b.ReportMetric(sc7, "SC7-50Mb-min")
+}
+
+func BenchmarkFig4LastMb(b *testing.B) {
+	var sc7 float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig4LastMb(benchCfg(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sc7, _ = fig.Value("last Mb", "SC7")
+	}
+	b.ReportMetric(sc7, "SC7-lastMb-s")
+}
+
+func BenchmarkFig5Granularity(b *testing.B) {
+	var whole, sixteen float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig5Granularity(benchCfg(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sumW, sum16 float64
+		for _, l := range experiments.SCLabels {
+			w, _ := fig.Value("complete file", l)
+			s, _ := fig.Value("division into 16 parts", l)
+			sumW += w
+			sum16 += s
+		}
+		whole = sumW / float64(len(experiments.SCLabels))
+		sixteen = sum16 / float64(len(experiments.SCLabels))
+	}
+	b.ReportMetric(whole, "avg-whole-min")
+	b.ReportMetric(sixteen, "avg-16part-min")
+}
+
+func BenchmarkFig6SelectionModels(b *testing.B) {
+	var eco, quick float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig6SelectionModels(benchCfg(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		eco, _ = fig.Value("division into 4 parts", "economic")
+		quick, _ = fig.Value("division into 4 parts", "quick-peer")
+	}
+	b.ReportMetric(eco, "economic-4part-s")
+	b.ReportMetric(quick, "quickpeer-4part-s")
+}
+
+func BenchmarkFig7ExecVsTransferExec(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig7ExecVsTransferExec(benchCfg(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		both, _ := fig.Value("transmission & execution", "SC7")
+		exec, _ := fig.Value("just execution", "SC7")
+		gap = both - exec
+	}
+	b.ReportMetric(gap, "SC7-transfer-penalty-min")
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// BenchmarkAblationGranularitySweep extends Figure 5: transmission time of
+// a 100 Mb file to the median peer at granularities 1..32.
+func BenchmarkAblationGranularitySweep(b *testing.B) {
+	for _, parts := range []int{1, 2, 4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("%dparts", parts), func(b *testing.B) {
+			var mins float64
+			for i := 0; i < b.N; i++ {
+				d, err := Deploy(Config{Seed: int64(100 + i), UsePlanetLab: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				err = d.Run(func(s *Session) error {
+					m, err := s.SendFile("lsirextpc01.epfl.ch", // SC6, mid-tier
+						NewVirtualFile("sweep", 100*Mb, int64(i)), parts)
+					if err != nil {
+						return err
+					}
+					mins = m.TransmissionTime().Minutes()
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(mins, "minutes")
+		})
+	}
+}
+
+// BenchmarkAblationFailureModel isolates the restart effect behind Figure
+// 5: the same whole-file transfer with and without the MTBF failure model.
+// A transfer abandoned after the pipe exhausts its retries is itself a
+// valid (and dire) data point: its cost is the virtual time burned.
+func BenchmarkAblationFailureModel(b *testing.B) {
+	run := func(b *testing.B, mtbf time.Duration) float64 {
+		var mins float64
+		for i := 0; i < b.N; i++ {
+			sc7, _ := planetlab.SCByLabel("SC7")
+			prof := sc7.Profile
+			prof.MTBF = mtbf
+			d, err := Deploy(Config{
+				Seed:  int64(200 + i),
+				Peers: []PeerConfig{{Name: "sc7-like", Profile: prof}},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			err = d.Run(func(s *Session) error {
+				m, sendErr := s.SendFile("sc7-like", NewVirtualFile("f", 100*Mb, int64(i)), 1)
+				if sendErr == nil {
+					mins = m.TransmissionTime().Minutes()
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if mins == 0 {
+				mins = d.Elapsed().Minutes() // abandoned: charge the time burned
+			}
+		}
+		return mins
+	}
+	b.Run("failures-on", func(b *testing.B) {
+		b.ReportMetric(run(b, 35*time.Minute), "minutes")
+	})
+	b.Run("failures-off", func(b *testing.B) {
+		b.ReportMetric(run(b, 0), "minutes")
+	})
+}
+
+// BenchmarkAblationPipeWindow compares stop-and-wait (the paper's protocol)
+// with a windowed pipe on a high-latency path.
+func BenchmarkAblationPipeWindow(b *testing.B) {
+	run := func(b *testing.B, window int) float64 {
+		var elapsed time.Duration
+		for i := 0; i < b.N; i++ {
+			p := simnet.DefaultProfile()
+			p.LatencyOneWay = 100 * time.Millisecond
+			net := simnet.New(int64(300 + i))
+			a := net.MustAddNode("a", p)
+			c := net.MustAddNode("c", p)
+			epA, _ := a.Endpoint("p")
+			epC, _ := c.Endpoint("p")
+			muxA := pipe.NewMux(a, epA, pipe.Options{Window: window})
+			muxC := pipe.NewMux(c, epC, pipe.Options{Window: window})
+			const msgs = 32
+			net.Scheduler().Go(func() {
+				conn, err := muxC.Accept()
+				if err != nil {
+					return
+				}
+				for j := 0; j < msgs; j++ {
+					if _, err := conn.Recv(); err != nil {
+						return
+					}
+				}
+			})
+			net.Run(func() {
+				conn, _ := muxA.Dial("c/p")
+				join := vtime.NewQueue(net.Scheduler())
+				for w := 0; w < window; w++ {
+					w := w
+					net.Scheduler().Go(func() {
+						for j := w; j < msgs; j += window {
+							conn.Send([]byte{byte(j)})
+						}
+						join.Push(nil)
+					})
+				}
+				for w := 0; w < window; w++ {
+					join.Pop()
+				}
+			})
+			elapsed = net.Scheduler().Elapsed()
+		}
+		return elapsed.Seconds()
+	}
+	b.Run("stop-and-wait", func(b *testing.B) {
+		b.ReportMetric(run(b, 1), "virtual-s")
+	})
+	b.Run("window-4", func(b *testing.B) {
+		b.ReportMetric(run(b, 4), "virtual-s")
+	})
+}
+
+// BenchmarkAblationEvaluatorWeights compares the data evaluator's weight
+// profiles on the same candidate set.
+func BenchmarkAblationEvaluatorWeights(b *testing.B) {
+	cands := make([]core.Candidate, 0, len(planetlab.SCPeers()))
+	for i, p := range planetlab.SCPeers() {
+		ps := stats.NewPeerStats(p.Label, nil)
+		ps.ObserveTransferRate(int(p.Profile.Bandwidth), time.Second)
+		ps.ObservePetitionDelay(p.Profile.WakeLag)
+		for j := 0; j <= i; j++ {
+			ps.RecordMessage(j%2 == 0)
+			ps.RecordFileSent(true)
+		}
+		cands = append(cands, core.Candidate{Snapshot: ps.Snapshot()})
+	}
+	for name, w := range map[string]core.Weights{
+		"same-priority":   core.SamePriority(),
+		"message-centric": core.MessageCentric(),
+		"file-centric":    core.FileCentric(),
+		"task-centric":    core.TaskCentric(),
+	} {
+		b.Run(name, func(b *testing.B) {
+			de := core.NewDataEvaluator(w)
+			for i := 0; i < b.N; i++ {
+				if _, err := de.Select(core.Request{}, cands); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationStaleQuickPeer quantifies the user-preference model's
+// documented drawback: selection quality when the remembered ranking is
+// stale versus fresh.
+func BenchmarkAblationStaleQuickPeer(b *testing.B) {
+	run := func(b *testing.B, remembered []string) float64 {
+		var secs float64
+		for i := 0; i < b.N; i++ {
+			d, err := Deploy(Config{Seed: int64(400 + i), UsePlanetLab: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			err = d.Run(func(s *Session) error {
+				peers, err := s.SelectPeers(ModelQuickPeer,
+					SelectionRequest{Kind: KindFileTransfer, SizeBytes: Mb}, 1, remembered)
+				if err != nil {
+					return err
+				}
+				m, err := s.SendFile(peers[0], NewVirtualFile("f", Mb, int64(i)), 4)
+				if err != nil {
+					return err
+				}
+				secs = m.TransmissionTime().Seconds()
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		return secs
+	}
+	b.Run("fresh-memory", func(b *testing.B) {
+		// The user remembers the genuinely fastest peer (SC2).
+		b.ReportMetric(run(b, []string{"planetlab1.hiit.fi"}), "xfer-s")
+	})
+	b.Run("stale-memory", func(b *testing.B) {
+		// The user remembers SC7 as fast — it no longer is.
+		b.ReportMetric(run(b, []string{"planetlab1.itwm.fhg.de"}), "xfer-s")
+	})
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator event throughput:
+// messages simulated per wall second on a busy 8-peer slice.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, err := Deploy(Config{Seed: int64(500 + i), UsePlanetLab: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		err = d.Run(func(s *Session) error {
+			for _, p := range d.Peers() {
+				if _, err := s.SendFile(p, NewVirtualFile("t", Mb, 1), 8); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireCodec measures the protocol codec in isolation: one
+// encode+decode round of a representative message.
+func BenchmarkWireCodec(b *testing.B) {
+	payload := make([]byte, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := wire.NewEncoder(len(payload) + 64)
+		e.Uint64(uint64(i))
+		e.String("planetlab1.itwm.fhg.de/xfer")
+		e.Duration(27 * time.Second)
+		e.Float64(0.45)
+		e.BytesField(payload)
+		d := wire.NewDecoder(e.Bytes())
+		d.Uint64()
+		d.StringField()
+		d.Duration()
+		d.Float64()
+		if got := d.BytesField(); len(got) != len(payload) || d.Finish() != nil {
+			b.Fatal("codec roundtrip failed")
+		}
+	}
+}
+
+// BenchmarkSummaryStats measures the metrics reducer on a large sample.
+func BenchmarkSummaryStats(b *testing.B) {
+	xs := make([]float64, 10_000)
+	for i := range xs {
+		xs[i] = float64(i%997) * 0.5
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := metrics.Summarize(xs)
+		if s.N != len(xs) {
+			b.Fatal("bad summary")
+		}
+	}
+}

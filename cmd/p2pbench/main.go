@@ -1,0 +1,70 @@
+// Command p2pbench regenerates the paper's tables and figures on the
+// simulated PlanetLab deployment and prints them as markdown tables, ASCII
+// bar charts, or CSV.
+//
+// Usage:
+//
+//	p2pbench [-experiment all|table1|fig2|fig3|fig4|fig5|fig6|fig7]
+//	         [-seed N] [-reps N] [-format markdown|bars|csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"peerlab/internal/experiments"
+	"peerlab/internal/metrics"
+)
+
+func main() {
+	var (
+		exp    = flag.String("experiment", "all", "which exhibit to regenerate (all, table1, fig2..fig7)")
+		seed   = flag.Int64("seed", 2007, "simulation seed (runs with equal seeds are identical)")
+		reps   = flag.Int("reps", 5, "repetitions per data point (the paper used 5)")
+		format = flag.String("format", "markdown", "output format: markdown, bars, csv")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed, Reps: *reps}
+	figs := map[string]func(experiments.Config) (*metrics.Figure, error){
+		"fig2": experiments.Fig2PetitionTime,
+		"fig3": experiments.Fig3Transmission50Mb,
+		"fig4": experiments.Fig4LastMb,
+		"fig5": experiments.Fig5Granularity,
+		"fig6": experiments.Fig6SelectionModels,
+		"fig7": experiments.Fig7ExecVsTransferExec,
+	}
+	order := []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7"}
+
+	selected := strings.Split(*exp, ",")
+	if *exp == "all" {
+		selected = order
+	}
+	for _, name := range selected {
+		name = strings.TrimSpace(name)
+		switch {
+		case name == "table1":
+			fmt.Println(experiments.Table1().Markdown())
+		case figs[name] != nil:
+			fig, err := figs[name](cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "p2pbench: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			switch *format {
+			case "bars":
+				fmt.Println(fig.Bars(50))
+			case "csv":
+				fmt.Print(fig.CSV())
+			default:
+				fmt.Println(fig.Markdown())
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "p2pbench: unknown experiment %q (want %s)\n",
+				name, strings.Join(order, ", "))
+			os.Exit(2)
+		}
+	}
+}

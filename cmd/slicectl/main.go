@@ -1,0 +1,42 @@
+// Command slicectl inspects the modeled PlanetLab slice: the Table 1
+// catalog and the calibrated SimpleClient profiles.
+//
+// Usage:
+//
+//	slicectl [-profiles]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"peerlab/internal/experiments"
+	"peerlab/internal/metrics"
+	"peerlab/internal/planetlab"
+)
+
+func main() {
+	profiles := flag.Bool("profiles", false, "also print the calibrated SC peer profiles")
+	flag.Parse()
+
+	fmt.Println(experiments.Table1().Markdown())
+
+	if *profiles {
+		tab := &metrics.Table{
+			Title:   "Calibrated SimpleClient profiles",
+			Columns: []string{"peer", "host", "latency", "bandwidth B/s", "wake lag", "CPU", "MTBF"},
+		}
+		for _, p := range planetlab.SCPeers() {
+			tab.AddRow(
+				p.Label,
+				p.Hostname,
+				p.Profile.LatencyOneWay.String(),
+				fmt.Sprintf("%.0f", p.Profile.Bandwidth),
+				p.Profile.WakeLag.String(),
+				fmt.Sprintf("%.2f", p.Profile.CPUScore),
+				p.Profile.MTBF.String(),
+			)
+		}
+		fmt.Println(tab.Markdown())
+	}
+}

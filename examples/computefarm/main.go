@@ -1,0 +1,71 @@
+// Computefarm uses the overlay as the paper's intro motivates — a
+// distributed computing platform (seti@home-style): a batch of processing
+// tasks is dispatched across the PlanetLab peers, comparing blind
+// round-robin placement with the scheduling-based (economic) model.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"peerlab"
+)
+
+const (
+	batch = 24
+	work  = 60.0 // reference-seconds per task
+)
+
+func runBatch(seed int64, model string) (time.Duration, error) {
+	d, err := peerlab.Deploy(peerlab.Config{Seed: seed, UsePlanetLab: true})
+	if err != nil {
+		return 0, err
+	}
+	var makespan time.Duration
+	err = d.Run(func(s *peerlab.Session) error {
+		start := s.Now()
+		// One placement decision per task, as the broker would serve them;
+		// execution overlaps across peers via the session's process group.
+		g := s.Group()
+		for i := 0; i < batch; i++ {
+			peers, err := s.SelectPeers(model,
+				peerlab.SelectionRequest{Kind: peerlab.KindTask, WorkUnits: work}, 1, nil)
+			if err != nil {
+				return err
+			}
+			peer := peers[0]
+			id := i
+			g.Go(func() error {
+				_, err := s.SubmitTask(peer, peerlab.Task{
+					Name:      fmt.Sprintf("chunk-%d", id),
+					WorkUnits: work,
+				})
+				return err
+			})
+			s.Sleep(2 * time.Second) // inter-arrival gap
+		}
+		if err := g.Wait(); err != nil {
+			return err
+		}
+		makespan = s.Now().Sub(start)
+		return nil
+	})
+	return makespan, err
+}
+
+func main() {
+	blind, err := runBatch(11, peerlab.ModelBlind)
+	if err != nil {
+		log.Fatal(err)
+	}
+	economic, err := runBatch(11, peerlab.ModelEconomic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dispatching %d tasks of %.0f reference-seconds each:\n", batch, work)
+	fmt.Printf("  blind round-robin: makespan %v\n", blind.Round(time.Second))
+	fmt.Printf("  economic model:    makespan %v\n", economic.Round(time.Second))
+	fmt.Println("\nthe economic model avoids queueing work on the slowest slivers,")
+	fmt.Println("matching the paper's conclusion that peers must not be used blindly.")
+}

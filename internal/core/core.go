@@ -1,0 +1,403 @@
+// Package core implements the paper's contribution: peer-selection models
+// for P2P applications.
+//
+// Three models from the paper, plus the "blind" baseline its first
+// experiments use implicitly:
+//
+//   - Economic: the scheduling-based model (§2.1, after Ernemann et al.'s
+//     economic scheduling) — provision idle peers by estimated ready time,
+//     minimize estimated completion, tie-break by CPU speed, with optional
+//     deadline/budget admission.
+//   - DataEvaluator: the cost model (§2.2) — a weighted sum over the
+//     paper's statistical criteria; "same priority" mode weighs every
+//     criterion equally.
+//   - UserPreference: the user's static ranking (§2.3) — "quick peer" mode
+//     ranks by the user's remembered response times; deliberately ignores
+//     current peer and network state.
+//   - Blind: no selection at all — the baseline whose petition and
+//     transfer times Figures 2–5 report.
+//
+// Selectors consume stats.Snapshot values (the broker's view of each peer)
+// and are pure: they never touch the network themselves.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"peerlab/internal/stats"
+)
+
+// ErrNoCandidates is returned when selection is attempted over an empty
+// candidate set.
+var ErrNoCandidates = errors.New("core: no candidate peers")
+
+// ErrInfeasible is returned by the economic model when admission control
+// (deadline or budget) rejects every candidate.
+var ErrInfeasible = errors.New("core: no peer satisfies deadline/budget")
+
+// RequestKind says what the selected peer will be used for; models weigh
+// criteria differently per kind.
+type RequestKind int
+
+// Request kinds.
+const (
+	KindMessage RequestKind = iota
+	KindFileTransfer
+	KindTask
+)
+
+// String returns the kind's name.
+func (k RequestKind) String() string {
+	switch k {
+	case KindMessage:
+		return "message"
+	case KindFileTransfer:
+		return "file-transfer"
+	case KindTask:
+		return "task"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Request describes the work a peer is being selected for.
+type Request struct {
+	Kind RequestKind
+	// SizeBytes is the payload size for transfers (and for tasks with an
+	// input file).
+	SizeBytes int
+	// WorkUnits is the compute demand for tasks, in reference-machine
+	// seconds.
+	WorkUnits float64
+	// Now is the time of the decision.
+	Now time.Time
+	// Deadline, if nonzero, is a completion deadline (economic admission).
+	Deadline time.Time
+	// Budget, if nonzero, caps the economic cost of the chosen peer.
+	Budget float64
+}
+
+// Candidate is one selectable peer.
+type Candidate struct {
+	Snapshot stats.Snapshot
+}
+
+// Selector picks one peer for a request.
+type Selector interface {
+	// Name identifies the model in experiment output.
+	Name() string
+	// Select returns the chosen peer name.
+	Select(req Request, cands []Candidate) (string, error)
+}
+
+// Ranker orders the whole candidate set, best first. All bundled selectors
+// implement it; the transfer engine uses rankings to spread parts.
+type Ranker interface {
+	Rank(req Request, cands []Candidate) ([]string, error)
+}
+
+// names extracts candidate names preserving order.
+func names(cands []Candidate) []string {
+	out := make([]string, len(cands))
+	for i, c := range cands {
+		out[i] = c.Snapshot.Peer
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Blind baseline
+
+// Blind is the paper's implicit baseline: peers are used "in a blind way",
+// with no regard to their state. Mode chooses round-robin or uniform random.
+type Blind struct {
+	// Random selects uniformly at random instead of round-robin.
+	Random bool
+	rng    *rand.Rand
+	next   int
+}
+
+// NewBlind returns a round-robin blind selector.
+func NewBlind() *Blind { return &Blind{} }
+
+// NewBlindRandom returns a uniformly random blind selector.
+func NewBlindRandom(rng *rand.Rand) *Blind { return &Blind{Random: true, rng: rng} }
+
+// Name implements Selector.
+func (b *Blind) Name() string { return "blind" }
+
+// Select implements Selector.
+func (b *Blind) Select(_ Request, cands []Candidate) (string, error) {
+	if len(cands) == 0 {
+		return "", ErrNoCandidates
+	}
+	if b.Random {
+		rng := b.rng
+		if rng == nil {
+			rng = rand.New(rand.NewSource(1))
+			b.rng = rng
+		}
+		return cands[rng.Intn(len(cands))].Snapshot.Peer, nil
+	}
+	peer := cands[b.next%len(cands)].Snapshot.Peer
+	b.next++
+	return peer, nil
+}
+
+// Rank implements Ranker: candidate order rotated by the round-robin cursor.
+func (b *Blind) Rank(_ Request, cands []Candidate) ([]string, error) {
+	if len(cands) == 0 {
+		return nil, ErrNoCandidates
+	}
+	ns := names(cands)
+	if b.Random {
+		rng := b.rng
+		if rng == nil {
+			rng = rand.New(rand.NewSource(1))
+			b.rng = rng
+		}
+		rng.Shuffle(len(ns), func(i, j int) { ns[i], ns[j] = ns[j], ns[i] })
+		return ns, nil
+	}
+	k := b.next % len(ns)
+	b.next++
+	return append(append([]string(nil), ns[k:]...), ns[:k]...), nil
+}
+
+// ---------------------------------------------------------------------------
+// Economic (scheduling-based) model
+
+// EconomicConfig tunes the scheduling-based model.
+type EconomicConfig struct {
+	// FallbackRate is the assumed transfer rate (bytes/second) for peers
+	// with no measured rate yet. Default 200 KB/s.
+	FallbackRate float64
+	// PricePerCPUSecond converts machine time into cost; faster machines
+	// are pricier in proportion to their CPU score. Default 1.
+	PricePerCPUSecond float64
+}
+
+func (c EconomicConfig) withDefaults() EconomicConfig {
+	if c.FallbackRate <= 0 {
+		c.FallbackRate = 200_000
+	}
+	if c.PricePerCPUSecond <= 0 {
+		c.PricePerCPUSecond = 1
+	}
+	return c
+}
+
+// Economic implements the scheduling-based selection model (§2.1): find
+// idle peers via ready-time estimates from historical data, estimate
+// completion per candidate, pick the earliest completion; CPU speed breaks
+// ties. Deadline/budget admission follows the economic-scheduling framing
+// of Ernemann et al.
+type Economic struct {
+	cfg EconomicConfig
+}
+
+// NewEconomic returns the scheduling-based selector.
+func NewEconomic(cfg EconomicConfig) *Economic {
+	return &Economic{cfg: cfg.withDefaults()}
+}
+
+// Name implements Selector.
+func (e *Economic) Name() string { return "economic" }
+
+// Estimate is the economic model's appraisal of one candidate.
+type Estimate struct {
+	Peer       string
+	Ready      time.Time     // when the peer can start
+	Duration   time.Duration // expected service time for this request
+	Completion time.Time     // Ready + Duration
+	Cost       float64       // Duration * price * CPU score
+	Feasible   bool          // passes deadline and budget admission
+}
+
+// Estimate appraises a single candidate for the request.
+func (e *Economic) Estimate(req Request, c Candidate) Estimate {
+	s := c.Snapshot
+	ready := req.Now
+	if s.ReadyAt.After(ready) {
+		ready = s.ReadyAt
+	}
+	// Contacting a loaded peer costs its observed petition delay.
+	ready = ready.Add(s.PetitionDelay)
+
+	var dur time.Duration
+	if req.WorkUnits > 0 {
+		dur += time.Duration(req.WorkUnits * s.SecondsPerUnit / s.CPUScore * float64(time.Second))
+		// Tasks behind it in the queue delay the start.
+		dur += time.Duration(s.QueueLen * s.SecondsPerUnit * float64(time.Second))
+	}
+	if req.SizeBytes > 0 {
+		rate := s.TransferRate
+		if rate <= 0 {
+			rate = e.cfg.FallbackRate
+		}
+		dur += time.Duration(float64(req.SizeBytes) / rate * float64(time.Second))
+	}
+
+	completion := ready.Add(dur)
+	cost := dur.Seconds() * e.cfg.PricePerCPUSecond * s.CPUScore
+	feasible := true
+	if !req.Deadline.IsZero() && completion.After(req.Deadline) {
+		feasible = false
+	}
+	if req.Budget > 0 && cost > req.Budget {
+		feasible = false
+	}
+	return Estimate{
+		Peer:       s.Peer,
+		Ready:      ready,
+		Duration:   dur,
+		Completion: completion,
+		Cost:       cost,
+		Feasible:   feasible,
+	}
+}
+
+// Estimates appraises every candidate, ordered best-first: feasible before
+// infeasible, then earliest completion, then faster CPU, then lower cost.
+func (e *Economic) Estimates(req Request, cands []Candidate) []Estimate {
+	ests := make([]Estimate, len(cands))
+	cpu := make(map[string]float64, len(cands))
+	for i, c := range cands {
+		ests[i] = e.Estimate(req, c)
+		cpu[c.Snapshot.Peer] = c.Snapshot.CPUScore
+	}
+	sort.SliceStable(ests, func(i, j int) bool {
+		a, b := ests[i], ests[j]
+		if a.Feasible != b.Feasible {
+			return a.Feasible
+		}
+		if !a.Completion.Equal(b.Completion) {
+			return a.Completion.Before(b.Completion)
+		}
+		if cpu[a.Peer] != cpu[b.Peer] {
+			return cpu[a.Peer] > cpu[b.Peer]
+		}
+		return a.Cost < b.Cost
+	})
+	return ests
+}
+
+// Select implements Selector.
+func (e *Economic) Select(req Request, cands []Candidate) (string, error) {
+	if len(cands) == 0 {
+		return "", ErrNoCandidates
+	}
+	ests := e.Estimates(req, cands)
+	if !ests[0].Feasible {
+		return "", fmt.Errorf("%w: best completion %v", ErrInfeasible, ests[0].Completion)
+	}
+	return ests[0].Peer, nil
+}
+
+// Rank implements Ranker. Infeasible candidates rank last but are included:
+// a dispatcher may still need somewhere to send work.
+func (e *Economic) Rank(req Request, cands []Candidate) ([]string, error) {
+	if len(cands) == 0 {
+		return nil, ErrNoCandidates
+	}
+	ests := e.Estimates(req, cands)
+	out := make([]string, len(ests))
+	for i, est := range ests {
+		out[i] = est.Peer
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// User preference model
+
+// UserPreference implements §2.3: the user ranks peers from prior
+// experience; the model never consults current state — its documented
+// drawback, visible in Figure 6 where "quick peer" trails the informed
+// models.
+type UserPreference struct {
+	prefs []string
+	mode  string
+}
+
+// NewUserPreference selects by an explicit preference order.
+func NewUserPreference(prefs []string) *UserPreference {
+	return &UserPreference{prefs: append([]string(nil), prefs...), mode: "user-preference"}
+}
+
+// NewQuickPeer builds the preference order from the user's remembered
+// response times (fastest first) — the paper's "quick peer" mode. The
+// memory may be stale; that is the point.
+func NewQuickPeer(remembered map[string]time.Duration) *UserPreference {
+	type kv struct {
+		peer string
+		d    time.Duration
+	}
+	list := make([]kv, 0, len(remembered))
+	for p, d := range remembered {
+		list = append(list, kv{p, d})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].d != list[j].d {
+			return list[i].d < list[j].d
+		}
+		return list[i].peer < list[j].peer
+	})
+	prefs := make([]string, len(list))
+	for i, e := range list {
+		prefs[i] = e.peer
+	}
+	return &UserPreference{prefs: prefs, mode: "quick-peer"}
+}
+
+// Name implements Selector.
+func (u *UserPreference) Name() string { return u.mode }
+
+// Select implements Selector: the most-preferred available candidate; a
+// candidate outside the preference list is used only if none is preferred.
+func (u *UserPreference) Select(_ Request, cands []Candidate) (string, error) {
+	if len(cands) == 0 {
+		return "", ErrNoCandidates
+	}
+	avail := make(map[string]bool, len(cands))
+	for _, c := range cands {
+		avail[c.Snapshot.Peer] = true
+	}
+	for _, p := range u.prefs {
+		if avail[p] {
+			return p, nil
+		}
+	}
+	return cands[0].Snapshot.Peer, nil
+}
+
+// Rank implements Ranker: preferred peers in preference order, then the
+// rest in candidate order.
+func (u *UserPreference) Rank(_ Request, cands []Candidate) ([]string, error) {
+	if len(cands) == 0 {
+		return nil, ErrNoCandidates
+	}
+	avail := make(map[string]bool, len(cands))
+	for _, c := range cands {
+		avail[c.Snapshot.Peer] = true
+	}
+	var out []string
+	seen := make(map[string]bool)
+	for _, p := range u.prefs {
+		if avail[p] && !seen[p] {
+			out = append(out, p)
+			seen[p] = true
+		}
+	}
+	for _, c := range cands {
+		if !seen[c.Snapshot.Peer] {
+			out = append(out, c.Snapshot.Peer)
+			seen[c.Snapshot.Peer] = true
+		}
+	}
+	return out, nil
+}

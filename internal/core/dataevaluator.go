@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"peerlab/internal/stats"
+)
+
+// Criterion is one data-evaluator scoring dimension over a peer snapshot.
+type Criterion struct {
+	// Key names the criterion; weights are keyed by it.
+	Key string
+	// Value extracts the raw value from a snapshot.
+	Value func(stats.Snapshot) float64
+	// Benefit marks higher-is-better criteria; the rest are costs.
+	Benefit bool
+}
+
+// The standard criteria catalog mirrors the paper's §2.2 enumeration:
+// global messaging criteria, task-execution criteria, and file-transfer
+// criteria.
+const (
+	CritMsgSession    = "pct-msg-session"
+	CritMsgTotal      = "pct-msg-total"
+	CritMsgLastK      = "pct-msg-last-k"
+	CritOutboxNow     = "outbox-now"
+	CritOutboxAvg     = "outbox-avg"
+	CritInboxNow      = "inbox-now"
+	CritInboxAvg      = "inbox-avg"
+	CritTaskExecSess  = "pct-task-exec-session"
+	CritTaskExecTotal = "pct-task-exec-total"
+	CritTaskAccSess   = "pct-task-accept-session"
+	CritTaskAccTotal  = "pct-task-accept-total"
+	CritFileSentSess  = "pct-file-sent-session"
+	CritFileSentTotal = "pct-file-sent-total"
+	CritCancelSess    = "pct-cancel-session"
+	CritCancelTotal   = "pct-cancel-total"
+	CritPendingXfer   = "pending-transfers"
+	CritTransferRate  = "transfer-rate"
+	CritPetitionDelay = "petition-delay"
+)
+
+// StandardCriteria returns the full catalog from §2.2 (plus the two
+// link-quality criteria the broker measures anyway). The slice is fresh on
+// every call; callers may filter it.
+func StandardCriteria() []Criterion {
+	return []Criterion{
+		{CritMsgSession, func(s stats.Snapshot) float64 { return s.PctMsgSession }, true},
+		{CritMsgTotal, func(s stats.Snapshot) float64 { return s.PctMsgTotal }, true},
+		{CritMsgLastK, func(s stats.Snapshot) float64 { return s.PctMsgLastK }, true},
+		{CritOutboxNow, func(s stats.Snapshot) float64 { return s.OutboxNow }, false},
+		{CritOutboxAvg, func(s stats.Snapshot) float64 { return s.OutboxAvg }, false},
+		{CritInboxNow, func(s stats.Snapshot) float64 { return s.InboxNow }, false},
+		{CritInboxAvg, func(s stats.Snapshot) float64 { return s.InboxAvg }, false},
+		{CritTaskExecSess, func(s stats.Snapshot) float64 { return s.PctTaskExecSession }, true},
+		{CritTaskExecTotal, func(s stats.Snapshot) float64 { return s.PctTaskExecTotal }, true},
+		{CritTaskAccSess, func(s stats.Snapshot) float64 { return s.PctTaskAcceptSession }, true},
+		{CritTaskAccTotal, func(s stats.Snapshot) float64 { return s.PctTaskAcceptTotal }, true},
+		{CritFileSentSess, func(s stats.Snapshot) float64 { return s.PctFileSentSession }, true},
+		{CritFileSentTotal, func(s stats.Snapshot) float64 { return s.PctFileSentTotal }, true},
+		{CritCancelSess, func(s stats.Snapshot) float64 { return s.PctCancelSession }, false},
+		{CritCancelTotal, func(s stats.Snapshot) float64 { return s.PctCancelTotal }, false},
+		{CritPendingXfer, func(s stats.Snapshot) float64 { return s.PendingTransfers }, false},
+		{CritTransferRate, func(s stats.Snapshot) float64 { return s.TransferRate }, true},
+		{CritPetitionDelay, func(s stats.Snapshot) float64 { return s.PetitionDelay.Seconds() }, false},
+	}
+}
+
+// Weights maps criterion keys to non-negative importance. Criteria absent
+// from the map weigh zero ("negligible" in the paper's terms).
+type Weights map[string]float64
+
+// SamePriority weighs every standard criterion equally — the mode evaluated
+// in Figure 6.
+func SamePriority() Weights {
+	w := Weights{}
+	for _, c := range StandardCriteria() {
+		w[c.Key] = 1
+	}
+	return w
+}
+
+// MessageCentric emphasizes messaging reliability and queue pressure.
+func MessageCentric() Weights {
+	return Weights{
+		CritMsgSession: 3, CritMsgTotal: 2, CritMsgLastK: 3,
+		CritOutboxNow: 2, CritOutboxAvg: 1, CritInboxNow: 2, CritInboxAvg: 1,
+		CritPetitionDelay: 2,
+	}
+}
+
+// TaskCentric emphasizes task acceptance and execution reliability.
+func TaskCentric() Weights {
+	return Weights{
+		CritTaskExecSess: 3, CritTaskExecTotal: 2,
+		CritTaskAccSess: 3, CritTaskAccTotal: 2,
+		CritPetitionDelay: 1,
+	}
+}
+
+// FileCentric emphasizes transfer success, throughput and pipeline depth.
+func FileCentric() Weights {
+	return Weights{
+		CritFileSentSess: 3, CritFileSentTotal: 2,
+		CritCancelSess: 2, CritCancelTotal: 1,
+		CritPendingXfer: 2, CritTransferRate: 3, CritPetitionDelay: 2,
+	}
+}
+
+// DataEvaluator implements the paper's cost model (§2.2): each criterion is
+// min-max normalized over the candidate set, inverted if it is a cost, and
+// combined by weight; the best-scoring peer wins.
+type DataEvaluator struct {
+	criteria []Criterion
+	weights  Weights
+	label    string
+}
+
+// NewDataEvaluator builds an evaluator over the standard criteria catalog.
+func NewDataEvaluator(w Weights) *DataEvaluator {
+	return &DataEvaluator{criteria: StandardCriteria(), weights: w, label: "data-evaluator"}
+}
+
+// NewSamePriority is the equal-weights variant, labeled as the paper labels
+// it in Figure 6.
+func NewSamePriority() *DataEvaluator {
+	de := NewDataEvaluator(SamePriority())
+	de.label = "same-priority"
+	return de
+}
+
+// NewDataEvaluatorCustom uses a custom criteria catalog (for ablations).
+func NewDataEvaluatorCustom(criteria []Criterion, w Weights, label string) *DataEvaluator {
+	if label == "" {
+		label = "data-evaluator"
+	}
+	return &DataEvaluator{criteria: criteria, weights: w, label: label}
+}
+
+// Name implements Selector.
+func (de *DataEvaluator) Name() string { return de.label }
+
+// Scores returns each candidate's aggregate utility in [0, totalWeight],
+// keyed by peer name.
+func (de *DataEvaluator) Scores(cands []Candidate) map[string]float64 {
+	scores := make(map[string]float64, len(cands))
+	for _, c := range cands {
+		scores[c.Snapshot.Peer] = 0
+	}
+	for _, crit := range de.criteria {
+		w := de.weights[crit.Key]
+		if w <= 0 {
+			continue
+		}
+		lo, hi := rangeOf(cands, crit)
+		for _, c := range cands {
+			v := crit.Value(c.Snapshot)
+			var norm float64
+			if hi > lo {
+				norm = (v - lo) / (hi - lo)
+			} else {
+				norm = 0.5 // indistinguishable candidates score neutrally
+			}
+			if !crit.Benefit {
+				norm = 1 - norm
+			}
+			scores[c.Snapshot.Peer] += w * norm
+		}
+	}
+	return scores
+}
+
+func rangeOf(cands []Candidate, crit Criterion) (lo, hi float64) {
+	for i, c := range cands {
+		v := crit.Value(c.Snapshot)
+		if i == 0 || v < lo {
+			lo = v
+		}
+		if i == 0 || v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// Select implements Selector: the candidate with the best aggregate score;
+// peer name breaks exact ties deterministically.
+func (de *DataEvaluator) Select(_ Request, cands []Candidate) (string, error) {
+	ranked, err := de.Rank(Request{}, cands)
+	if err != nil {
+		return "", err
+	}
+	return ranked[0], nil
+}
+
+// Rank implements Ranker.
+func (de *DataEvaluator) Rank(_ Request, cands []Candidate) ([]string, error) {
+	if len(cands) == 0 {
+		return nil, ErrNoCandidates
+	}
+	scores := de.Scores(cands)
+	out := names(cands)
+	sort.SliceStable(out, func(i, j int) bool {
+		if scores[out[i]] != scores[out[j]] {
+			return scores[out[i]] > scores[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out, nil
+}
+
+// Validate reports an error if a weight references an unknown criterion —
+// a config-time guard for user-supplied weight maps.
+func (de *DataEvaluator) Validate() error {
+	known := make(map[string]bool, len(de.criteria))
+	for _, c := range de.criteria {
+		known[c.Key] = true
+	}
+	for k, w := range de.weights {
+		if !known[k] {
+			return fmt.Errorf("core: weight for unknown criterion %q", k)
+		}
+		if w < 0 {
+			return fmt.Errorf("core: negative weight %v for criterion %q", w, k)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4) on the simulated PlanetLab deployment.
+//
+// Each experiment deploys the Table 1 slice (control node + SC1..SC8),
+// starts the JXTA-Overlay broker and SimpleClients, and drives the same
+// workloads the paper describes: petitions, 50 Mb and 100 Mb transfers at
+// different granularities, selection-model-driven transfers, and
+// transmission+execution runs. Results come back as metrics.Figure /
+// metrics.Table values whose shape tests compare against the paper's
+// qualitative findings.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"peerlab/internal/overlay"
+	"peerlab/internal/planetlab"
+	"peerlab/internal/simnet"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Seed drives every random draw; runs with equal seeds are identical.
+	Seed int64
+	// Reps is the number of repetitions averaged per data point (the paper
+	// uses 5).
+	Reps int
+	// IdleGap is the virtual-time gap between repetitions, long enough for
+	// peers to fall idle again (wake lag re-applies). Default 10 minutes.
+	IdleGap time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 2007
+	}
+	if c.Reps <= 0 {
+		c.Reps = 5
+	}
+	if c.IdleGap <= 0 {
+		c.IdleGap = 10 * time.Minute
+	}
+	return c
+}
+
+// SCLabels is the fixed X axis of the per-peer figures.
+var SCLabels = []string{"SC1", "SC2", "SC3", "SC4", "SC5", "SC6", "SC7", "SC8"}
+
+// Env is one deployed experiment environment.
+type Env struct {
+	Slice      *planetlab.Slice
+	Broker     *overlay.Broker
+	Controller *overlay.Client
+	hostOf     map[string]string // SC label -> hostname
+}
+
+// NewEnv deploys the SC slice and builds (but does not yet start) the
+// overlay. Start must run inside the network's scheduler (see Run).
+func NewEnv(cfg Config) (*Env, error) {
+	s, err := planetlab.DeploySC(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	// Experiments span many virtual hours of idle gaps; leases must outlive
+	// the whole run (the paper's slice membership was static).
+	broker, err := overlay.NewBroker(s.Control, overlay.BrokerConfig{AdvTTL: 30 * 24 * time.Hour})
+	if err != nil {
+		return nil, err
+	}
+	env := &Env{Slice: s, Broker: broker, hostOf: make(map[string]string)}
+	for _, p := range planetlab.SCPeers() {
+		env.hostOf[p.Label] = p.Hostname
+	}
+	return env, nil
+}
+
+// Host returns the hostname behind an SC label.
+func (e *Env) Host(label string) string { return e.hostOf[label] }
+
+// Run executes fn as the experiment driver process: it starts the
+// controller client and one client per SC peer, runs fn, and returns when
+// the network quiesces.
+func (e *Env) Run(fn func(ctl *overlay.Client, sc map[string]*overlay.Client) error) error {
+	var runErr error
+	e.Slice.Net.Run(func() {
+		ctl := overlay.NewClient(controllerHost(e), e.Broker.Addr(), overlay.ClientConfig{CPUScore: 2})
+		if err := ctl.Start(); err != nil {
+			runErr = fmt.Errorf("experiments: controller start: %w", err)
+			return
+		}
+		e.Controller = ctl
+		clients := make(map[string]*overlay.Client, len(e.Slice.SC))
+		for _, p := range planetlab.SCPeers() {
+			node := e.Slice.SC[p.Label]
+			c := overlay.NewClient(node, e.Broker.Addr(), overlay.ClientConfig{
+				CPUScore: p.Profile.CPUScore,
+			})
+			if err := c.Start(); err != nil {
+				runErr = fmt.Errorf("experiments: start %s: %w", p.Label, err)
+				return
+			}
+			if err := c.ReportStats(); err != nil {
+				runErr = fmt.Errorf("experiments: report %s: %w", p.Label, err)
+				return
+			}
+			clients[p.Label] = c
+		}
+		runErr = fn(ctl, clients)
+	})
+	return runErr
+}
+
+// controllerHost places the controller client on the control node. The
+// broker already occupies the broker service; the client binds its own.
+func controllerHost(e *Env) *simnet.Node { return e.Slice.Control }

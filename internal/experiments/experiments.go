@@ -1,0 +1,335 @@
+package experiments
+
+import (
+	"fmt"
+
+	"peerlab/internal/core"
+	"peerlab/internal/metrics"
+	"peerlab/internal/overlay"
+	"peerlab/internal/planetlab"
+	"peerlab/internal/task"
+	"peerlab/internal/transfer"
+)
+
+// Table1 reproduces the paper's Table 1: the nodes added to the PlanetLab
+// slice.
+func Table1() *metrics.Table {
+	t := &metrics.Table{
+		Title:   "Table 1 — Nodes added to the PlanetLab slice",
+		Columns: []string{"hostname", "country", "role"},
+	}
+	for _, n := range planetlab.Catalog() {
+		role := ""
+		if n.SC != "" {
+			role = n.SC + " (SimpleClient)"
+		}
+		t.AddRow(n.Hostname, n.Country, role)
+	}
+	return t
+}
+
+// Fig2PetitionTime reproduces Figure 2: the time each SC peer takes to
+// receive the petition for a file transmission, averaged over Reps
+// repetitions with idle gaps between them (an engaged peer would not pay
+// its wake-up lag, and the paper's peers were idle when petitioned).
+func Fig2PetitionTime(cfg Config) (*metrics.Figure, error) {
+	cfg = cfg.withDefaults()
+	env, err := NewEnv(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fig := &metrics.Figure{
+		Title:  "Figure 2 — Time in receiving the petition for file transmission",
+		Unit:   "seconds",
+		Labels: SCLabels,
+	}
+	values := make([]float64, len(SCLabels))
+	err = env.Run(func(ctl *overlay.Client, _ map[string]*overlay.Client) error {
+		for i, label := range SCLabels {
+			var samples []float64
+			for rep := 0; rep < cfg.Reps; rep++ {
+				env.Slice.Control.Sleep(cfg.IdleGap)
+				m, err := ctl.SendFile(env.Host(label), transfer.NewVirtualFile("petition-probe", transfer.Mb, int64(rep)), 1)
+				if err != nil {
+					return fmt.Errorf("fig2 %s rep %d: %w", label, rep, err)
+				}
+				samples = append(samples, m.PetitionDelay().Seconds())
+			}
+			values[i] = metrics.Mean(samples)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := fig.AddSeries("petition time", values); err != nil {
+		return nil, err
+	}
+	return fig, nil
+}
+
+// Fig3Transmission50Mb reproduces Figure 3: the transmission time of a
+// 50 Mb file (one part of the paper's larger files) to each SC peer.
+func Fig3Transmission50Mb(cfg Config) (*metrics.Figure, error) {
+	cfg = cfg.withDefaults()
+	fig := &metrics.Figure{
+		Title:  "Figure 3 — Transmission time for a file of 50 Mb",
+		Unit:   "minutes",
+		Labels: SCLabels,
+	}
+	values, _, err := transferPerPeer(cfg, 50*transfer.Mb, 1)
+	if err != nil {
+		return nil, err
+	}
+	if err := fig.AddSeries("transmission time", values); err != nil {
+		return nil, err
+	}
+	return fig, nil
+}
+
+// Fig4LastMb reproduces Figure 4: the time to complete the reception of the
+// last Mb of a 50 Mb transfer.
+func Fig4LastMb(cfg Config) (*metrics.Figure, error) {
+	cfg = cfg.withDefaults()
+	fig := &metrics.Figure{
+		Title:  "Figure 4 — Transmission time of the last Mb",
+		Unit:   "seconds",
+		Labels: SCLabels,
+	}
+	_, lastMb, err := transferPerPeer(cfg, 50*transfer.Mb, 1)
+	if err != nil {
+		return nil, err
+	}
+	if err := fig.AddSeries("last Mb", lastMb); err != nil {
+		return nil, err
+	}
+	return fig, nil
+}
+
+// transferPerPeer sends a file of the given size/granularity to every SC
+// peer Reps times; it returns mean transmission minutes and mean last-Mb
+// seconds per peer.
+func transferPerPeer(cfg Config, size, parts int) (minutes, lastMb []float64, err error) {
+	env, err := NewEnv(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	minutes = make([]float64, len(SCLabels))
+	lastMb = make([]float64, len(SCLabels))
+	err = env.Run(func(ctl *overlay.Client, _ map[string]*overlay.Client) error {
+		for i, label := range SCLabels {
+			var mins, lasts []float64
+			for rep := 0; rep < cfg.Reps; rep++ {
+				env.Slice.Control.Sleep(cfg.IdleGap)
+				m, err := ctl.SendFile(env.Host(label),
+					transfer.NewVirtualFile("payload", size, int64(rep)), parts)
+				if err != nil {
+					return fmt.Errorf("transfer to %s rep %d: %w", label, rep, err)
+				}
+				mins = append(mins, m.TransmissionTime().Minutes())
+				lasts = append(lasts, m.LastMbTime().Seconds())
+			}
+			minutes[i] = metrics.Mean(mins)
+			lastMb[i] = metrics.Mean(lasts)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return minutes, lastMb, nil
+}
+
+// Fig5Granularity reproduces Figure 5: a 100 Mb file sent whole, in 4 parts
+// and in 16 parts, per peer, in minutes.
+func Fig5Granularity(cfg Config) (*metrics.Figure, error) {
+	cfg = cfg.withDefaults()
+	fig := &metrics.Figure{
+		Title:  "Figure 5 — 100 Mb file: whole vs 4 parts vs 16 parts",
+		Unit:   "minutes",
+		Labels: SCLabels,
+	}
+	for _, g := range []struct {
+		name  string
+		parts int
+	}{
+		{"complete file", 1},
+		{"division into 4 parts", 4},
+		{"division into 16 parts", 16},
+	} {
+		minutes, _, err := transferPerPeer(cfg, 100*transfer.Mb, g.parts)
+		if err != nil {
+			return nil, fmt.Errorf("fig5 %s: %w", g.name, err)
+		}
+		if err := fig.AddSeries(g.name, minutes); err != nil {
+			return nil, err
+		}
+	}
+	return fig, nil
+}
+
+// Fig6Models are the three selection models of Figure 6, in the paper's
+// order.
+var Fig6Models = []string{"economic", "same-priority", "quick-peer"}
+
+// Fig6SelectionModels reproduces Figure 6: per-part transmission time when
+// the target peer is chosen by each selection model, for a 1 Mb file split
+// into 4 and into 16 parts.
+//
+// The environment is warmed up the way the paper's platform would be after
+// a working session: the controller has transferred files to every peer
+// (so the broker holds rate and petition-delay statistics), and earlier
+// sessions left blemishes on the record of the two fastest peers (failed
+// messages and a cancelled transfer). The economic model — which only
+// plans completion time — still picks the fastest peer; the same-priority
+// data evaluator weighs the blemishes equally with throughput and settles
+// on a clean mid-tier peer; the user's quick-peer memory predates the
+// current session entirely and points at a slower peer. That disagreement
+// is the paper's point: the models embody different judgments.
+func Fig6SelectionModels(cfg Config) (*metrics.Figure, error) {
+	cfg = cfg.withDefaults()
+	env, err := NewEnv(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fig := &metrics.Figure{
+		Title:  "Figure 6 — File transmission time per selection model",
+		Unit:   "seconds",
+		Labels: Fig6Models,
+	}
+	perParts := map[int][]float64{4: nil, 16: nil}
+	err = env.Run(func(ctl *overlay.Client, sc map[string]*overlay.Client) error {
+		// Warm-up: give the broker statistics about every peer.
+		for _, label := range SCLabels {
+			for rep := 0; rep < 2; rep++ {
+				if _, err := ctl.SendFile(env.Host(label),
+					transfer.NewVirtualFile("warmup", transfer.Mb, int64(rep)), 2); err != nil {
+					return fmt.Errorf("fig6 warmup %s: %w", label, err)
+				}
+			}
+		}
+		// History from earlier sessions: the fastest links carry blemished
+		// records (the paper's loaded-sliver reality: fast links on peers
+		// that drop messages under load).
+		for _, label := range []string{"SC2", "SC8"} {
+			ps := env.Broker.Registry().Peer(env.Host(label))
+			for i := 0; i < 4; i++ {
+				ps.RecordMessage(false)
+			}
+			ps.RecordTransferOutcome(true) // one cancelled transfer
+		}
+		// The user's stale memory (quick-peer mode): SC3 was quick once.
+		remembered := []string{env.Host("SC3"), env.Host("SC6"), env.Host("SC5")}
+
+		for _, parts := range []int{4, 16} {
+			for _, model := range Fig6Models {
+				env.Slice.Control.Sleep(cfg.IdleGap)
+				req := core.Request{Kind: core.KindFileTransfer, SizeBytes: transfer.Mb}
+				var preferred []string
+				if model == "quick-peer" {
+					preferred = remembered
+				}
+				peers, err := ctl.SelectPeers(model, req, 1, preferred)
+				if err != nil {
+					return fmt.Errorf("fig6 select %s: %w", model, err)
+				}
+				if len(peers) == 0 {
+					return fmt.Errorf("fig6 select %s: empty result", model)
+				}
+				var samples []float64
+				for rep := 0; rep < cfg.Reps; rep++ {
+					env.Slice.Control.Sleep(cfg.IdleGap)
+					m, err := ctl.SendFile(peers[0],
+						transfer.NewVirtualFile("selected", transfer.Mb, int64(rep)), parts)
+					if err != nil {
+						return fmt.Errorf("fig6 %s via %s: %w", model, peers[0], err)
+					}
+					samples = append(samples, m.TransmissionTime().Seconds()/float64(parts))
+				}
+				perParts[parts] = append(perParts[parts], metrics.Mean(samples))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := fig.AddSeries("division into 4 parts", perParts[4]); err != nil {
+		return nil, err
+	}
+	if err := fig.AddSeries("division into 16 parts", perParts[16]); err != nil {
+		return nil, err
+	}
+	return fig, nil
+}
+
+// Fig7Work is the processing demand used in Figure 7's runs: handling a
+// 50 Mb file costs 120 reference-seconds of compute.
+const Fig7Work = 120.0
+
+// Fig7ExecVsTransferExec reproduces Figure 7: per peer, the time of just
+// executing a processing task versus transferring its 50 Mb input first and
+// then executing.
+func Fig7ExecVsTransferExec(cfg Config) (*metrics.Figure, error) {
+	cfg = cfg.withDefaults()
+	env, err := NewEnv(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fig := &metrics.Figure{
+		Title:  "Figure 7 — Just execution vs transmission & execution",
+		Unit:   "minutes",
+		Labels: SCLabels,
+	}
+	exec := make([]float64, len(SCLabels))
+	both := make([]float64, len(SCLabels))
+	err = env.Run(func(ctl *overlay.Client, _ map[string]*overlay.Client) error {
+		for i, label := range SCLabels {
+			host := env.Host(label)
+			var execSamples, bothSamples []float64
+			for rep := 0; rep < cfg.Reps; rep++ {
+				env.Slice.Control.Sleep(cfg.IdleGap)
+				// Just execution: the input is already at the peer.
+				res, err := ctl.SubmitTask(host, taskFor(rep))
+				if err != nil {
+					return fmt.Errorf("fig7 exec %s: %w", label, err)
+				}
+				execSamples = append(execSamples, res.Elapsed.Minutes())
+
+				env.Slice.Control.Sleep(cfg.IdleGap)
+				// Transmission & execution. The input travels in 4 parts —
+				// by Figure 5 the platform's users would not ship 50 Mb whole.
+				start := env.Slice.Control.Now()
+				if _, err := ctl.SendFile(host,
+					transfer.NewVirtualFile("input", 50*transfer.Mb, int64(rep)), 4); err != nil {
+					return fmt.Errorf("fig7 transfer %s: %w", label, err)
+				}
+				if _, err := ctl.SubmitTask(host, taskFor(rep)); err != nil {
+					return fmt.Errorf("fig7 exec-after-transfer %s: %w", label, err)
+				}
+				bothSamples = append(bothSamples, env.Slice.Control.Now().Sub(start).Minutes())
+			}
+			exec[i] = metrics.Mean(execSamples)
+			both[i] = metrics.Mean(bothSamples)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := fig.AddSeries("just execution", exec); err != nil {
+		return nil, err
+	}
+	if err := fig.AddSeries("transmission & execution", both); err != nil {
+		return nil, err
+	}
+	return fig, nil
+}
+
+func taskFor(rep int) task.Task {
+	return task.Task{
+		Name:      fmt.Sprintf("process-50Mb-%d", rep),
+		WorkUnits: Fig7Work,
+		InputSize: 50 * transfer.Mb,
+	}
+}

@@ -1,0 +1,278 @@
+// Package jxta provides the JXTA-flavored naming and discovery substrate the
+// overlay is built on: peer IDs, advertisements, and a TTL'd advertisement
+// cache. The paper's platform (JXTA-Overlay) relies on JXTA for peer
+// discovery and peer-resource discovery; brokers act as rendezvous points
+// that hold and answer advertisement queries.
+//
+// Wire compatibility with real JXTA (XML documents) is out of scope; the
+// semantics — uniquely identified peers publishing expiring, queryable
+// advertisements — are what the overlay needs.
+package jxta
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"peerlab/internal/wire"
+)
+
+// ID is a JXTA-style 128-bit identifier.
+type ID [16]byte
+
+// NewID derives a stable ID from a namespace and name (content addressing
+// keeps IDs reproducible across runs, which experiment logs rely on).
+func NewID(namespace, name string) ID {
+	sum := sha256.Sum256([]byte(namespace + "\x00" + name))
+	var id ID
+	copy(id[:], sum[:16])
+	return id
+}
+
+// String renders the ID in JXTA's urn style.
+func (id ID) String() string {
+	return "urn:jxta:uuid-" + hex.EncodeToString(id[:])
+}
+
+// IsZero reports whether the ID is unset.
+func (id ID) IsZero() bool { return id == ID{} }
+
+// AdvKind distinguishes advertisement types.
+type AdvKind byte
+
+// Advertisement kinds.
+const (
+	AdvPeer AdvKind = iota + 1
+	AdvPipe
+	AdvModule
+)
+
+// String names the kind.
+func (k AdvKind) String() string {
+	switch k {
+	case AdvPeer:
+		return "peer"
+	case AdvPipe:
+		return "pipe"
+	case AdvModule:
+		return "module"
+	default:
+		return fmt.Sprintf("advkind(%d)", byte(k))
+	}
+}
+
+// Advertisement is a published, expiring description of a resource.
+// It mirrors JXTA's PeerAdvertisement / PipeAdvertisement / ModuleSpec
+// structure flattened into one record.
+type Advertisement struct {
+	Kind    AdvKind
+	ID      ID
+	Name    string // peer name, pipe name, or module name
+	Addr    string // transport address ("node/service"), empty for modules
+	Expires time.Time
+	// Attrs carries small typed attributes (CPU score, services list...)
+	// as ordered key/value pairs for deterministic encoding.
+	Attrs []Attr
+}
+
+// Attr is one advertisement attribute.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// Attr returns the value for key, or "".
+func (a Advertisement) Attr(key string) string {
+	for _, kv := range a.Attrs {
+		if kv.Key == key {
+			return kv.Value
+		}
+	}
+	return ""
+}
+
+// WithAttr returns a copy with the attribute set (replacing an existing key).
+func (a Advertisement) WithAttr(key, value string) Advertisement {
+	out := a
+	out.Attrs = append([]Attr(nil), a.Attrs...)
+	for i := range out.Attrs {
+		if out.Attrs[i].Key == key {
+			out.Attrs[i].Value = value
+			return out
+		}
+	}
+	out.Attrs = append(out.Attrs, Attr{key, value})
+	return out
+}
+
+// Encode appends the advertisement to the encoder.
+func (a Advertisement) Encode(e *wire.Encoder) {
+	e.Byte(byte(a.Kind))
+	e.BytesField(a.ID[:])
+	e.String(a.Name)
+	e.String(a.Addr)
+	e.Time(a.Expires)
+	e.Uint64(uint64(len(a.Attrs)))
+	for _, kv := range a.Attrs {
+		e.String(kv.Key)
+		e.String(kv.Value)
+	}
+}
+
+// DecodeAdvertisement consumes one advertisement from the decoder.
+func DecodeAdvertisement(d *wire.Decoder) (Advertisement, error) {
+	var a Advertisement
+	a.Kind = AdvKind(d.Byte())
+	idb := d.BytesField()
+	a.Name = d.StringField()
+	a.Addr = d.StringField()
+	a.Expires = d.Time()
+	n := d.Uint64()
+	if err := d.Err(); err != nil {
+		return Advertisement{}, err
+	}
+	if len(idb) != len(a.ID) {
+		return Advertisement{}, fmt.Errorf("%w: advertisement id of %d bytes", wire.ErrCorrupt, len(idb))
+	}
+	copy(a.ID[:], idb)
+	if n > uint64(d.Remaining()) {
+		return Advertisement{}, fmt.Errorf("%w: %d attrs exceed remaining input", wire.ErrCorrupt, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		k := d.StringField()
+		v := d.StringField()
+		if err := d.Err(); err != nil {
+			return Advertisement{}, err
+		}
+		a.Attrs = append(a.Attrs, Attr{k, v})
+	}
+	return a, d.Err()
+}
+
+// Cache is a thread-safe advertisement store with TTL expiry and bounded
+// size (oldest-expiry eviction), as kept by rendezvous peers and local
+// discovery services.
+type Cache struct {
+	mu    sync.Mutex
+	now   func() time.Time
+	limit int
+	byID  map[ID]Advertisement
+}
+
+// NewCache returns a cache holding at most limit advertisements (default
+// 1024 when limit <= 0); now supplies time and may be nil for wall clock.
+func NewCache(limit int, now func() time.Time) *Cache {
+	if limit <= 0 {
+		limit = 1024
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Cache{now: now, limit: limit, byID: make(map[ID]Advertisement)}
+}
+
+// Publish inserts or refreshes an advertisement. Already-expired
+// advertisements are ignored.
+func (c *Cache) Publish(a Advertisement) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	if !a.Expires.After(now) {
+		return
+	}
+	c.gcLocked(now)
+	if _, exists := c.byID[a.ID]; !exists && len(c.byID) >= c.limit {
+		c.evictOldestLocked()
+	}
+	c.byID[a.ID] = a
+}
+
+// gcLocked removes expired entries. Caller holds c.mu.
+func (c *Cache) gcLocked(now time.Time) {
+	for id, a := range c.byID {
+		if !a.Expires.After(now) {
+			delete(c.byID, id)
+		}
+	}
+}
+
+// evictOldestLocked drops the entry closest to expiry. Caller holds c.mu.
+func (c *Cache) evictOldestLocked() {
+	var victim ID
+	var when time.Time
+	first := true
+	for id, a := range c.byID {
+		if first || a.Expires.Before(when) {
+			victim, when, first = id, a.Expires, false
+		}
+	}
+	if !first {
+		delete(c.byID, victim)
+	}
+}
+
+// Lookup returns the advertisement with the given ID, if present and live.
+func (c *Cache) Lookup(id ID) (Advertisement, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a, ok := c.byID[id]
+	if !ok || !a.Expires.After(c.now()) {
+		return Advertisement{}, false
+	}
+	return a, true
+}
+
+// Query returns live advertisements of the kind whose Name matches name
+// exactly; empty name matches all. Results are sorted by Name then ID for
+// determinism.
+func (c *Cache) Query(kind AdvKind, name string) []Advertisement {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	var out []Advertisement
+	for _, a := range c.byID {
+		if !a.Expires.After(now) {
+			continue
+		}
+		if a.Kind != kind {
+			continue
+		}
+		if name != "" && a.Name != name {
+			continue
+		}
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return hex.EncodeToString(out[i].ID[:]) < hex.EncodeToString(out[j].ID[:])
+	})
+	return out
+}
+
+// Remove deletes an advertisement by ID.
+func (c *Cache) Remove(id ID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.byID, id)
+}
+
+// Len reports the number of live advertisements.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gcLocked(c.now())
+	return len(c.byID)
+}
+
+// Standard attribute keys used by the overlay.
+const (
+	AttrCPUScore = "cpu-score"
+	AttrServices = "services"
+	AttrCountry  = "country"
+	AttrSite     = "site"
+)

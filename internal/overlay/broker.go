@@ -1,0 +1,290 @@
+package overlay
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"peerlab/internal/core"
+	"peerlab/internal/jxta"
+	"peerlab/internal/pipe"
+	"peerlab/internal/stats"
+	"peerlab/internal/transport"
+	"peerlab/internal/wire"
+)
+
+// BrokerConfig tunes a Broker.
+type BrokerConfig struct {
+	// AdvTTL is how long client advertisements stay valid (default 1h).
+	AdvTTL time.Duration
+	// CacheLimit bounds the advertisement directory (default 1024).
+	CacheLimit int
+	// Pipe tunes the broker's reliable pipes.
+	Pipe pipe.Options
+}
+
+func (c BrokerConfig) withDefaults() BrokerConfig {
+	if c.AdvTTL <= 0 {
+		c.AdvTTL = time.Hour
+	}
+	return c
+}
+
+// Broker is the governor of the P2P network: it keeps the advertisement
+// directory (rendezvous role), aggregates per-peer statistics from client
+// reports and sender observations, and answers peer-selection requests with
+// any registered model.
+type Broker struct {
+	host transport.Host
+	cfg  BrokerConfig
+	mux  *pipe.Mux
+
+	cache     *jxta.Cache
+	registry  *stats.Registry
+	selectors map[string]core.Selector
+}
+
+// NewBroker binds the broker service on host and starts serving.
+func NewBroker(host transport.Host, cfg BrokerConfig) (*Broker, error) {
+	cfg = cfg.withDefaults()
+	ep, err := host.Endpoint(ServiceBroker)
+	if err != nil {
+		return nil, fmt.Errorf("overlay: broker bind: %w", err)
+	}
+	b := &Broker{
+		host:      host,
+		cfg:       cfg,
+		mux:       pipe.NewMux(host, ep, cfg.Pipe),
+		cache:     jxta.NewCache(cfg.CacheLimit, host.Now),
+		registry:  stats.NewRegistry(host.Now),
+		selectors: make(map[string]core.Selector),
+	}
+	// The standard model lineup from the paper's Figure 6, plus the blind
+	// baseline. User-preference models are built per request from the
+	// preferences the requester sends.
+	b.RegisterSelector(core.NewBlind())
+	b.RegisterSelector(core.NewEconomic(core.EconomicConfig{}))
+	b.RegisterSelector(core.NewSamePriority())
+	host.Go(b.acceptLoop)
+	return b, nil
+}
+
+// Addr returns the broker's pipe address.
+func (b *Broker) Addr() transport.Addr { return b.mux.Addr() }
+
+// Registry exposes the broker's statistics (the experiment harness reads it
+// directly; remote access goes through the selection service).
+func (b *Broker) Registry() *stats.Registry { return b.registry }
+
+// Directory exposes the advertisement cache.
+func (b *Broker) Directory() *jxta.Cache { return b.cache }
+
+// RegisterSelector installs (or replaces) a selection model under its name.
+func (b *Broker) RegisterSelector(s core.Selector) {
+	b.selectors[s.Name()] = s
+}
+
+// Peers lists registered peer names (live advertisements only).
+func (b *Broker) Peers() []string {
+	advs := b.cache.Query(jxta.AdvPeer, "")
+	names := make([]string, 0, len(advs))
+	for _, a := range advs {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+// Close shuts the broker down.
+func (b *Broker) Close() { b.mux.Close() }
+
+func (b *Broker) acceptLoop() {
+	for {
+		conn, err := b.mux.Accept()
+		if err != nil {
+			return
+		}
+		b.host.Go(func() { b.serve(conn) })
+	}
+}
+
+// serve handles one request conn. Every exchange is request/response on a
+// fresh conn, so a single Recv suffices.
+func (b *Broker) serve(conn *pipe.Conn) {
+	defer conn.Close()
+	msg, err := conn.Recv()
+	if err != nil {
+		return
+	}
+	kind, d, err := kindOf(msg.Payload)
+	if err != nil {
+		return
+	}
+	switch kind {
+	case mtRegister:
+		b.handleRegister(conn, d)
+	case mtStatsReport:
+		b.handleStatsReport(conn, d)
+	case mtDiscover:
+		b.handleDiscover(conn, d)
+	case mtSelect:
+		b.handleSelect(conn, d)
+	case mtReportTransfer:
+		b.handleReportTransfer(conn, d)
+	case mtReportTask:
+		b.handleReportTask(conn, d)
+	case mtReportMessage:
+		b.handleReportMessage(conn, d)
+	}
+}
+
+func (b *Broker) handleRegister(conn *pipe.Conn, d *wire.Decoder) {
+	req, err := decodeRegister(d)
+	if err != nil {
+		return
+	}
+	adv := req.Adv
+	adv.Expires = b.host.Now().Add(b.cfg.AdvTTL)
+	b.cache.Publish(adv)
+	ps := b.registry.Peer(adv.Name)
+	if cpu, err := strconv.ParseFloat(adv.Attr(jxta.AttrCPUScore), 64); err == nil && cpu > 0 {
+		ps.SetCPUScore(cpu)
+	}
+	ack := registerAck{OK: true, Broker: b.host.Name(), KnownPeers: len(b.Peers())}
+	conn.Send(ack.encode())
+}
+
+func (b *Broker) handleStatsReport(conn *pipe.Conn, d *wire.Decoder) {
+	rep, err := decodeStatsReport(d)
+	if err != nil {
+		return
+	}
+	ps := b.registry.Peer(rep.Peer)
+	ps.SetQueues(rep.InboxLen, rep.OutboxLen)
+	ps.SetQueueLen(rep.QueueLen)
+	ps.SetReadyAt(b.host.Now().Add(rep.ReadyIn))
+	if rep.CPUScore > 0 {
+		ps.SetCPUScore(rep.CPUScore)
+	}
+	// A live report also renews the peer's advertisement lease.
+	if adv, ok := b.cache.Lookup(jxta.NewID("peer", rep.Peer)); ok {
+		adv.Expires = b.host.Now().Add(b.cfg.AdvTTL)
+		b.cache.Publish(adv)
+	}
+	conn.Send(ackBytes())
+}
+
+func (b *Broker) handleDiscover(conn *pipe.Conn, d *wire.Decoder) {
+	req, err := decodeDiscover(d)
+	if err != nil {
+		return
+	}
+	res := discoverResult{Advs: b.cache.Query(req.Kind, req.Name)}
+	conn.Send(res.encode())
+}
+
+func (b *Broker) handleSelect(conn *pipe.Conn, d *wire.Decoder) {
+	req, err := decodeSelectReq(d)
+	if err != nil {
+		return
+	}
+	peers, addrs, serr := b.selectPeers(req)
+	res := selectResult{Peers: peers, Addrs: addrs}
+	if serr != nil {
+		res.Err = serr.Error()
+	}
+	conn.Send(res.encode())
+}
+
+// selectPeers runs the requested model over the registered peers.
+func (b *Broker) selectPeers(req selectReq) (peers, addrs []string, err error) {
+	excluded := make(map[string]bool, len(req.Exclude))
+	for _, p := range req.Exclude {
+		excluded[p] = true
+	}
+	advs := b.cache.Query(jxta.AdvPeer, "")
+	var cands []core.Candidate
+	addrOf := make(map[string]string, len(advs))
+	for _, a := range advs {
+		if excluded[a.Name] {
+			continue
+		}
+		cands = append(cands, core.Candidate{Snapshot: b.registry.Peer(a.Name).Snapshot()})
+		addrOf[a.Name] = a.Addr
+	}
+
+	sel, ok := b.selectors[req.Model]
+	if req.Model == "quick-peer" || req.Model == "user-preference" {
+		// Built per request from the user's own ranking.
+		sel, ok = core.NewUserPreference(req.Preferred), true
+	}
+	if !ok {
+		return nil, nil, fmt.Errorf("overlay: unknown selection model %q", req.Model)
+	}
+
+	creq := core.Request{
+		Kind:      core.RequestKind(req.Kind),
+		SizeBytes: req.SizeBytes,
+		WorkUnits: req.WorkUnits,
+		Now:       b.host.Now(),
+	}
+	var ranked []string
+	if r, isRanker := sel.(core.Ranker); isRanker {
+		ranked, err = r.Rank(creq, cands)
+	} else {
+		var one string
+		one, err = sel.Select(creq, cands)
+		ranked = []string{one}
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	max := req.MaxResults
+	if max <= 0 || max > len(ranked) {
+		max = len(ranked)
+	}
+	ranked = ranked[:max]
+	addrs = make([]string, len(ranked))
+	for i, p := range ranked {
+		addrs[i] = addrOf[p]
+	}
+	return ranked, addrs, nil
+}
+
+func (b *Broker) handleReportTransfer(conn *pipe.Conn, d *wire.Decoder) {
+	rep, err := decodeReportTransfer(d)
+	if err != nil {
+		return
+	}
+	ps := b.registry.Peer(rep.Peer)
+	ps.RecordFileSent(rep.OK)
+	ps.RecordTransferOutcome(rep.Cancelled)
+	if rep.OK {
+		ps.ObserveTransferRate(rep.Bytes, rep.Duration)
+	}
+	if rep.PetitionDelay > 0 {
+		ps.ObservePetitionDelay(rep.PetitionDelay)
+	}
+	conn.Send(ackBytes())
+}
+
+func (b *Broker) handleReportTask(conn *pipe.Conn, d *wire.Decoder) {
+	rep, err := decodeReportTask(d)
+	if err != nil {
+		return
+	}
+	ps := b.registry.Peer(rep.Peer)
+	ps.RecordTaskOffer(rep.Accepted)
+	if rep.Accepted {
+		ps.RecordTaskExecution(rep.OK, rep.SecondsPerUnit)
+	}
+	conn.Send(ackBytes())
+}
+
+func (b *Broker) handleReportMessage(conn *pipe.Conn, d *wire.Decoder) {
+	rep, err := decodeReportMessage(d)
+	if err != nil {
+		return
+	}
+	b.registry.Peer(rep.Peer).RecordMessage(rep.OK)
+	conn.Send(ackBytes())
+}

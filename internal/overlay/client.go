@@ -1,0 +1,435 @@
+package overlay
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync/atomic"
+
+	"peerlab/internal/core"
+	"peerlab/internal/jxta"
+	"peerlab/internal/pipe"
+	"peerlab/internal/task"
+	"peerlab/internal/transfer"
+	"peerlab/internal/transport"
+)
+
+// Client errors.
+var (
+	ErrNotRegistered = errors.New("overlay: client not registered")
+	ErrPeerUnknown   = errors.New("overlay: peer not found in directory")
+	ErrTaskRejected  = errors.New("overlay: task rejected by peer")
+	ErrBrokerDown    = errors.New("overlay: broker unreachable")
+)
+
+// ClientConfig tunes a SimpleClient.
+type ClientConfig struct {
+	// CPUScore advertises the node's relative compute speed (default 1).
+	CPUScore float64
+	// MaxQueue bounds the local executor queue (default 16).
+	MaxQueue int
+	// FailEvery injects a failure every Nth executed task (0 = never).
+	FailEvery int
+	// Pipe tunes reliable pipes.
+	Pipe pipe.Options
+	// AcceptFile decides on inbound petitions; nil accepts all.
+	AcceptFile func(name string, size, parts int, from string) (bool, string)
+	// OnFile observes completed inbound transfers.
+	OnFile func(transfer.Received)
+	// OnInstant observes inbound instant messages.
+	OnInstant func(from, text string)
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.CPUScore <= 0 {
+		c.CPUScore = 1
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 16
+	}
+	return c
+}
+
+// Client is a SimpleClient edge peer: it registers with a broker, serves
+// file receptions and task executions, and offers the overlay primitives
+// (discovery, selection, file transmission, task submission, instant
+// messaging) to the application.
+type Client struct {
+	host   transport.Host
+	broker transport.Addr
+	cfg    ClientConfig
+
+	ctlMux   *pipe.Mux
+	xferMux  *pipe.Mux
+	sender   *transfer.Sender
+	receiver *transfer.Receiver
+	exec     *task.Executor
+
+	registered atomic.Bool
+	nextTaskID atomic.Uint64
+	msgsIn     atomic.Int64
+	msgsOut    atomic.Int64
+}
+
+// NewClient builds a client on host homed to the given broker address.
+// Call Start to bind services and register.
+func NewClient(host transport.Host, broker transport.Addr, cfg ClientConfig) *Client {
+	return &Client{host: host, broker: broker, cfg: cfg.withDefaults()}
+}
+
+// Start binds the client's services, starts its executor and receiver, and
+// registers with the broker.
+func (c *Client) Start() error {
+	ctlEP, err := c.host.Endpoint(ServiceClient)
+	if err != nil {
+		return fmt.Errorf("overlay: client bind: %w", err)
+	}
+	xferEP, err := c.host.Endpoint(ServiceTransfer)
+	if err != nil {
+		return fmt.Errorf("overlay: transfer bind: %w", err)
+	}
+	c.ctlMux = pipe.NewMux(c.host, ctlEP, c.cfg.Pipe)
+	c.xferMux = pipe.NewMux(c.host, xferEP, c.cfg.Pipe)
+	c.sender = transfer.NewSender(c.host, c.xferMux, transfer.SenderOptions{})
+	c.receiver = transfer.NewReceiver(c.host, c.xferMux, transfer.ReceiverOptions{
+		Accept: c.cfg.AcceptFile,
+		OnFile: c.cfg.OnFile,
+	})
+	c.receiver.Start()
+	c.exec = task.NewExecutor(c.host, task.Options{
+		CPUScore:  c.cfg.CPUScore,
+		MaxQueue:  c.cfg.MaxQueue,
+		FailEvery: c.cfg.FailEvery,
+	})
+	c.exec.Start()
+	c.host.Go(c.controlLoop)
+	return c.register()
+}
+
+// register announces this client to the broker.
+func (c *Client) register() error {
+	adv := jxta.Advertisement{
+		Kind: jxta.AdvPeer,
+		ID:   jxta.NewID("peer", c.host.Name()),
+		Name: c.host.Name(),
+		Addr: string(transport.MakeAddr(c.host.Name(), ServiceTransfer)),
+	}
+	adv = adv.WithAttr(jxta.AttrCPUScore, strconv.FormatFloat(c.cfg.CPUScore, 'f', -1, 64))
+	reply, err := c.call(c.broker, register{Adv: adv}.encode())
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBrokerDown, err)
+	}
+	kind, d, err := kindOf(reply)
+	if err != nil || kind != mtRegisterAck {
+		return fmt.Errorf("%w: bad register reply", ErrBrokerDown)
+	}
+	ack, err := decodeRegisterAck(d)
+	if err != nil || !ack.OK {
+		return fmt.Errorf("%w: registration refused", ErrBrokerDown)
+	}
+	c.registered.Store(true)
+	return nil
+}
+
+// call performs one request/response exchange on a fresh conn.
+func (c *Client) call(to transport.Addr, payload []byte) ([]byte, error) {
+	conn, err := c.ctlMux.Dial(to)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if err := conn.Send(payload); err != nil {
+		return nil, err
+	}
+	msg, err := conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	return msg.Payload, nil
+}
+
+// controlLoop serves inbound control conns (tasks, instant messages).
+func (c *Client) controlLoop() {
+	for {
+		conn, err := c.ctlMux.Accept()
+		if err != nil {
+			return
+		}
+		c.host.Go(func() { c.serveControl(conn) })
+	}
+}
+
+func (c *Client) serveControl(conn *pipe.Conn) {
+	defer conn.Close()
+	msg, err := conn.Recv()
+	if err != nil {
+		return
+	}
+	kind, d, err := kindOf(msg.Payload)
+	if err != nil {
+		return
+	}
+	switch kind {
+	case mtTaskSubmit:
+		sub, err := decodeTaskSubmit(d)
+		if err != nil {
+			return
+		}
+		c.msgsIn.Add(1)
+		done := c.host.NewQueue()
+		submitErr := c.exec.Submit(sub.Task, func(r task.Result) { done.Push(r) })
+		dec := taskDecision{TaskID: sub.Task.ID, Accepted: submitErr == nil}
+		if submitErr != nil {
+			dec.Reason = submitErr.Error()
+		}
+		// Queue state changed: let the broker know, so scheduling-based
+		// selection plans with a fresh ready-time estimate. Runs as its own
+		// process so the task reply is not delayed.
+		c.host.Go(func() {
+			if err := c.ReportStats(); err != nil {
+				_ = err // best-effort
+			}
+		})
+		if err := conn.Send(dec.encode()); err != nil || submitErr != nil {
+			return
+		}
+		v, err := done.Pop()
+		if err != nil {
+			return
+		}
+		conn.Send(taskDone{Result: v.(task.Result)}.encode())
+		c.host.Go(func() {
+			if err := c.ReportStats(); err != nil {
+				_ = err // best-effort
+			}
+		})
+	case mtInstant:
+		im, err := decodeInstant(d)
+		if err != nil {
+			return
+		}
+		c.msgsIn.Add(1)
+		if c.cfg.OnInstant != nil {
+			c.cfg.OnInstant(im.From, im.Text)
+		}
+		conn.Send(instantAckBytes())
+	}
+}
+
+// ReportStats pushes the client's current load to the broker (clients do
+// this after significant events; there is no eternal timer so simulations
+// can quiesce).
+func (c *Client) ReportStats() error {
+	rep := statsReport{
+		Peer:      c.host.Name(),
+		InboxLen:  int(c.msgsIn.Swap(0)),
+		OutboxLen: int(c.msgsOut.Swap(0)),
+		QueueLen:  c.exec.QueueLen(),
+		ReadyIn:   c.exec.ReadyIn(),
+		CPUScore:  c.cfg.CPUScore,
+	}
+	reply, err := c.call(c.broker, rep.encode())
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBrokerDown, err)
+	}
+	if len(reply) == 0 || reply[0] != mtAck {
+		return fmt.Errorf("%w: bad stats ack", ErrBrokerDown)
+	}
+	return nil
+}
+
+// Discover queries the broker's directory for peer advertisements.
+func (c *Client) Discover() ([]jxta.Advertisement, error) {
+	reply, err := c.call(c.broker, discover{Kind: jxta.AdvPeer}.encode())
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBrokerDown, err)
+	}
+	kind, d, err := kindOf(reply)
+	if err != nil || kind != mtDiscoverResult {
+		return nil, fmt.Errorf("%w: bad discover reply", ErrBrokerDown)
+	}
+	res, err := decodeDiscoverResult(d)
+	if err != nil {
+		return nil, err
+	}
+	return res.Advs, nil
+}
+
+// resolve returns the transfer address of a named peer.
+func (c *Client) resolve(peer string) (transport.Addr, error) {
+	reply, err := c.call(c.broker, discover{Kind: jxta.AdvPeer, Name: peer}.encode())
+	if err != nil {
+		return "", fmt.Errorf("%w: %v", ErrBrokerDown, err)
+	}
+	kind, d, err := kindOf(reply)
+	if err != nil || kind != mtDiscoverResult {
+		return "", fmt.Errorf("%w: bad discover reply", ErrBrokerDown)
+	}
+	res, err := decodeDiscoverResult(d)
+	if err != nil || len(res.Advs) == 0 {
+		return "", fmt.Errorf("%w: %q", ErrPeerUnknown, peer)
+	}
+	return transport.Addr(res.Advs[0].Addr), nil
+}
+
+// SendFile transmits a file to the named peer in `parts` parts and reports
+// the outcome to the broker's statistics service.
+func (c *Client) SendFile(peer string, f transfer.File, parts int) (transfer.Metrics, error) {
+	addr, err := c.resolve(peer)
+	if err != nil {
+		return transfer.Metrics{}, err
+	}
+	m, sendErr := c.sender.Send(addr, f, parts)
+	c.msgsOut.Add(int64(len(m.Parts) + 1))
+	rep := reportTransfer{
+		Peer:          peer,
+		OK:            sendErr == nil,
+		Cancelled:     sendErr != nil && !errors.Is(sendErr, transfer.ErrRejected),
+		Bytes:         f.Size,
+		Duration:      m.TransmissionTime(),
+		PetitionDelay: m.PetitionDelay(),
+	}
+	if _, err := c.call(c.broker, rep.encode()); err != nil {
+		// Statistics are best-effort; the transfer outcome stands.
+		_ = err
+	}
+	return m, sendErr
+}
+
+// SubmitTask sends a task to the named peer, waits for the result, and
+// reports acceptance/execution statistics to the broker.
+func (c *Client) SubmitTask(peer string, t task.Task) (task.Result, error) {
+	if t.ID == 0 {
+		t.ID = c.nextTaskID.Add(1)
+	}
+	addr, err := c.resolve(peer)
+	if err != nil {
+		return task.Result{}, err
+	}
+	ctl := transport.MakeAddr(addr.Node(), ServiceClient)
+	conn, err := c.ctlMux.Dial(ctl)
+	if err != nil {
+		return task.Result{}, err
+	}
+	defer conn.Close()
+	c.msgsOut.Add(1)
+	if err := conn.Send(taskSubmit{Task: t, From: c.host.Name()}.encode()); err != nil {
+		c.reportTaskOutcome(peer, false, false, 0)
+		return task.Result{}, fmt.Errorf("overlay: submit to %s: %w", peer, err)
+	}
+	reply, err := conn.Recv()
+	if err != nil {
+		c.reportTaskOutcome(peer, false, false, 0)
+		return task.Result{}, fmt.Errorf("overlay: decision from %s: %w", peer, err)
+	}
+	kind, d, err := kindOf(reply.Payload)
+	if err != nil || kind != mtTaskDecision {
+		return task.Result{}, fmt.Errorf("overlay: bad decision reply from %s", peer)
+	}
+	dec, err := decodeTaskDecision(d)
+	if err != nil {
+		return task.Result{}, err
+	}
+	if !dec.Accepted {
+		c.reportTaskOutcome(peer, false, false, 0)
+		return task.Result{}, fmt.Errorf("%w: %s", ErrTaskRejected, dec.Reason)
+	}
+	reply, err = conn.Recv()
+	if err != nil {
+		c.reportTaskOutcome(peer, true, false, 0)
+		return task.Result{}, fmt.Errorf("overlay: result from %s: %w", peer, err)
+	}
+	kind, d, err = kindOf(reply.Payload)
+	if err != nil || kind != mtTaskDone {
+		return task.Result{}, fmt.Errorf("overlay: bad result reply from %s", peer)
+	}
+	doneMsg, err := decodeTaskDone(d)
+	if err != nil {
+		return task.Result{}, err
+	}
+	res := doneMsg.Result
+	spu := 0.0
+	if t.WorkUnits > 0 && res.Elapsed > 0 {
+		spu = res.Elapsed.Seconds() / t.WorkUnits
+	}
+	c.reportTaskOutcome(peer, true, res.OK, spu)
+	return res, nil
+}
+
+func (c *Client) reportTaskOutcome(peer string, accepted, ok bool, spu float64) {
+	rep := reportTask{Peer: peer, Accepted: accepted, OK: ok, SecondsPerUnit: spu}
+	if _, err := c.call(c.broker, rep.encode()); err != nil {
+		_ = err // best-effort statistics
+	}
+}
+
+// SendInstant delivers a one-line message to the named peer and records the
+// outcome in the broker's messaging statistics.
+func (c *Client) SendInstant(peer, text string) error {
+	addr, err := c.resolve(peer)
+	if err != nil {
+		return err
+	}
+	ctl := transport.MakeAddr(addr.Node(), ServiceClient)
+	c.msgsOut.Add(1)
+	reply, sendErr := c.call(ctl, instant{From: c.host.Name(), Text: text}.encode())
+	ok := sendErr == nil && len(reply) > 0 && reply[0] == mtInstantAck
+	rep := reportMessage{Peer: peer, OK: ok}
+	if _, err := c.call(c.broker, rep.encode()); err != nil {
+		_ = err // best-effort statistics
+	}
+	if !ok {
+		return fmt.Errorf("overlay: instant to %s failed: %v", peer, sendErr)
+	}
+	return nil
+}
+
+// SelectPeers asks the broker's selection service to rank peers with the
+// named model. Preferred carries the user's own ranking for the
+// user-preference/quick-peer model.
+func (c *Client) SelectPeers(model string, req core.Request, max int, preferred []string) ([]string, error) {
+	sreq := selectReq{
+		Model:      model,
+		Kind:       byte(req.Kind),
+		SizeBytes:  req.SizeBytes,
+		WorkUnits:  req.WorkUnits,
+		MaxResults: max,
+		Preferred:  preferred,
+		Exclude:    []string{c.host.Name()},
+	}
+	reply, err := c.call(c.broker, sreq.encode())
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBrokerDown, err)
+	}
+	kind, d, err := kindOf(reply)
+	if err != nil || kind != mtSelectResult {
+		return nil, fmt.Errorf("%w: bad select reply", ErrBrokerDown)
+	}
+	res, err := decodeSelectResult(d)
+	if err != nil {
+		return nil, err
+	}
+	if res.Err != "" {
+		return nil, errors.New(res.Err)
+	}
+	return res.Peers, nil
+}
+
+// Executor exposes the local task executor (for queue inspection).
+func (c *Client) Executor() *task.Executor { return c.exec }
+
+// Registered reports whether the client completed broker registration.
+func (c *Client) Registered() bool { return c.registered.Load() }
+
+// Stop tears the client down.
+func (c *Client) Stop() {
+	if c.exec != nil {
+		c.exec.Stop()
+	}
+	if c.ctlMux != nil {
+		c.ctlMux.Close()
+	}
+	if c.xferMux != nil {
+		c.xferMux.Close()
+	}
+}

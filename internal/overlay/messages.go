@@ -1,0 +1,425 @@
+// Package overlay implements the JXTA-Overlay platform from the paper's §3:
+// Brokers act as governors of the P2P network (registration directory,
+// statistics aggregation, peer-selection service), Clients are edge peers
+// (our SimpleClient — no GUI), and the Primitives — peer discovery, peer
+// selection, resource allocation, file sharing and transmission, instant
+// communication, task management, resource statistics — are the methods the
+// two expose.
+package overlay
+
+import (
+	"fmt"
+	"time"
+
+	"peerlab/internal/jxta"
+	"peerlab/internal/task"
+	"peerlab/internal/wire"
+)
+
+// Service names bound per node.
+const (
+	ServiceBroker   = "broker"
+	ServiceClient   = "client"
+	ServiceTransfer = "xfer"
+)
+
+// Message type tags.
+const (
+	mtRegister       byte = 1
+	mtRegisterAck    byte = 2
+	mtStatsReport    byte = 3
+	mtAck            byte = 4
+	mtDiscover       byte = 5
+	mtDiscoverResult byte = 6
+	mtSelect         byte = 7
+	mtSelectResult   byte = 8
+	mtReportTransfer byte = 9
+	mtReportTask     byte = 10
+	mtReportMessage  byte = 11
+	mtTaskSubmit     byte = 12
+	mtTaskDecision   byte = 13
+	mtTaskDone       byte = 14
+	mtInstant        byte = 15
+	mtInstantAck     byte = 16
+)
+
+// register announces a client to its broker.
+type register struct {
+	Adv jxta.Advertisement
+}
+
+func (m register) encode() []byte {
+	e := wire.NewEncoder(128)
+	e.Byte(mtRegister)
+	m.Adv.Encode(e)
+	return append([]byte(nil), e.Bytes()...)
+}
+
+// registerAck confirms registration.
+type registerAck struct {
+	OK         bool
+	Broker     string
+	KnownPeers int
+}
+
+func (m registerAck) encode() []byte {
+	e := wire.NewEncoder(32)
+	e.Byte(mtRegisterAck)
+	e.Bool(m.OK)
+	e.String(m.Broker)
+	e.Int(m.KnownPeers)
+	return append([]byte(nil), e.Bytes()...)
+}
+
+// statsReport carries a client's self-reported load.
+type statsReport struct {
+	Peer      string
+	InboxLen  int
+	OutboxLen int
+	QueueLen  int
+	ReadyIn   time.Duration
+	CPUScore  float64
+}
+
+func (m statsReport) encode() []byte {
+	e := wire.NewEncoder(64)
+	e.Byte(mtStatsReport)
+	e.String(m.Peer)
+	e.Int(m.InboxLen)
+	e.Int(m.OutboxLen)
+	e.Int(m.QueueLen)
+	e.Duration(m.ReadyIn)
+	e.Float64(m.CPUScore)
+	return append([]byte(nil), e.Bytes()...)
+}
+
+// discover queries the broker's advertisement directory.
+type discover struct {
+	Kind jxta.AdvKind
+	Name string
+}
+
+func (m discover) encode() []byte {
+	e := wire.NewEncoder(32)
+	e.Byte(mtDiscover)
+	e.Byte(byte(m.Kind))
+	e.String(m.Name)
+	return append([]byte(nil), e.Bytes()...)
+}
+
+// discoverResult returns matching advertisements.
+type discoverResult struct {
+	Advs []jxta.Advertisement
+}
+
+func (m discoverResult) encode() []byte {
+	e := wire.NewEncoder(256)
+	e.Byte(mtDiscoverResult)
+	e.Uint64(uint64(len(m.Advs)))
+	for _, a := range m.Advs {
+		a.Encode(e)
+	}
+	return append([]byte(nil), e.Bytes()...)
+}
+
+// selectReq asks the broker's selection service to rank peers.
+type selectReq struct {
+	Model      string
+	Kind       byte // core.RequestKind
+	SizeBytes  int
+	WorkUnits  float64
+	MaxResults int
+	// Preferred carries the user's ranking for the user-preference model.
+	Preferred []string
+	// Exclude removes peers from candidacy (e.g. the requester itself).
+	Exclude []string
+}
+
+func (m selectReq) encode() []byte {
+	e := wire.NewEncoder(96)
+	e.Byte(mtSelect)
+	e.String(m.Model)
+	e.Byte(m.Kind)
+	e.Int(m.SizeBytes)
+	e.Float64(m.WorkUnits)
+	e.Int(m.MaxResults)
+	e.StringSlice(m.Preferred)
+	e.StringSlice(m.Exclude)
+	return append([]byte(nil), e.Bytes()...)
+}
+
+// selectResult returns ranked peer names and their transfer addresses.
+type selectResult struct {
+	Peers []string
+	Addrs []string
+	Err   string
+}
+
+func (m selectResult) encode() []byte {
+	e := wire.NewEncoder(128)
+	e.Byte(mtSelectResult)
+	e.StringSlice(m.Peers)
+	e.StringSlice(m.Addrs)
+	e.String(m.Err)
+	return append([]byte(nil), e.Bytes()...)
+}
+
+// reportTransfer carries a sender's observations of one transfer.
+type reportTransfer struct {
+	Peer          string
+	OK            bool
+	Cancelled     bool
+	Bytes         int
+	Duration      time.Duration
+	PetitionDelay time.Duration
+}
+
+func (m reportTransfer) encode() []byte {
+	e := wire.NewEncoder(64)
+	e.Byte(mtReportTransfer)
+	e.String(m.Peer)
+	e.Bool(m.OK)
+	e.Bool(m.Cancelled)
+	e.Int(m.Bytes)
+	e.Duration(m.Duration)
+	e.Duration(m.PetitionDelay)
+	return append([]byte(nil), e.Bytes()...)
+}
+
+// reportTask carries a submitter's observations of one task offer.
+type reportTask struct {
+	Peer           string
+	Accepted       bool
+	OK             bool
+	SecondsPerUnit float64
+}
+
+func (m reportTask) encode() []byte {
+	e := wire.NewEncoder(48)
+	e.Byte(mtReportTask)
+	e.String(m.Peer)
+	e.Bool(m.Accepted)
+	e.Bool(m.OK)
+	e.Float64(m.SecondsPerUnit)
+	return append([]byte(nil), e.Bytes()...)
+}
+
+// reportMessage records an instant-message outcome.
+type reportMessage struct {
+	Peer string
+	OK   bool
+}
+
+func (m reportMessage) encode() []byte {
+	e := wire.NewEncoder(32)
+	e.Byte(mtReportMessage)
+	e.String(m.Peer)
+	e.Bool(m.OK)
+	return append([]byte(nil), e.Bytes()...)
+}
+
+// taskSubmit offers a task to a peer's executor.
+type taskSubmit struct {
+	Task task.Task
+	From string
+}
+
+func (m taskSubmit) encode() []byte {
+	e := wire.NewEncoder(64)
+	e.Byte(mtTaskSubmit)
+	e.Uint64(m.Task.ID)
+	e.String(m.Task.Name)
+	e.Float64(m.Task.WorkUnits)
+	e.Int(m.Task.InputSize)
+	e.String(m.From)
+	return append([]byte(nil), e.Bytes()...)
+}
+
+// taskDecision reports acceptance or rejection of a submitted task.
+type taskDecision struct {
+	TaskID   uint64
+	Accepted bool
+	Reason   string
+}
+
+func (m taskDecision) encode() []byte {
+	e := wire.NewEncoder(32)
+	e.Byte(mtTaskDecision)
+	e.Uint64(m.TaskID)
+	e.Bool(m.Accepted)
+	e.String(m.Reason)
+	return append([]byte(nil), e.Bytes()...)
+}
+
+// taskDone returns the execution result.
+type taskDone struct {
+	Result task.Result
+}
+
+func (m taskDone) encode() []byte {
+	e := wire.NewEncoder(64)
+	e.Byte(mtTaskDone)
+	e.Uint64(m.Result.TaskID)
+	e.Bool(m.Result.OK)
+	e.String(m.Result.Detail)
+	e.Duration(m.Result.Elapsed)
+	e.String(m.Result.Peer)
+	return append([]byte(nil), e.Bytes()...)
+}
+
+// instant is a one-line instant message between peers.
+type instant struct {
+	From string
+	Text string
+}
+
+func (m instant) encode() []byte {
+	e := wire.NewEncoder(64)
+	e.Byte(mtInstant)
+	e.String(m.From)
+	e.String(m.Text)
+	return append([]byte(nil), e.Bytes()...)
+}
+
+// ackBytes is the generic acknowledgment payload.
+func ackBytes() []byte { return []byte{mtAck} }
+
+// instantAckBytes acknowledges an instant message.
+func instantAckBytes() []byte { return []byte{mtInstantAck} }
+
+// --- decoding ---
+
+func decodeRegister(d *wire.Decoder) (register, error) {
+	adv, err := jxta.DecodeAdvertisement(d)
+	if err != nil {
+		return register{}, err
+	}
+	return register{Adv: adv}, d.Finish()
+}
+
+func decodeRegisterAck(d *wire.Decoder) (registerAck, error) {
+	m := registerAck{OK: d.Bool(), Broker: d.StringField(), KnownPeers: d.Int()}
+	return m, d.Finish()
+}
+
+func decodeStatsReport(d *wire.Decoder) (statsReport, error) {
+	m := statsReport{
+		Peer:      d.StringField(),
+		InboxLen:  d.Int(),
+		OutboxLen: d.Int(),
+		QueueLen:  d.Int(),
+		ReadyIn:   d.Duration(),
+		CPUScore:  d.Float64(),
+	}
+	return m, d.Finish()
+}
+
+func decodeDiscover(d *wire.Decoder) (discover, error) {
+	m := discover{Kind: jxta.AdvKind(d.Byte()), Name: d.StringField()}
+	return m, d.Finish()
+}
+
+func decodeDiscoverResult(d *wire.Decoder) (discoverResult, error) {
+	n := d.Uint64()
+	if err := d.Err(); err != nil {
+		return discoverResult{}, err
+	}
+	m := discoverResult{}
+	for i := uint64(0); i < n; i++ {
+		a, err := jxta.DecodeAdvertisement(d)
+		if err != nil {
+			return discoverResult{}, err
+		}
+		m.Advs = append(m.Advs, a)
+	}
+	return m, d.Finish()
+}
+
+func decodeSelectReq(d *wire.Decoder) (selectReq, error) {
+	m := selectReq{
+		Model:      d.StringField(),
+		Kind:       d.Byte(),
+		SizeBytes:  d.Int(),
+		WorkUnits:  d.Float64(),
+		MaxResults: d.Int(),
+		Preferred:  d.StringSlice(),
+		Exclude:    d.StringSlice(),
+	}
+	return m, d.Finish()
+}
+
+func decodeSelectResult(d *wire.Decoder) (selectResult, error) {
+	m := selectResult{Peers: d.StringSlice(), Addrs: d.StringSlice(), Err: d.StringField()}
+	return m, d.Finish()
+}
+
+func decodeReportTransfer(d *wire.Decoder) (reportTransfer, error) {
+	m := reportTransfer{
+		Peer:          d.StringField(),
+		OK:            d.Bool(),
+		Cancelled:     d.Bool(),
+		Bytes:         d.Int(),
+		Duration:      d.Duration(),
+		PetitionDelay: d.Duration(),
+	}
+	return m, d.Finish()
+}
+
+func decodeReportTask(d *wire.Decoder) (reportTask, error) {
+	m := reportTask{
+		Peer:           d.StringField(),
+		Accepted:       d.Bool(),
+		OK:             d.Bool(),
+		SecondsPerUnit: d.Float64(),
+	}
+	return m, d.Finish()
+}
+
+func decodeReportMessage(d *wire.Decoder) (reportMessage, error) {
+	m := reportMessage{Peer: d.StringField(), OK: d.Bool()}
+	return m, d.Finish()
+}
+
+func decodeTaskSubmit(d *wire.Decoder) (taskSubmit, error) {
+	m := taskSubmit{
+		Task: task.Task{
+			ID:        d.Uint64(),
+			Name:      d.StringField(),
+			WorkUnits: d.Float64(),
+			InputSize: d.Int(),
+		},
+		From: d.StringField(),
+	}
+	return m, d.Finish()
+}
+
+func decodeTaskDecision(d *wire.Decoder) (taskDecision, error) {
+	m := taskDecision{TaskID: d.Uint64(), Accepted: d.Bool(), Reason: d.StringField()}
+	return m, d.Finish()
+}
+
+func decodeTaskDone(d *wire.Decoder) (taskDone, error) {
+	m := taskDone{Result: task.Result{
+		TaskID:  d.Uint64(),
+		OK:      d.Bool(),
+		Detail:  d.StringField(),
+		Elapsed: d.Duration(),
+		Peer:    d.StringField(),
+	}}
+	return m, d.Finish()
+}
+
+func decodeInstant(d *wire.Decoder) (instant, error) {
+	m := instant{From: d.StringField(), Text: d.StringField()}
+	return m, d.Finish()
+}
+
+// kindOf strips the type tag.
+func kindOf(payload []byte) (byte, *wire.Decoder, error) {
+	d := wire.NewDecoder(payload)
+	k := d.Byte()
+	if err := d.Err(); err != nil {
+		return 0, nil, fmt.Errorf("overlay: %w", err)
+	}
+	return k, d, nil
+}

@@ -1,0 +1,347 @@
+package overlay
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"peerlab/internal/core"
+	"peerlab/internal/pipe"
+	"peerlab/internal/simnet"
+	"peerlab/internal/task"
+	"peerlab/internal/transfer"
+)
+
+// deployment is a broker plus a set of clients on a simnet.
+type deployment struct {
+	net     *simnet.Network
+	broker  *Broker
+	clients map[string]*Client
+}
+
+// deploy builds a broker on "broker0" and one client per named profile.
+// Client Start (registration) runs inside net.Run from the caller.
+func deploy(t *testing.T, profiles map[string]simnet.Profile) *deployment {
+	t.Helper()
+	n := simnet.New(21)
+	bp := simnet.DefaultProfile()
+	bp.Bandwidth = 50e6
+	bhost := n.MustAddNode("broker0", bp)
+	broker, err := NewBroker(bhost, BrokerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &deployment{net: n, broker: broker, clients: make(map[string]*Client)}
+	for name, p := range profiles {
+		host := n.MustAddNode(name, p)
+		d.clients[name] = NewClient(host, broker.Addr(), ClientConfig{CPUScore: p.CPUScore})
+	}
+	return d
+}
+
+// startAll registers every client; must run inside a scheduler process.
+func (d *deployment) startAll(t *testing.T) {
+	for name, c := range d.clients {
+		if err := c.Start(); err != nil {
+			t.Errorf("start %s: %v", name, err)
+		}
+	}
+}
+
+func clientProfile() simnet.Profile {
+	p := simnet.DefaultProfile()
+	p.Bandwidth = 2e6
+	p.LatencyOneWay = 20 * time.Millisecond
+	return p
+}
+
+func TestRegisterAndDiscover(t *testing.T) {
+	d := deploy(t, map[string]simnet.Profile{"sc1": clientProfile(), "sc2": clientProfile()})
+	var advs int
+	d.net.Run(func() {
+		d.startAll(t)
+		got, err := d.clients["sc1"].Discover()
+		if err != nil {
+			t.Errorf("Discover: %v", err)
+			return
+		}
+		advs = len(got)
+	})
+	if advs != 2 {
+		t.Fatalf("discovered %d peers, want 2", advs)
+	}
+	peers := d.broker.Peers()
+	if len(peers) != 2 || peers[0] != "sc1" || peers[1] != "sc2" {
+		t.Fatalf("broker peers = %v", peers)
+	}
+	if !d.clients["sc1"].Registered() {
+		t.Fatal("client not marked registered")
+	}
+}
+
+func TestSendFileBetweenClients(t *testing.T) {
+	var got transfer.Received
+	d := deploy(t, map[string]simnet.Profile{"sc1": clientProfile(), "sc2": clientProfile()})
+	d.clients["sc2"].cfg.OnFile = func(rc transfer.Received) { got = rc }
+	var m transfer.Metrics
+	var err error
+	d.net.Run(func() {
+		d.startAll(t)
+		m, err = d.clients["sc1"].SendFile("sc2", transfer.NewVirtualFile("doc", 2*transfer.Mb, 5), 4)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.File.Size != 2*transfer.Mb || got.Sender != "sc1" {
+		t.Fatalf("received %+v", got)
+	}
+	if m.TransmissionTime() <= 0 {
+		t.Fatal("no transmission time recorded")
+	}
+	// The broker's statistics must reflect the sender's report.
+	snap := d.broker.Registry().Peer("sc2").Snapshot()
+	if snap.PctFileSentSession != 100 {
+		t.Fatalf("file pct = %v, want 100", snap.PctFileSentSession)
+	}
+	if snap.TransferRate <= 0 {
+		t.Fatal("transfer rate not recorded")
+	}
+	if snap.PetitionDelay <= 0 {
+		t.Fatal("petition delay not recorded")
+	}
+}
+
+func TestSendFileToUnknownPeer(t *testing.T) {
+	d := deploy(t, map[string]simnet.Profile{"sc1": clientProfile()})
+	var err error
+	d.net.Run(func() {
+		d.startAll(t)
+		_, err = d.clients["sc1"].SendFile("ghost", transfer.NewVirtualFile("f", transfer.Mb, 1), 1)
+	})
+	if !errors.Is(err, ErrPeerUnknown) {
+		t.Fatalf("err = %v, want ErrPeerUnknown", err)
+	}
+}
+
+func TestSubmitTaskRoundtrip(t *testing.T) {
+	fastP := clientProfile()
+	fastP.CPUScore = 2.0
+	d := deploy(t, map[string]simnet.Profile{"sc1": clientProfile(), "sc2": fastP})
+	var res task.Result
+	var err error
+	d.net.Run(func() {
+		d.startAll(t)
+		res, err = d.clients["sc1"].SubmitTask("sc2", task.Task{Name: "fold", WorkUnits: 10})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK || res.Peer != "sc2" {
+		t.Fatalf("result = %+v", res)
+	}
+	// 10 units at CPU 2.0 = 5s.
+	if res.Elapsed != 5*time.Second {
+		t.Fatalf("elapsed = %v, want 5s", res.Elapsed)
+	}
+	snap := d.broker.Registry().Peer("sc2").Snapshot()
+	if snap.PctTaskAcceptSession != 100 || snap.PctTaskExecSession != 100 {
+		t.Fatalf("task stats = %+v", snap)
+	}
+	if snap.SecondsPerUnit < 0.4 || snap.SecondsPerUnit > 0.6 {
+		t.Fatalf("SecondsPerUnit = %v, want ~0.5", snap.SecondsPerUnit)
+	}
+}
+
+func TestTaskRejectionRecorded(t *testing.T) {
+	p := clientProfile()
+	d := deploy(t, map[string]simnet.Profile{"sc1": p, "sc2": p})
+	d.clients["sc2"].cfg.MaxQueue = 1
+	var errs []error
+	d.net.Run(func() {
+		d.startAll(t)
+		done := d.net.Scheduler()
+		_ = done
+		// Fill the queue with a long task, then overflow it.
+		c := d.clients["sc1"]
+		results := make([]error, 3)
+		q := d.net.Node("sc1").NewQueue()
+		for i := 0; i < 3; i++ {
+			i := i
+			d.net.Scheduler().Go(func() {
+				_, err := c.SubmitTask("sc2", task.Task{Name: "t", WorkUnits: 30})
+				results[i] = err
+				q.Push(i)
+			})
+		}
+		for i := 0; i < 3; i++ {
+			q.Pop()
+		}
+		errs = results
+	})
+	rejected := 0
+	for _, err := range errs {
+		if errors.Is(err, ErrTaskRejected) {
+			rejected++
+		}
+	}
+	if rejected == 0 {
+		t.Fatalf("no rejection with MaxQueue=1 and 3 concurrent tasks: %v", errs)
+	}
+	snap := d.broker.Registry().Peer("sc2").Snapshot()
+	if snap.PctTaskAcceptSession == 100 {
+		t.Fatal("acceptance stats did not record the rejection")
+	}
+}
+
+func TestInstantMessaging(t *testing.T) {
+	var gotFrom, gotText string
+	d := deploy(t, map[string]simnet.Profile{"sc1": clientProfile(), "sc2": clientProfile()})
+	d.clients["sc2"].cfg.OnInstant = func(from, text string) { gotFrom, gotText = from, text }
+	var err error
+	d.net.Run(func() {
+		d.startAll(t)
+		err = d.clients["sc1"].SendInstant("sc2", "hello sc2")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotFrom != "sc1" || gotText != "hello sc2" {
+		t.Fatalf("instant = %q from %q", gotText, gotFrom)
+	}
+	snap := d.broker.Registry().Peer("sc2").Snapshot()
+	if snap.PctMsgSession != 100 {
+		t.Fatalf("msg pct = %v", snap.PctMsgSession)
+	}
+}
+
+func TestStatsReportUpdatesBroker(t *testing.T) {
+	d := deploy(t, map[string]simnet.Profile{"sc1": clientProfile()})
+	var err error
+	d.net.Run(func() {
+		d.startAll(t)
+		err = d.clients["sc1"].ReportStats()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := d.broker.Registry().Peer("sc1").Snapshot()
+	if snap.LastUpdated.IsZero() {
+		t.Fatal("stats report did not touch the registry")
+	}
+}
+
+func TestSelectionServiceEconomic(t *testing.T) {
+	slow := clientProfile()
+	slow.Bandwidth = 100_000
+	fast := clientProfile()
+	fast.Bandwidth = 5e6
+	d := deploy(t, map[string]simnet.Profile{"sc1": clientProfile(), "slowpeer": slow, "fastpeer": fast})
+	var picked []string
+	var err error
+	d.net.Run(func() {
+		d.startAll(t)
+		c := d.clients["sc1"]
+		// Warm up the broker's statistics with one transfer to each peer.
+		c.SendFile("slowpeer", transfer.NewVirtualFile("w", transfer.Mb, 1), 1)
+		c.SendFile("fastpeer", transfer.NewVirtualFile("w", transfer.Mb, 2), 1)
+		picked, err = c.SelectPeers("economic",
+			core.Request{Kind: core.KindFileTransfer, SizeBytes: 10 * transfer.Mb}, 2, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picked) != 2 {
+		t.Fatalf("picked = %v", picked)
+	}
+	if picked[0] != "fastpeer" {
+		t.Fatalf("economic picked %v first, want fastpeer", picked)
+	}
+}
+
+func TestSelectionServiceQuickPeer(t *testing.T) {
+	d := deploy(t, map[string]simnet.Profile{"sc1": clientProfile(), "sc2": clientProfile(), "sc3": clientProfile()})
+	var picked []string
+	var err error
+	d.net.Run(func() {
+		d.startAll(t)
+		picked, err = d.clients["sc1"].SelectPeers("quick-peer",
+			core.Request{Kind: core.KindFileTransfer, SizeBytes: transfer.Mb}, 1,
+			[]string{"sc3", "sc2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picked) != 1 || picked[0] != "sc3" {
+		t.Fatalf("quick-peer picked %v, want [sc3]", picked)
+	}
+}
+
+func TestSelectionExcludesRequester(t *testing.T) {
+	d := deploy(t, map[string]simnet.Profile{"sc1": clientProfile(), "sc2": clientProfile()})
+	var picked []string
+	d.net.Run(func() {
+		d.startAll(t)
+		picked, _ = d.clients["sc1"].SelectPeers("blind",
+			core.Request{Kind: core.KindMessage}, 10, nil)
+	})
+	for _, p := range picked {
+		if p == "sc1" {
+			t.Fatal("selection returned the requester itself")
+		}
+	}
+	if len(picked) != 1 || picked[0] != "sc2" {
+		t.Fatalf("picked = %v, want [sc2]", picked)
+	}
+}
+
+func TestSelectionUnknownModel(t *testing.T) {
+	d := deploy(t, map[string]simnet.Profile{"sc1": clientProfile(), "sc2": clientProfile()})
+	var err error
+	d.net.Run(func() {
+		d.startAll(t)
+		_, err = d.clients["sc1"].SelectPeers("astrology", core.Request{}, 1, nil)
+	})
+	if err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestClientStartFailsWithoutBroker(t *testing.T) {
+	n := simnet.New(5)
+	host := n.MustAddNode("lonely", clientProfile())
+	c := NewClient(host, "broker0/broker", ClientConfig{
+		Pipe: pipe.Options{MaxRetries: 2, InitialRTT: 100 * time.Millisecond},
+	})
+	var err error
+	n.Run(func() {
+		err = c.Start()
+	})
+	if !errors.Is(err, ErrBrokerDown) {
+		t.Fatalf("err = %v, want ErrBrokerDown", err)
+	}
+}
+
+func TestTaskSubmissionRefreshesBrokerQueueView(t *testing.T) {
+	d := deploy(t, map[string]simnet.Profile{"sc1": clientProfile(), "sc2": clientProfile()})
+	var readyDuring time.Time
+	var brokerNow time.Time
+	d.net.Run(func() {
+		d.startAll(t)
+		q := d.net.Node("sc1").NewQueue()
+		d.net.Scheduler().Go(func() {
+			_, err := d.clients["sc1"].SubmitTask("sc2", task.Task{Name: "long", WorkUnits: 60})
+			q.Push(err)
+		})
+		// Give the accept + stats report time to land, then read the
+		// broker's view while the task is still running.
+		d.net.Scheduler().Sleep(5 * time.Second)
+		snap := d.broker.Registry().Peer("sc2").Snapshot()
+		readyDuring = snap.ReadyAt
+		brokerNow = d.net.Now()
+		q.Pop()
+	})
+	if !readyDuring.After(brokerNow) {
+		t.Fatalf("broker's ReadyAt (%v) not in the future at %v; task acceptance did not refresh stats",
+			readyDuring, brokerNow)
+	}
+}

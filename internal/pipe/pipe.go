@@ -1,0 +1,614 @@
+// Package pipe provides reliable, in-order, exactly-once message delivery on
+// top of the unreliable datagram transport — the role JXTA's pipe service
+// plays in the paper's platform.
+//
+// A Mux owns one transport endpoint and demultiplexes any number of Conns
+// over it. Reliability is per *message*: a message is acknowledged as a unit
+// and retransmitted as a unit, reproducing the property the paper's
+// granularity experiment (Figure 5) depends on — losing a 100 Mb "whole
+// file" message costs the whole 100 Mb again, while losing one of 16 parts
+// costs 6.25 Mb.
+//
+// Senders adapt their retransmission timeout from measured round-trip times
+// and service rates (Jacobson/Karn), with a conservative floor for messages
+// larger than anything measured yet.
+package pipe
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"peerlab/internal/transport"
+	"peerlab/internal/wire"
+)
+
+// Frame kinds.
+const (
+	kindData byte = 1
+	kindAck  byte = 2
+	kindFin  byte = 3
+)
+
+// debugRTO, when set by tests, observes each attempt's timeout.
+var debugRTO func(seq uint64, attempt int, rto time.Duration)
+
+// debugDispatch, when set by tests, observes every dispatched frame.
+var debugDispatch func(local string, kind byte, id, seq, ack uint64, size int)
+
+// SetDebugDispatch installs a frame observer; for debugging only.
+func SetDebugDispatch(fn func(local string, kind byte, id, seq, ack uint64, size int)) {
+	debugDispatch = fn
+}
+
+// Errors returned by pipe operations.
+var (
+	ErrClosed  = errors.New("pipe: closed")
+	ErrBroken  = errors.New("pipe: peer unreachable (retries exhausted)")
+	ErrTimeout = errors.New("pipe: timeout")
+)
+
+// Options tunes a Mux and the Conns it creates.
+type Options struct {
+	// Window is the maximum number of unacknowledged messages per Conn.
+	// The default 1 gives stop-and-wait — the paper's "confirm reception
+	// before the next part" protocol.
+	Window int
+	// MaxRetries bounds transmission attempts per message (default 8).
+	MaxRetries int
+	// InitialRTT seeds the RTO estimator before any sample (default 500ms).
+	InitialRTT time.Duration
+	// MinRate (bytes/second) lower-bounds the assumed service rate when
+	// sizing timeouts for messages before a rate has been measured
+	// (default 100 KB/s — just below the slowest calibrated PlanetLab
+	// path). Too high causes spurious whole-message retransmissions on
+	// slow paths; too low makes loss recovery of large messages glacial.
+	MinRate float64
+	// MaxRTO caps a single attempt's timeout (default 30 minutes — a whole
+	// 100 Mb message on a degraded PlanetLab path is legitimately slow).
+	MaxRTO time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Window <= 0 {
+		o.Window = 1
+	}
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = 8
+	}
+	if o.InitialRTT <= 0 {
+		o.InitialRTT = 500 * time.Millisecond
+	}
+	if o.MinRate <= 0 {
+		o.MinRate = 100_000
+	}
+	if o.MaxRTO <= 0 {
+		o.MaxRTO = 30 * time.Minute
+	}
+	return o
+}
+
+// Message is one application message received from a Conn.
+type Message struct {
+	Payload []byte
+	// Size is the wire size of the message (>= len(Payload)); see
+	// transport.Message.Size.
+	Size int
+}
+
+type connKey struct {
+	peer transport.Addr
+	id   uint64
+	// theirs marks ids allocated by the remote side (accepted conns).
+	theirs bool
+}
+
+// Mux demultiplexes reliable Conns over one endpoint.
+type Mux struct {
+	host transport.Host
+	ep   transport.Endpoint
+	opts Options
+
+	mu      sync.Mutex
+	conns   map[connKey]*Conn
+	dead    map[connKey]bool
+	nextID  uint64
+	closed  bool
+	accepts transport.Queue
+}
+
+// NewMux wraps ep in a demultiplexer and starts its reader process.
+func NewMux(h transport.Host, ep transport.Endpoint, opts Options) *Mux {
+	m := &Mux{
+		host:    h,
+		ep:      ep,
+		opts:    opts.withDefaults(),
+		conns:   make(map[connKey]*Conn),
+		dead:    make(map[connKey]bool),
+		accepts: h.NewQueue(),
+	}
+	h.Go(m.readLoop)
+	return m
+}
+
+// Addr returns the underlying endpoint address.
+func (m *Mux) Addr() transport.Addr { return m.ep.Addr() }
+
+// Dial creates a Conn to the remote pipe endpoint. There is no handshake:
+// the connection materializes at the remote Mux when the first message
+// arrives (JXTA pipes behave the same way).
+func (m *Mux) Dial(remote transport.Addr) (*Conn, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	m.nextID++
+	c := m.newConnLocked(remote, m.nextID, false)
+	return c, nil
+}
+
+// Accept blocks until a remote peer dials in.
+func (m *Mux) Accept() (*Conn, error) {
+	v, err := m.accepts.Pop()
+	if err != nil {
+		return nil, ErrClosed
+	}
+	return v.(*Conn), nil
+}
+
+// Close tears down the mux, every conn, and the endpoint.
+func (m *Mux) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	conns := make([]*Conn, 0, len(m.conns))
+	for _, c := range m.conns {
+		conns = append(conns, c)
+	}
+	m.mu.Unlock()
+	for _, c := range conns {
+		c.teardown(ErrClosed, false)
+	}
+	m.accepts.Close()
+	return m.ep.Close()
+}
+
+// newConnLocked registers a conn in the mux table. Caller holds m.mu.
+func (m *Mux) newConnLocked(peer transport.Addr, id uint64, theirs bool) *Conn {
+	c := &Conn{
+		mux:      m,
+		peer:     peer,
+		id:       id,
+		theirs:   theirs,
+		inbox:    m.host.NewQueue(),
+		tokens:   m.host.NewQueue(),
+		inflight: make(map[uint64]*inflight),
+		recvBuf:  make(map[uint64]Message),
+		recvNext: 1,
+		srtt:     m.opts.InitialRTT,
+		rttvar:   m.opts.InitialRTT / 2,
+	}
+	for i := 0; i < m.opts.Window; i++ {
+		c.tokens.Push(struct{}{})
+	}
+	m.conns[connKey{peer, id, theirs}] = c
+	return c
+}
+
+// readLoop is the mux's single reader process.
+func (m *Mux) readLoop() {
+	for {
+		msg, err := m.ep.Recv()
+		if err != nil {
+			return
+		}
+		m.dispatch(msg)
+	}
+}
+
+func (m *Mux) dispatch(msg transport.Message) {
+	d := wire.NewDecoder(msg.Payload)
+	kind := d.Byte()
+	dirTheirs := d.Bool() // true: pipeID allocated by the frame's sender
+	id := d.Uint64()
+	seq := d.Uint64()
+	ack := d.Uint64()
+	payload := d.BytesField()
+	if d.Err() != nil {
+		return // corrupt frame: drop, sender will retransmit
+	}
+	// Everything that is not app payload — fields plus length prefix — is
+	// header; subtracting it recovers the app-level virtual size.
+	hdrLen := len(msg.Payload) - len(payload)
+	appSize := msg.Size - hdrLen
+	if appSize < len(payload) {
+		appSize = len(payload)
+	}
+
+	// A frame whose id was allocated by its sender lands in our "theirs"
+	// space, and vice versa.
+	key := connKey{msg.From, id, dirTheirs}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	c, ok := m.conns[key]
+	if !ok {
+		if kind != kindData || !dirTheirs || m.dead[key] {
+			// Acks/fins for unknown conns and data for closed conns are
+			// stale; drop.
+			m.mu.Unlock()
+			return
+		}
+		c = m.newConnLocked(msg.From, id, true)
+		m.accepts.Push(c)
+	}
+	m.mu.Unlock()
+
+	if debugDispatch != nil {
+		debugDispatch(string(m.ep.Addr()), kind, id, seq, ack, appSize)
+	}
+	switch kind {
+	case kindData:
+		c.handleData(seq, payload, appSize)
+	case kindAck:
+		c.handleAck(ack)
+	case kindFin:
+		c.handleFin(seq)
+	}
+}
+
+// sendFrame encodes and transmits one frame. size is the app-level wire
+// size; the header is added on top.
+func (m *Mux) sendFrame(peer transport.Addr, kind byte, dirTheirs bool, id, seq, ack uint64, payload []byte, size int) error {
+	e := wire.NewEncoder(len(payload) + 32)
+	e.Byte(kind)
+	e.Bool(dirTheirs)
+	e.Uint64(id)
+	e.Uint64(seq)
+	e.Uint64(ack)
+	hdrLen := e.Len() + uvarintLen(uint64(len(payload)))
+	e.BytesField(payload)
+	return m.ep.SendSized(peer, e.Bytes(), hdrLen+size)
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+type inflight struct {
+	released transport.Queue // receives struct{} when acked, error value when broken
+}
+
+// Conn is one reliable bidirectional pipe between two endpoints.
+type Conn struct {
+	mux    *Mux
+	peer   transport.Addr
+	id     uint64
+	theirs bool
+
+	inbox  transport.Queue // Message, delivered in order
+	tokens transport.Queue // window slots
+
+	mu        sync.Mutex
+	sendNext  uint64 // next seq to allocate (first is 1)
+	inflight  map[uint64]*inflight
+	recvNext  uint64 // next in-order seq expected
+	recvBuf   map[uint64]Message
+	finSeq    uint64 // seq carried by a FIN we received, 0 if none
+	broken    error  // non-nil once the conn is unusable
+	closed    bool
+	srtt      time.Duration
+	rttvar    time.Duration
+	rate      float64 // measured service rate, bytes/sec; 0 = no sample yet
+	retxCount int64   // cumulative retransmissions (observability)
+}
+
+// Remote returns the peer address.
+func (c *Conn) Remote() transport.Addr { return c.peer }
+
+// Retransmissions reports how many retransmission attempts this conn made.
+func (c *Conn) Retransmissions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.retxCount
+}
+
+// Send transmits payload reliably, blocking until the peer acknowledges it.
+func (c *Conn) Send(payload []byte) error {
+	return c.SendSized(payload, len(payload))
+}
+
+// SendSized is Send with an explicit wire size (see transport.Message.Size).
+func (c *Conn) SendSized(payload []byte, size int) error {
+	return c.SendTimeout(payload, size, 0)
+}
+
+// SendTimeout is SendSized with an explicit per-attempt timeout. Zero means
+// adaptive (measured RTT/rate). Callers that know the expected duration — the
+// transfer engine knows file part sizes and per-peer bandwidth history —
+// should pass a hint to avoid spurious whole-message retransmissions.
+func (c *Conn) SendTimeout(payload []byte, size int, attemptTimeout time.Duration) error {
+	if size < len(payload) {
+		size = len(payload)
+	}
+	// Acquire a window slot.
+	if _, err := c.tokens.Pop(); err != nil {
+		return c.brokenErr()
+	}
+	defer c.tokens.Push(struct{}{})
+
+	c.mu.Lock()
+	if c.broken != nil || c.closed {
+		err := c.broken
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return err
+	}
+	c.sendNext++
+	seq := c.sendNext
+	fl := &inflight{released: c.mux.host.NewQueue()}
+	c.inflight[seq] = fl
+	c.mu.Unlock()
+
+	for attempt := 0; attempt < c.mux.opts.MaxRetries; attempt++ {
+		rto := attemptTimeout
+		if rto <= 0 {
+			rto = c.rtoFor(size)
+		}
+		// Exponential backoff on retries.
+		rto <<= uint(attempt)
+		if rto > c.mux.opts.MaxRTO {
+			rto = c.mux.opts.MaxRTO
+		}
+
+		txStart := c.mux.host.Now()
+		if err := c.mux.sendFrame(c.peer, kindData, !c.theirs, c.id, seq, 0, payload, size); err != nil {
+			// Transport-level refusal (unknown node): not retryable.
+			c.fail(fmt.Errorf("%w: %v", ErrBroken, err))
+			return c.brokenErr()
+		}
+		if attempt > 0 {
+			c.mu.Lock()
+			c.retxCount++
+			c.mu.Unlock()
+		}
+
+		if debugRTO != nil {
+			debugRTO(seq, attempt, rto)
+		}
+		v, err := fl.released.PopTimeout(rto)
+		switch {
+		case err == nil:
+			if e, isErr := v.(error); isErr {
+				return e
+			}
+			if attempt == 0 { // Karn's rule: only sample unambiguous acks
+				c.observe(c.mux.host.Now().Sub(txStart), size)
+			}
+			return nil
+		case errors.Is(err, transport.ErrTimeout):
+			continue
+		default:
+			return c.brokenErr()
+		}
+	}
+	c.mu.Lock()
+	delete(c.inflight, seq)
+	c.mu.Unlock()
+	c.fail(ErrBroken)
+	return ErrBroken
+}
+
+// rtoFor sizes one attempt's timeout: smoothed RTT plus the expected
+// serialization time at the measured (or floor) service rate, doubled for
+// safety.
+func (c *Conn) rtoFor(size int) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rate := c.rate
+	if rate <= 0 {
+		rate = c.mux.opts.MinRate
+	}
+	tx := time.Duration(float64(size) / rate * float64(time.Second))
+	rto := c.srtt + 4*c.rttvar + 2*tx
+	if rto > c.mux.opts.MaxRTO {
+		rto = c.mux.opts.MaxRTO
+	}
+	return rto
+}
+
+// observe folds an ack round-trip sample into the RTT and rate estimators.
+func (c *Conn) observe(sample time.Duration, size int) {
+	if sample <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	diff := sample - c.srtt
+	if diff < 0 {
+		diff = -diff
+	}
+	c.rttvar = (3*c.rttvar + diff) / 4
+	c.srtt = (7*c.srtt + sample) / 8
+	if size >= 4096 {
+		r := float64(size) / sample.Seconds()
+		if c.rate == 0 {
+			c.rate = r
+		} else {
+			c.rate = 0.7*c.rate + 0.3*r
+		}
+	}
+}
+
+// Recv blocks until the next in-order message arrives.
+func (c *Conn) Recv() (Message, error) {
+	v, err := c.inbox.Pop()
+	if err != nil {
+		return Message{}, c.recvErr()
+	}
+	return v.(Message), nil
+}
+
+// RecvTimeout is Recv with a relative deadline.
+func (c *Conn) RecvTimeout(d time.Duration) (Message, error) {
+	v, err := c.inbox.PopTimeout(d)
+	switch {
+	case err == nil:
+		return v.(Message), nil
+	case errors.Is(err, transport.ErrTimeout):
+		return Message{}, ErrTimeout
+	default:
+		return Message{}, c.recvErr()
+	}
+}
+
+func (c *Conn) recvErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken != nil {
+		return c.broken
+	}
+	return ErrClosed
+}
+
+func (c *Conn) brokenErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken != nil {
+		return c.broken
+	}
+	if c.closed {
+		return ErrClosed
+	}
+	return ErrBroken
+}
+
+// handleData processes an inbound DATA frame: deliver in order, buffer ahead
+// of order, re-acknowledge duplicates.
+func (c *Conn) handleData(seq uint64, payload []byte, size int) {
+	c.mu.Lock()
+	if seq >= c.recvNext {
+		if _, dup := c.recvBuf[seq]; !dup {
+			// Copy: the payload aliases the transport buffer.
+			c.recvBuf[seq] = Message{Payload: append([]byte(nil), payload...), Size: size}
+		}
+		for {
+			m, ok := c.recvBuf[c.recvNext]
+			if !ok {
+				break
+			}
+			delete(c.recvBuf, c.recvNext)
+			c.inbox.Push(m)
+			c.recvNext++
+		}
+		if c.finSeq != 0 && c.recvNext >= c.finSeq {
+			c.inbox.Close()
+		}
+	}
+	ackThrough := c.recvNext - 1
+	c.mu.Unlock()
+	// Cumulative ack (covers duplicates too).
+	c.mux.sendFrame(c.peer, kindAck, !c.theirs, c.id, 0, ackThrough, nil, 0)
+}
+
+// handleAck releases every in-flight send at or below ack.
+func (c *Conn) handleAck(ack uint64) {
+	c.mu.Lock()
+	var done []*inflight
+	for seq, fl := range c.inflight {
+		if seq <= ack {
+			done = append(done, fl)
+			delete(c.inflight, seq)
+		}
+	}
+	c.mu.Unlock()
+	for _, fl := range done {
+		fl.released.Push(struct{}{})
+	}
+}
+
+// handleFin records the peer's final seq and closes the inbox once
+// everything before it was delivered.
+func (c *Conn) handleFin(finSeq uint64) {
+	c.mu.Lock()
+	c.finSeq = finSeq
+	closeNow := c.recvNext >= finSeq
+	c.mu.Unlock()
+	if closeNow {
+		c.inbox.Close()
+	}
+}
+
+// Close sends a best-effort FIN and releases local resources. In-flight
+// receives drain; subsequent Sends fail with ErrClosed.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	finSeq := c.sendNext + 1
+	c.mu.Unlock()
+	// Best-effort: a lost FIN leaves the remote conn to be torn down by its
+	// owner; data integrity never depends on FIN delivery.
+	c.mux.sendFrame(c.peer, kindFin, !c.theirs, c.id, finSeq, 0, nil, 0)
+	c.teardown(ErrClosed, true)
+	return nil
+}
+
+// fail marks the conn broken.
+func (c *Conn) fail(err error) {
+	c.teardown(err, true)
+}
+
+// teardown releases queues and unregisters from the mux.
+func (c *Conn) teardown(err error, unregister bool) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	if err != ErrClosed {
+		c.broken = err
+	}
+	waiters := make([]*inflight, 0, len(c.inflight))
+	for seq, fl := range c.inflight {
+		waiters = append(waiters, fl)
+		delete(c.inflight, seq)
+	}
+	c.mu.Unlock()
+
+	final := err
+	if final == nil {
+		final = ErrClosed
+	}
+	for _, fl := range waiters {
+		fl.released.Push(final)
+	}
+	c.tokens.Close()
+	c.inbox.Close()
+
+	if unregister {
+		key := connKey{c.peer, c.id, c.theirs}
+		c.mux.mu.Lock()
+		delete(c.mux.conns, key)
+		c.mux.dead[key] = true
+		c.mux.mu.Unlock()
+	}
+}

@@ -1,0 +1,189 @@
+package realnet
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"peerlab/internal/overlay"
+	"peerlab/internal/task"
+	"peerlab/internal/transfer"
+	"peerlab/internal/transport"
+)
+
+// twoHosts builds two loopback hosts that know each other's addresses.
+func twoHosts(t *testing.T) (*Host, *Host) {
+	t.Helper()
+	a, err := NewHost("alpha", "127.0.0.1:0", nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewHost("beta", "127.0.0.1:0", nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SetRoute("beta", b.AddrOf())
+	b.SetRoute("alpha", a.AddrOf())
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+func TestDatagramRoundtrip(t *testing.T) {
+	a, b := twoHosts(t)
+	epA, err := a.Endpoint("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	epB, err := b.Endpoint("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := epA.Send("beta/svc", []byte("over tcp")); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := epB.RecvTimeout(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(msg.Payload) != "over tcp" || msg.From != "alpha/svc" {
+		t.Fatalf("msg = %+v", msg)
+	}
+}
+
+func TestVirtualSizeCarried(t *testing.T) {
+	a, b := twoHosts(t)
+	epA, _ := a.Endpoint("svc")
+	epB, _ := b.Endpoint("svc")
+	if err := epA.SendSized("beta/svc", []byte("hdr"), 12345); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := epB.RecvTimeout(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Size != 12345 {
+		t.Fatalf("size = %d", msg.Size)
+	}
+}
+
+func TestSendToUnknownNode(t *testing.T) {
+	a, _ := twoHosts(t)
+	ep, _ := a.Endpoint("svc")
+	if err := ep.Send("gamma/svc", []byte("x")); !errors.Is(err, transport.ErrUnknownAddr) {
+		t.Fatalf("err = %v, want ErrUnknownAddr", err)
+	}
+}
+
+func TestUnboundServiceSilentlyDropped(t *testing.T) {
+	a, b := twoHosts(t)
+	epA, _ := a.Endpoint("svc")
+	if err := epA.Send("beta/ghost", []byte("x")); err != nil {
+		t.Fatalf("datagram to unbound service must not error: %v", err)
+	}
+	_ = b
+}
+
+func TestRecvTimeout(t *testing.T) {
+	a, _ := twoHosts(t)
+	ep, _ := a.Endpoint("svc")
+	start := time.Now()
+	_, err := ep.RecvTimeout(50 * time.Millisecond)
+	if !errors.Is(err, transport.ErrTimeout) {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) < 40*time.Millisecond {
+		t.Fatal("timeout returned too early")
+	}
+}
+
+func TestQueueBasics(t *testing.T) {
+	q := newQueue()
+	q.Push(1)
+	q.Push(2)
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	v, _ := q.Pop()
+	if v != 1 {
+		t.Fatalf("Pop = %v", v)
+	}
+	q.Close()
+	if _, err := q.PopTimeout(10 * time.Millisecond); err != nil {
+		t.Fatal("buffered value must drain after close")
+	}
+	if _, err := q.Pop(); !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := q.Push(3); !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("push after close = %v", err)
+	}
+}
+
+// TestOverlayOverTCP runs the full platform — broker, two clients, a real
+// file transfer with checksum verification, a task round-trip — over
+// loopback TCP.
+func TestOverlayOverTCP(t *testing.T) {
+	brokerHost, err := NewHost("nozomi", "127.0.0.1:0", nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1Host, err := NewHost("sc1", "127.0.0.1:0", nil, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2Host, err := NewHost("sc2", "127.0.0.1:0", nil, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { brokerHost.Close(); c1Host.Close(); c2Host.Close() })
+	for _, h := range []*Host{brokerHost, c1Host, c2Host} {
+		h.SetRoute("nozomi", brokerHost.AddrOf())
+		h.SetRoute("sc1", c1Host.AddrOf())
+		h.SetRoute("sc2", c2Host.AddrOf())
+	}
+
+	if _, err := overlay.NewBroker(brokerHost, overlay.BrokerConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	gotFile := make(chan transfer.Received, 1)
+	c2 := overlay.NewClient(c2Host, "nozomi/broker", overlay.ClientConfig{
+		OnFile: func(rc transfer.Received) { gotFile <- rc },
+	})
+	if err := c2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	c1 := overlay.NewClient(c1Host, "nozomi/broker", overlay.ClientConfig{})
+	if err := c1.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	data := bytes.Repeat([]byte("integration"), 2000)
+	m, err := c1.SendFile("sc2", transfer.NewFile("real.bin", data), 3)
+	if err != nil {
+		t.Fatalf("SendFile over TCP: %v", err)
+	}
+	if m.TransmissionTime() <= 0 {
+		t.Fatal("no transmission time measured")
+	}
+	select {
+	case rc := <-gotFile:
+		if !rc.Verified || !bytes.Equal(rc.File.Data, data) {
+			t.Fatalf("file corrupted: verified=%v", rc.Verified)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("file never arrived")
+	}
+
+	res, err := c1.SubmitTask("sc2", task.Task{Name: "t", WorkUnits: 0.05})
+	if err != nil {
+		t.Fatalf("SubmitTask over TCP: %v", err)
+	}
+	if !res.OK || res.Peer != "sc2" {
+		t.Fatalf("result = %+v", res)
+	}
+
+	if err := c1.SendInstant("sc2", "hello over tcp"); err != nil {
+		t.Fatalf("SendInstant: %v", err)
+	}
+}

@@ -1,0 +1,450 @@
+// Package stats maintains the per-peer historical and statistical data that
+// the paper's selection models consume.
+//
+// Section 2.2 of the paper enumerates the criteria: percentages of
+// successfully sent messages (current session, all sessions, last k hours),
+// inbox/outbox queue lengths (now and average), task acceptance/execution
+// percentages (session and total), file-transfer success and cancellation
+// percentages, and pending transfers. The scheduling-based model additionally
+// needs ready-time estimates built from historical execution times, queue
+// lengths and CPU speed.
+//
+// A Registry holds one PeerStats per peer; brokers own a Registry and feed it
+// from protocol events. Snapshots are plain values safe to hand to selection
+// code.
+package stats
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Ratio counts successes against attempts and reports a percentage.
+type Ratio struct {
+	OK    int64
+	Total int64
+}
+
+// Record adds one attempt.
+func (r *Ratio) Record(ok bool) {
+	r.Total++
+	if ok {
+		r.OK++
+	}
+}
+
+// PercentOr returns the success percentage in [0,100], or def when no
+// attempt was recorded (an unknown peer should be scored neutrally, not as a
+// total failure).
+func (r Ratio) PercentOr(def float64) float64 {
+	if r.Total == 0 {
+		return def
+	}
+	return 100 * float64(r.OK) / float64(r.Total)
+}
+
+// Gauge tracks an instantaneous value and its arithmetic mean over samples.
+type Gauge struct {
+	Now     float64
+	sum     float64
+	samples int64
+}
+
+// Set records a new instantaneous value.
+func (g *Gauge) Set(v float64) {
+	g.Now = v
+	g.sum += v
+	g.samples++
+}
+
+// Avg returns the mean of all samples (0 before any sample).
+func (g Gauge) Avg() float64 {
+	if g.samples == 0 {
+		return 0
+	}
+	return g.sum / float64(g.samples)
+}
+
+// EWMA is an exponentially weighted moving average; zero value is empty.
+type EWMA struct {
+	value float64
+	alpha float64
+	set   bool
+}
+
+// Observe folds in a sample with weight alpha (0.3 when alpha is unset).
+func (e *EWMA) Observe(v float64) {
+	a := e.alpha
+	if a <= 0 || a > 1 {
+		a = 0.3
+	}
+	if !e.set {
+		e.value, e.set = v, true
+		return
+	}
+	e.value = (1-a)*e.value + a*v
+}
+
+// Value returns the current average, or def if no sample was observed.
+func (e EWMA) Value(def float64) float64 {
+	if !e.set {
+		return def
+	}
+	return e.value
+}
+
+// hourBuckets is a ring of per-hour success counters backing the paper's
+// "last k hours" criteria.
+type hourBuckets struct {
+	buckets [windowHours]Ratio
+	stamped [windowHours]int64 // absolute hour number each bucket holds
+}
+
+const windowHours = 48
+
+func (h *hourBuckets) record(now time.Time, ok bool) {
+	hour := now.Unix() / 3600
+	i := int(hour % windowHours)
+	if h.stamped[i] != hour {
+		h.buckets[i] = Ratio{}
+		h.stamped[i] = hour
+	}
+	h.buckets[i].Record(ok)
+}
+
+// percentLast aggregates the most recent k hourly buckets.
+func (h *hourBuckets) percentLast(now time.Time, k int, def float64) float64 {
+	if k > windowHours {
+		k = windowHours
+	}
+	hour := now.Unix() / 3600
+	var agg Ratio
+	for j := 0; j < k; j++ {
+		hr := hour - int64(j)
+		i := int(((hr % windowHours) + windowHours) % windowHours)
+		if h.stamped[i] == hr {
+			agg.OK += h.buckets[i].OK
+			agg.Total += h.buckets[i].Total
+		}
+	}
+	return agg.PercentOr(def)
+}
+
+// PeerStats accumulates everything known about one peer. All methods are
+// safe for concurrent use.
+type PeerStats struct {
+	mu   sync.Mutex
+	peer string
+	now  func() time.Time
+
+	// Messaging.
+	msgSession Ratio
+	msgTotal   Ratio
+	msgHourly  hourBuckets
+	outbox     Gauge
+	inbox      Gauge
+
+	// Tasks.
+	taskExecSession   Ratio
+	taskExecTotal     Ratio
+	taskAcceptSession Ratio
+	taskAcceptTotal   Ratio
+	execTime          EWMA // seconds per work unit executions
+	queueLen          int  // tasks currently queued on the peer
+	readyAt           time.Time
+
+	// Files.
+	fileSentSession Ratio
+	fileSentTotal   Ratio
+	cancelSession   Ratio // Record(true) = a cancellation happened
+	cancelTotal     Ratio
+	pendingTransfer int
+
+	// Capabilities and link quality.
+	cpuScore      float64
+	transferRate  EWMA // bytes/second
+	petitionDelay EWMA // seconds
+	lastUpdate    time.Time
+}
+
+// NewPeerStats returns empty statistics for peer; now supplies timestamps
+// (virtual time under simnet).
+func NewPeerStats(peer string, now func() time.Time) *PeerStats {
+	if now == nil {
+		now = time.Now
+	}
+	return &PeerStats{peer: peer, now: now}
+}
+
+// Peer returns the peer name.
+func (p *PeerStats) Peer() string { return p.peer }
+
+func (p *PeerStats) touch() { p.lastUpdate = p.now() }
+
+// RecordMessage records a message send attempt toward the peer.
+func (p *PeerStats) RecordMessage(ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.msgSession.Record(ok)
+	p.msgTotal.Record(ok)
+	p.msgHourly.record(p.now(), ok)
+	p.touch()
+}
+
+// SetQueues records instantaneous inbox/outbox lengths reported by the peer.
+func (p *PeerStats) SetQueues(inbox, outbox int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.inbox.Set(float64(inbox))
+	p.outbox.Set(float64(outbox))
+	p.touch()
+}
+
+// RecordTaskOffer records whether the peer accepted an offered task.
+func (p *PeerStats) RecordTaskOffer(accepted bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.taskAcceptSession.Record(accepted)
+	p.taskAcceptTotal.Record(accepted)
+	p.touch()
+}
+
+// RecordTaskExecution records a completed (or failed) task run and its
+// normalized duration in seconds per work unit.
+func (p *PeerStats) RecordTaskExecution(ok bool, secondsPerUnit float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.taskExecSession.Record(ok)
+	p.taskExecTotal.Record(ok)
+	if ok && secondsPerUnit > 0 {
+		p.execTime.Observe(secondsPerUnit)
+	}
+	p.touch()
+}
+
+// SetQueueLen records the number of tasks queued at the peer.
+func (p *PeerStats) SetQueueLen(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.queueLen = n
+	p.touch()
+}
+
+// SetReadyAt records the broker's estimate of when the peer becomes idle.
+func (p *PeerStats) SetReadyAt(t time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.readyAt = t
+	p.touch()
+}
+
+// RecordFileSent records a completed (ok) or failed file transmission.
+func (p *PeerStats) RecordFileSent(ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.fileSentSession.Record(ok)
+	p.fileSentTotal.Record(ok)
+	p.touch()
+}
+
+// RecordTransferOutcome records whether a transfer was cancelled.
+func (p *PeerStats) RecordTransferOutcome(cancelled bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cancelSession.Record(cancelled)
+	p.cancelTotal.Record(cancelled)
+	p.touch()
+}
+
+// AddPendingTransfers adjusts the pending-transfer count by delta.
+func (p *PeerStats) AddPendingTransfers(delta int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.pendingTransfer += delta
+	if p.pendingTransfer < 0 {
+		p.pendingTransfer = 0
+	}
+	p.touch()
+}
+
+// SetCPUScore records the peer's advertised relative CPU speed.
+func (p *PeerStats) SetCPUScore(score float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cpuScore = score
+	p.touch()
+}
+
+// ObserveTransferRate folds in a measured transfer (bytes over dur).
+func (p *PeerStats) ObserveTransferRate(bytes int, dur time.Duration) {
+	if bytes <= 0 || dur <= 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.transferRate.Observe(float64(bytes) / dur.Seconds())
+	p.touch()
+}
+
+// ObservePetitionDelay folds in a measured petition round-trip.
+func (p *PeerStats) ObservePetitionDelay(d time.Duration) {
+	if d < 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.petitionDelay.Observe(d.Seconds())
+	p.touch()
+}
+
+// ResetSession clears session-scoped counters; totals and estimators remain.
+func (p *PeerStats) ResetSession() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.msgSession = Ratio{}
+	p.taskExecSession = Ratio{}
+	p.taskAcceptSession = Ratio{}
+	p.fileSentSession = Ratio{}
+	p.cancelSession = Ratio{}
+}
+
+// Snapshot is an immutable view of a peer's statistics. Percentages are in
+// [0,100]; unknown values take the neutral defaults documented per field.
+type Snapshot struct {
+	Peer  string
+	Taken time.Time
+
+	// Messaging criteria (default 100: unknown peers score neutrally).
+	PctMsgSession float64
+	PctMsgTotal   float64
+	PctMsgLastK   float64
+	OutboxNow     float64
+	OutboxAvg     float64
+	InboxNow      float64
+	InboxAvg      float64
+
+	// Task criteria.
+	PctTaskExecSession   float64
+	PctTaskExecTotal     float64
+	PctTaskAcceptSession float64
+	PctTaskAcceptTotal   float64
+	SecondsPerUnit       float64 // default 1
+	QueueLen             float64
+	ReadyAt              time.Time
+
+	// File criteria.
+	PctFileSentSession float64
+	PctFileSentTotal   float64
+	PctCancelSession   float64 // percentage of transfers cancelled (default 0)
+	PctCancelTotal     float64
+	PendingTransfers   float64
+
+	// Capabilities.
+	CPUScore      float64       // default 1
+	TransferRate  float64       // bytes/second; default 0 = unknown
+	PetitionDelay time.Duration // default 0 = unknown
+	LastUpdated   time.Time
+}
+
+// SnapshotK is Snapshot with the message window set to the last k hours.
+func (p *PeerStats) SnapshotK(k int) Snapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.now()
+	cpu := p.cpuScore
+	if cpu <= 0 {
+		cpu = 1
+	}
+	return Snapshot{
+		Peer:  p.peer,
+		Taken: now,
+
+		PctMsgSession: p.msgSession.PercentOr(100),
+		PctMsgTotal:   p.msgTotal.PercentOr(100),
+		PctMsgLastK:   p.msgHourly.percentLast(now, k, 100),
+		OutboxNow:     p.outbox.Now,
+		OutboxAvg:     p.outbox.Avg(),
+		InboxNow:      p.inbox.Now,
+		InboxAvg:      p.inbox.Avg(),
+
+		PctTaskExecSession:   p.taskExecSession.PercentOr(100),
+		PctTaskExecTotal:     p.taskExecTotal.PercentOr(100),
+		PctTaskAcceptSession: p.taskAcceptSession.PercentOr(100),
+		PctTaskAcceptTotal:   p.taskAcceptTotal.PercentOr(100),
+		SecondsPerUnit:       p.execTime.Value(1),
+		QueueLen:             float64(p.queueLen),
+		ReadyAt:              p.readyAt,
+
+		PctFileSentSession: p.fileSentSession.PercentOr(100),
+		PctFileSentTotal:   p.fileSentTotal.PercentOr(100),
+		PctCancelSession:   p.cancelSession.PercentOr(0),
+		PctCancelTotal:     p.cancelTotal.PercentOr(0),
+		PendingTransfers:   float64(p.pendingTransfer),
+
+		CPUScore:      cpu,
+		TransferRate:  p.transferRate.Value(0),
+		PetitionDelay: time.Duration(p.petitionDelay.Value(0) * float64(time.Second)),
+		LastUpdated:   p.lastUpdate,
+	}
+}
+
+// Snapshot uses the default 24-hour message window.
+func (p *PeerStats) Snapshot() Snapshot { return p.SnapshotK(24) }
+
+// Registry is a thread-safe collection of PeerStats, one per peer.
+type Registry struct {
+	mu    sync.Mutex
+	now   func() time.Time
+	peers map[string]*PeerStats
+}
+
+// NewRegistry returns an empty registry; now supplies timestamps and may be
+// nil for wall-clock time.
+func NewRegistry(now func() time.Time) *Registry {
+	if now == nil {
+		now = time.Now
+	}
+	return &Registry{now: now, peers: make(map[string]*PeerStats)}
+}
+
+// Peer returns the stats for a peer, creating them on first use.
+func (r *Registry) Peer(name string) *PeerStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.peers[name]
+	if !ok {
+		p = NewPeerStats(name, r.now)
+		r.peers[name] = p
+	}
+	return p
+}
+
+// Names returns all known peer names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.peers))
+	for n := range r.peers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshots returns a snapshot per known peer, sorted by name.
+func (r *Registry) Snapshots() []Snapshot {
+	names := r.Names()
+	out := make([]Snapshot, 0, len(names))
+	for _, n := range names {
+		out = append(out, r.Peer(n).Snapshot())
+	}
+	return out
+}
+
+// ResetSession starts a new session on every peer.
+func (r *Registry) ResetSession() {
+	for _, n := range r.Names() {
+		r.Peer(n).ResetSession()
+	}
+}

@@ -1,0 +1,376 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// fixedClock returns a controllable clock function.
+func fixedClock(start time.Time) (func() time.Time, func(time.Duration)) {
+	var mu sync.Mutex
+	now := start
+	return func() time.Time {
+			mu.Lock()
+			defer mu.Unlock()
+			return now
+		}, func(d time.Duration) {
+			mu.Lock()
+			now = now.Add(d)
+			mu.Unlock()
+		}
+}
+
+var t0 = time.Date(2007, 3, 1, 0, 0, 0, 0, time.UTC)
+
+func TestRatioPercent(t *testing.T) {
+	var r Ratio
+	if got := r.PercentOr(42); got != 42 {
+		t.Fatalf("empty ratio = %v, want default 42", got)
+	}
+	r.Record(true)
+	r.Record(true)
+	r.Record(false)
+	r.Record(true)
+	if got := r.PercentOr(0); got != 75 {
+		t.Fatalf("3/4 = %v, want 75", got)
+	}
+}
+
+func TestGaugeNowAndAvg(t *testing.T) {
+	var g Gauge
+	if g.Avg() != 0 {
+		t.Fatalf("empty gauge avg = %v", g.Avg())
+	}
+	g.Set(10)
+	g.Set(20)
+	g.Set(30)
+	if g.Now != 30 {
+		t.Fatalf("Now = %v, want 30", g.Now)
+	}
+	if g.Avg() != 20 {
+		t.Fatalf("Avg = %v, want 20", g.Avg())
+	}
+}
+
+func TestEWMADefaults(t *testing.T) {
+	var e EWMA
+	if e.Value(7) != 7 {
+		t.Fatalf("empty EWMA = %v, want default", e.Value(7))
+	}
+	e.Observe(10)
+	if e.Value(0) != 10 {
+		t.Fatalf("first sample = %v, want 10", e.Value(0))
+	}
+	e.Observe(20)
+	v := e.Value(0)
+	if v <= 10 || v >= 20 {
+		t.Fatalf("EWMA after 10,20 = %v, want between", v)
+	}
+}
+
+func TestMessagePercentages(t *testing.T) {
+	clock, _ := fixedClock(t0)
+	p := NewPeerStats("sc1", clock)
+	for i := 0; i < 8; i++ {
+		p.RecordMessage(true)
+	}
+	p.RecordMessage(false)
+	p.RecordMessage(false)
+	s := p.Snapshot()
+	if s.PctMsgSession != 80 || s.PctMsgTotal != 80 {
+		t.Fatalf("session/total = %v/%v, want 80/80", s.PctMsgSession, s.PctMsgTotal)
+	}
+}
+
+func TestSessionResetKeepsTotals(t *testing.T) {
+	clock, _ := fixedClock(t0)
+	p := NewPeerStats("sc1", clock)
+	p.RecordMessage(false)
+	p.RecordMessage(false)
+	p.ResetSession()
+	p.RecordMessage(true)
+	s := p.Snapshot()
+	if s.PctMsgSession != 100 {
+		t.Fatalf("session after reset = %v, want 100", s.PctMsgSession)
+	}
+	if want := 100.0 / 3.0; s.PctMsgTotal < want-0.01 || s.PctMsgTotal > want+0.01 {
+		t.Fatalf("total = %v, want ~%.2f", s.PctMsgTotal, want)
+	}
+}
+
+func TestLastKHoursWindow(t *testing.T) {
+	clock, advance := fixedClock(t0)
+	p := NewPeerStats("sc1", clock)
+	// Hour 0: failures.
+	p.RecordMessage(false)
+	p.RecordMessage(false)
+	advance(3 * time.Hour)
+	// Hour 3: successes.
+	p.RecordMessage(true)
+	p.RecordMessage(true)
+	// Window of 2 hours sees only successes.
+	if got := p.SnapshotK(2).PctMsgLastK; got != 100 {
+		t.Fatalf("last-2h = %v, want 100", got)
+	}
+	// Window of 24 hours sees everything: 2/4.
+	if got := p.SnapshotK(24).PctMsgLastK; got != 50 {
+		t.Fatalf("last-24h = %v, want 50", got)
+	}
+}
+
+func TestLastKHoursBucketExpiry(t *testing.T) {
+	clock, advance := fixedClock(t0)
+	p := NewPeerStats("sc1", clock)
+	p.RecordMessage(false)
+	// Far enough that the ring wraps and the bucket is re-stamped.
+	advance(time.Duration(windowHours+5) * time.Hour)
+	p.RecordMessage(true)
+	if got := p.SnapshotK(windowHours).PctMsgLastK; got != 100 {
+		t.Fatalf("expired bucket leaked: last-%dh = %v, want 100", windowHours, got)
+	}
+}
+
+func TestTaskCriteria(t *testing.T) {
+	clock, _ := fixedClock(t0)
+	p := NewPeerStats("sc1", clock)
+	p.RecordTaskOffer(true)
+	p.RecordTaskOffer(true)
+	p.RecordTaskOffer(false)
+	p.RecordTaskExecution(true, 2.0)
+	p.RecordTaskExecution(false, 0)
+	s := p.Snapshot()
+	if want := 100 * 2.0 / 3.0; s.PctTaskAcceptSession < want-0.01 || s.PctTaskAcceptSession > want+0.01 {
+		t.Fatalf("accept = %v, want ~%.2f", s.PctTaskAcceptSession, want)
+	}
+	if s.PctTaskExecSession != 50 {
+		t.Fatalf("exec = %v, want 50", s.PctTaskExecSession)
+	}
+	if s.SecondsPerUnit != 2.0 {
+		t.Fatalf("SecondsPerUnit = %v, want 2", s.SecondsPerUnit)
+	}
+}
+
+func TestFileCriteria(t *testing.T) {
+	clock, _ := fixedClock(t0)
+	p := NewPeerStats("sc1", clock)
+	p.RecordFileSent(true)
+	p.RecordFileSent(true)
+	p.RecordFileSent(false)
+	p.RecordTransferOutcome(false)
+	p.RecordTransferOutcome(true) // one cancellation
+	p.AddPendingTransfers(3)
+	p.AddPendingTransfers(-1)
+	s := p.Snapshot()
+	if want := 100 * 2.0 / 3.0; s.PctFileSentSession < want-0.01 || s.PctFileSentSession > want+0.01 {
+		t.Fatalf("files sent = %v", s.PctFileSentSession)
+	}
+	if s.PctCancelSession != 50 {
+		t.Fatalf("cancelled = %v, want 50", s.PctCancelSession)
+	}
+	if s.PendingTransfers != 2 {
+		t.Fatalf("pending = %v, want 2", s.PendingTransfers)
+	}
+}
+
+func TestPendingTransfersNeverNegative(t *testing.T) {
+	clock, _ := fixedClock(t0)
+	p := NewPeerStats("sc1", clock)
+	p.AddPendingTransfers(-5)
+	if got := p.Snapshot().PendingTransfers; got != 0 {
+		t.Fatalf("pending = %v, want clamped 0", got)
+	}
+}
+
+func TestNeutralDefaultsForUnknownPeer(t *testing.T) {
+	clock, _ := fixedClock(t0)
+	s := NewPeerStats("ghost", clock).Snapshot()
+	for name, v := range map[string]float64{
+		"PctMsgSession":      s.PctMsgSession,
+		"PctMsgTotal":        s.PctMsgTotal,
+		"PctMsgLastK":        s.PctMsgLastK,
+		"PctTaskExecSession": s.PctTaskExecSession,
+		"PctTaskAcceptTotal": s.PctTaskAcceptTotal,
+		"PctFileSentTotal":   s.PctFileSentTotal,
+	} {
+		if v != 100 {
+			t.Errorf("%s = %v, want neutral 100", name, v)
+		}
+	}
+	if s.PctCancelSession != 0 || s.PctCancelTotal != 0 {
+		t.Errorf("cancel pct = %v/%v, want 0", s.PctCancelSession, s.PctCancelTotal)
+	}
+	if s.CPUScore != 1 {
+		t.Errorf("CPUScore = %v, want default 1", s.CPUScore)
+	}
+	if s.SecondsPerUnit != 1 {
+		t.Errorf("SecondsPerUnit = %v, want default 1", s.SecondsPerUnit)
+	}
+}
+
+func TestQueueGauges(t *testing.T) {
+	clock, _ := fixedClock(t0)
+	p := NewPeerStats("sc1", clock)
+	p.SetQueues(2, 10)
+	p.SetQueues(4, 20)
+	s := p.Snapshot()
+	if s.InboxNow != 4 || s.OutboxNow != 20 {
+		t.Fatalf("now = %v/%v", s.InboxNow, s.OutboxNow)
+	}
+	if s.InboxAvg != 3 || s.OutboxAvg != 15 {
+		t.Fatalf("avg = %v/%v, want 3/15", s.InboxAvg, s.OutboxAvg)
+	}
+}
+
+func TestTransferRateEstimate(t *testing.T) {
+	clock, _ := fixedClock(t0)
+	p := NewPeerStats("sc1", clock)
+	p.ObserveTransferRate(1_000_000, time.Second) // 1 MB/s
+	if got := p.Snapshot().TransferRate; got != 1e6 {
+		t.Fatalf("rate = %v, want 1e6", got)
+	}
+	p.ObserveTransferRate(0, time.Second)    // ignored
+	p.ObserveTransferRate(100, -time.Second) // ignored
+	if got := p.Snapshot().TransferRate; got != 1e6 {
+		t.Fatalf("rate after bogus samples = %v, want unchanged", got)
+	}
+}
+
+func TestPetitionDelayEstimate(t *testing.T) {
+	clock, _ := fixedClock(t0)
+	p := NewPeerStats("sc1", clock)
+	p.ObservePetitionDelay(2 * time.Second)
+	if got := p.Snapshot().PetitionDelay; got != 2*time.Second {
+		t.Fatalf("petition delay = %v, want 2s", got)
+	}
+}
+
+func TestReadyAtAndQueueLen(t *testing.T) {
+	clock, _ := fixedClock(t0)
+	p := NewPeerStats("sc1", clock)
+	ready := t0.Add(time.Minute)
+	p.SetReadyAt(ready)
+	p.SetQueueLen(5)
+	s := p.Snapshot()
+	if !s.ReadyAt.Equal(ready) {
+		t.Fatalf("ReadyAt = %v", s.ReadyAt)
+	}
+	if s.QueueLen != 5 {
+		t.Fatalf("QueueLen = %v", s.QueueLen)
+	}
+}
+
+func TestRegistryCreatesOnFirstUse(t *testing.T) {
+	clock, _ := fixedClock(t0)
+	r := NewRegistry(clock)
+	a := r.Peer("a")
+	if a == nil || r.Peer("a") != a {
+		t.Fatal("Peer must return a stable instance")
+	}
+	r.Peer("b")
+	names := r.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestRegistrySnapshotsSorted(t *testing.T) {
+	clock, _ := fixedClock(t0)
+	r := NewRegistry(clock)
+	r.Peer("zeta").RecordMessage(true)
+	r.Peer("alpha").RecordMessage(false)
+	snaps := r.Snapshots()
+	if len(snaps) != 2 || snaps[0].Peer != "alpha" || snaps[1].Peer != "zeta" {
+		t.Fatalf("Snapshots = %+v", snaps)
+	}
+	if snaps[0].PctMsgSession != 0 || snaps[1].PctMsgSession != 100 {
+		t.Fatal("snapshot data crossed peers")
+	}
+}
+
+func TestRegistryResetSession(t *testing.T) {
+	clock, _ := fixedClock(t0)
+	r := NewRegistry(clock)
+	r.Peer("a").RecordMessage(false)
+	r.ResetSession()
+	if got := r.Peer("a").Snapshot().PctMsgSession; got != 100 {
+		t.Fatalf("session pct after reset = %v, want neutral 100", got)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	clock, _ := fixedClock(t0)
+	r := NewRegistry(clock)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := r.Peer("shared")
+			for j := 0; j < 200; j++ {
+				p.RecordMessage(j%2 == 0)
+				p.RecordFileSent(true)
+				p.AddPendingTransfers(1)
+				p.AddPendingTransfers(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Peer("shared").Snapshot()
+	if s.PctMsgSession != 50 {
+		t.Fatalf("concurrent msg pct = %v, want 50", s.PctMsgSession)
+	}
+	if s.PendingTransfers != 0 {
+		t.Fatalf("pending = %v, want 0", s.PendingTransfers)
+	}
+}
+
+func TestPropertyRatioPercentBounds(t *testing.T) {
+	f := func(oks []bool) bool {
+		var r Ratio
+		for _, ok := range oks {
+			r.Record(ok)
+		}
+		p := r.PercentOr(50)
+		return p >= 0 && p <= 100
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySnapshotPercentagesBounded(t *testing.T) {
+	clock, advance := fixedClock(t0)
+	f := func(msgs, tasks, files []bool) bool {
+		p := NewPeerStats("x", clock)
+		for _, ok := range msgs {
+			p.RecordMessage(ok)
+			advance(time.Minute)
+		}
+		for _, ok := range tasks {
+			p.RecordTaskOffer(ok)
+			p.RecordTaskExecution(ok, 1)
+		}
+		for _, ok := range files {
+			p.RecordFileSent(ok)
+			p.RecordTransferOutcome(!ok)
+		}
+		s := p.Snapshot()
+		for _, v := range []float64{
+			s.PctMsgSession, s.PctMsgTotal, s.PctMsgLastK,
+			s.PctTaskExecSession, s.PctTaskExecTotal,
+			s.PctTaskAcceptSession, s.PctTaskAcceptTotal,
+			s.PctFileSentSession, s.PctFileSentTotal,
+			s.PctCancelSession, s.PctCancelTotal,
+		} {
+			if v < 0 || v > 100 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

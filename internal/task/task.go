@@ -1,0 +1,186 @@
+// Package task implements the overlay's executable-task management: the
+// primitives the paper's platform offers to "users/applications on top of
+// the overlay that submit executable tasks and receive results in turn".
+//
+// Execution is modeled, not real: a task declares work units (seconds on a
+// reference machine) and the executor charges units/CPUScore of (virtual)
+// time. Figure 7 only needs execution time to scale with per-node compute
+// capacity and queueing.
+package task
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"peerlab/internal/transport"
+)
+
+// Task is one executable work item.
+type Task struct {
+	ID   uint64
+	Name string
+	// WorkUnits is the compute demand in reference-machine seconds.
+	WorkUnits float64
+	// InputSize is the size of the task's input file in bytes (informational;
+	// transfers happen through the transfer package).
+	InputSize int
+}
+
+// Result reports one finished task.
+type Result struct {
+	TaskID  uint64
+	OK      bool
+	Detail  string
+	Elapsed time.Duration
+	Peer    string
+}
+
+// ErrQueueFull is returned when a task is rejected by admission control.
+var ErrQueueFull = errors.New("task: executor queue full")
+
+// ErrStopped is returned after the executor shuts down.
+var ErrStopped = errors.New("task: executor stopped")
+
+// Options configures an Executor.
+type Options struct {
+	// CPUScore is the node's relative speed (reference = 1.0).
+	CPUScore float64
+	// MaxQueue bounds accepted-but-not-started tasks (default 16).
+	MaxQueue int
+	// FailEvery, if > 0, fails every Nth task — deterministic failure
+	// injection so reliability statistics have signal in tests and benches.
+	FailEvery int
+}
+
+type submission struct {
+	t    Task
+	done func(Result)
+}
+
+// Executor runs tasks one at a time on a host, FIFO.
+type Executor struct {
+	host transport.Host
+	opts Options
+
+	mu      sync.Mutex
+	queued  int
+	busy    bool
+	backlog float64 // queued + running work units
+	count   int     // tasks started, drives FailEvery
+	stopped bool
+
+	queue transport.Queue
+}
+
+// NewExecutor returns an executor; call Start to launch its worker.
+func NewExecutor(host transport.Host, opts Options) *Executor {
+	if opts.CPUScore <= 0 {
+		opts.CPUScore = 1.0
+	}
+	if opts.MaxQueue <= 0 {
+		opts.MaxQueue = 16
+	}
+	return &Executor{host: host, opts: opts, queue: host.NewQueue()}
+}
+
+// Start launches the worker process.
+func (e *Executor) Start() {
+	e.host.Go(func() {
+		for {
+			v, err := e.queue.Pop()
+			if err != nil {
+				return
+			}
+			sub := v.(submission)
+			e.run(sub)
+		}
+	})
+}
+
+// Submit offers a task; the result is delivered to done (which must not
+// block). Admission control rejects when the queue is full.
+func (e *Executor) Submit(t Task, done func(Result)) error {
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return ErrStopped
+	}
+	if e.queued >= e.opts.MaxQueue {
+		e.mu.Unlock()
+		return ErrQueueFull
+	}
+	e.queued++
+	e.backlog += t.WorkUnits
+	e.mu.Unlock()
+	if err := e.queue.Push(submission{t, done}); err != nil {
+		return ErrStopped
+	}
+	return nil
+}
+
+// run executes one task on the worker process.
+func (e *Executor) run(sub submission) {
+	e.mu.Lock()
+	e.queued--
+	e.busy = true
+	e.count++
+	fail := e.opts.FailEvery > 0 && e.count%e.opts.FailEvery == 0
+	e.mu.Unlock()
+
+	start := e.host.Now()
+	dur := time.Duration(sub.t.WorkUnits / e.opts.CPUScore * float64(time.Second))
+	e.host.Sleep(dur)
+
+	e.mu.Lock()
+	e.busy = false
+	e.backlog -= sub.t.WorkUnits
+	if e.backlog < 0 {
+		e.backlog = 0
+	}
+	e.mu.Unlock()
+
+	res := Result{
+		TaskID:  sub.t.ID,
+		OK:      !fail,
+		Elapsed: e.host.Now().Sub(start),
+		Peer:    e.host.Name(),
+	}
+	if fail {
+		res.Detail = fmt.Sprintf("task %d: injected failure", sub.t.ID)
+	}
+	if sub.done != nil {
+		sub.done(res)
+	}
+}
+
+// QueueLen reports tasks accepted but not yet finished (including running).
+func (e *Executor) QueueLen() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := e.queued
+	if e.busy {
+		n++
+	}
+	return n
+}
+
+// ReadyIn estimates how long until the executor drains its backlog — the
+// "ready time" the scheduling-based selection model plans with.
+func (e *Executor) ReadyIn() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return time.Duration(e.backlog / e.opts.CPUScore * float64(time.Second))
+}
+
+// CPUScore reports the executor's configured speed.
+func (e *Executor) CPUScore() float64 { return e.opts.CPUScore }
+
+// Stop shuts the executor down; queued tasks are dropped.
+func (e *Executor) Stop() {
+	e.mu.Lock()
+	e.stopped = true
+	e.mu.Unlock()
+	e.queue.Close()
+}

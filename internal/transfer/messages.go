@@ -1,0 +1,162 @@
+package transfer
+
+import (
+	"fmt"
+	"time"
+
+	"peerlab/internal/wire"
+)
+
+// Message types on a transfer conn.
+const (
+	msgPetition    byte = 1
+	msgPetitionAck byte = 2
+	msgPart        byte = 3
+	msgPartAck     byte = 4
+)
+
+// petition announces an incoming file and its granularity.
+type petition struct {
+	TransferID uint64
+	FileName   string
+	Checksum   string
+	TotalSize  int
+	Parts      int
+	Sender     string
+	SentAt     time.Time
+}
+
+func (p petition) encode() []byte {
+	e := wire.NewEncoder(96)
+	e.Byte(msgPetition)
+	e.Uint64(p.TransferID)
+	e.String(p.FileName)
+	e.String(p.Checksum)
+	e.Int(p.TotalSize)
+	e.Int(p.Parts)
+	e.String(p.Sender)
+	e.Time(p.SentAt)
+	return append([]byte(nil), e.Bytes()...)
+}
+
+func decodePetition(d *wire.Decoder) (petition, error) {
+	p := petition{
+		TransferID: d.Uint64(),
+		FileName:   d.StringField(),
+		Checksum:   d.StringField(),
+		TotalSize:  d.Int(),
+		Parts:      d.Int(),
+		Sender:     d.StringField(),
+		SentAt:     d.Time(),
+	}
+	return p, d.Finish()
+}
+
+// petitionAck carries the receiver's decision and its local receive time
+// (comparable across nodes under the simulator's global virtual clock).
+type petitionAck struct {
+	TransferID uint64
+	Accept     bool
+	Reason     string
+	ReceivedAt time.Time
+}
+
+func (p petitionAck) encode() []byte {
+	e := wire.NewEncoder(48)
+	e.Byte(msgPetitionAck)
+	e.Uint64(p.TransferID)
+	e.Bool(p.Accept)
+	e.String(p.Reason)
+	e.Time(p.ReceivedAt)
+	return append([]byte(nil), e.Bytes()...)
+}
+
+func decodePetitionAck(d *wire.Decoder) (petitionAck, error) {
+	p := petitionAck{
+		TransferID: d.Uint64(),
+		Accept:     d.Bool(),
+		Reason:     d.StringField(),
+		ReceivedAt: d.Time(),
+	}
+	return p, d.Finish()
+}
+
+// partHeader describes one part; for real files the bytes follow in Data.
+type partHeader struct {
+	TransferID uint64
+	Index      int
+	Offset     int
+	Size       int
+	Data       []byte
+}
+
+func (p partHeader) encode() []byte {
+	e := wire.NewEncoder(64 + len(p.Data))
+	e.Byte(msgPart)
+	e.Uint64(p.TransferID)
+	e.Int(p.Index)
+	e.Int(p.Offset)
+	e.Int(p.Size)
+	e.BytesField(p.Data)
+	return append([]byte(nil), e.Bytes()...)
+}
+
+func decodePart(d *wire.Decoder) (partHeader, error) {
+	p := partHeader{
+		TransferID: d.Uint64(),
+		Index:      d.Int(),
+		Offset:     d.Int(),
+		Size:       d.Int(),
+	}
+	p.Data = append([]byte(nil), d.BytesField()...)
+	if len(p.Data) == 0 {
+		p.Data = nil
+	}
+	return p, d.Finish()
+}
+
+// partAck is the paper's application-level confirmation: "the peer should
+// confirm correct reception of the file and its availability to receive
+// another part".
+type partAck struct {
+	TransferID  uint64
+	Index       int
+	OK          bool
+	Reason      string
+	DeliveredAt time.Time // receiver-local delivery time of the part
+	Ready       bool      // ready for the next part
+}
+
+func (p partAck) encode() []byte {
+	e := wire.NewEncoder(48)
+	e.Byte(msgPartAck)
+	e.Uint64(p.TransferID)
+	e.Int(p.Index)
+	e.Bool(p.OK)
+	e.String(p.Reason)
+	e.Time(p.DeliveredAt)
+	e.Bool(p.Ready)
+	return append([]byte(nil), e.Bytes()...)
+}
+
+func decodePartAck(d *wire.Decoder) (partAck, error) {
+	p := partAck{
+		TransferID:  d.Uint64(),
+		Index:       d.Int(),
+		OK:          d.Bool(),
+		Reason:      d.StringField(),
+		DeliveredAt: d.Time(),
+		Ready:       d.Bool(),
+	}
+	return p, d.Finish()
+}
+
+// decodeKind strips and returns the type byte.
+func decodeKind(payload []byte) (byte, *wire.Decoder, error) {
+	d := wire.NewDecoder(payload)
+	k := d.Byte()
+	if err := d.Err(); err != nil {
+		return 0, nil, fmt.Errorf("transfer: %w", err)
+	}
+	return k, d, nil
+}

@@ -1,0 +1,412 @@
+package transfer
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"peerlab/internal/pipe"
+	"peerlab/internal/simnet"
+)
+
+func TestSplitExact(t *testing.T) {
+	f := NewVirtualFile("f", 100*Mb, 1)
+	parts, err := Split(f, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 4 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	for i, p := range parts {
+		if p.Size != 25*Mb {
+			t.Fatalf("part %d size = %d, want 25Mb", i, p.Size)
+		}
+		if p.Offset != i*25*Mb {
+			t.Fatalf("part %d offset = %d", i, p.Offset)
+		}
+	}
+}
+
+func TestSplitUneven(t *testing.T) {
+	f := NewVirtualFile("f", 10, 1)
+	parts, err := Split(f, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{4, 3, 3}
+	total := 0
+	for i, p := range parts {
+		if p.Size != sizes[i] {
+			t.Fatalf("part %d size = %d, want %d", i, p.Size, sizes[i])
+		}
+		total += p.Size
+	}
+	if total != 10 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestSplitMorePartsThanBytes(t *testing.T) {
+	parts, err := Split(NewVirtualFile("f", 3, 1), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 3 {
+		t.Fatalf("parts = %d, want clamped 3", len(parts))
+	}
+}
+
+func TestSplitRejectsBadInput(t *testing.T) {
+	if _, err := Split(NewVirtualFile("f", 10, 1), 0); err == nil {
+		t.Fatal("0 parts accepted")
+	}
+	if _, err := Split(NewVirtualFile("f", 0, 1), 1); err == nil {
+		t.Fatal("empty file accepted")
+	}
+}
+
+func TestJoinRealData(t *testing.T) {
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	f := NewFile("fox", data)
+	parts, err := Split(f, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined, err := Join("fox", len(data), parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(joined.Data, data) {
+		t.Fatalf("joined = %q", joined.Data)
+	}
+	if joined.Checksum() != f.Checksum() {
+		t.Fatal("checksum changed across split/join")
+	}
+}
+
+func TestJoinDetectsGap(t *testing.T) {
+	f := NewVirtualFile("f", 100, 1)
+	parts, _ := Split(f, 4)
+	parts[2].Offset++ // introduce a gap
+	if _, err := Join("f", 100, parts); err == nil {
+		t.Fatal("gap not detected")
+	}
+}
+
+func TestJoinDetectsShortCoverage(t *testing.T) {
+	f := NewVirtualFile("f", 100, 1)
+	parts, _ := Split(f, 4)
+	if _, err := Join("f", 100, parts[:3]); err == nil {
+		t.Fatal("missing part not detected")
+	}
+}
+
+func TestJoinDetectsOutOfOrder(t *testing.T) {
+	f := NewVirtualFile("f", 100, 1)
+	parts, _ := Split(f, 4)
+	parts[0], parts[1] = parts[1], parts[0]
+	if _, err := Join("f", 100, parts); err == nil {
+		t.Fatal("out-of-order not detected")
+	}
+}
+
+func TestChecksumDistinguishesVirtualFiles(t *testing.T) {
+	a := NewVirtualFile("f", 100, 1)
+	b := NewVirtualFile("f", 100, 2)
+	c := NewVirtualFile("f", 101, 1)
+	if a.Checksum() == b.Checksum() || a.Checksum() == c.Checksum() {
+		t.Fatal("virtual checksums collide")
+	}
+	if a.Checksum() != NewVirtualFile("f", 100, 1).Checksum() {
+		t.Fatal("virtual checksum unstable")
+	}
+}
+
+func TestPropertySplitJoinRoundtrip(t *testing.T) {
+	f := func(size uint16, n uint8, real bool) bool {
+		sz := int(size)%5000 + 1
+		parts := int(n)%16 + 1
+		var file File
+		if real {
+			data := make([]byte, sz)
+			for i := range data {
+				data[i] = byte(i * 31)
+			}
+			file = NewFile("p", data)
+		} else {
+			file = NewVirtualFile("p", sz, 42)
+		}
+		split, err := Split(file, parts)
+		if err != nil {
+			return false
+		}
+		joined, err := Join("p", sz, split)
+		if err != nil {
+			return false
+		}
+		if real && !bytes.Equal(joined.Data, file.Data) {
+			return false
+		}
+		return joined.Size == sz
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- end-to-end over simnet ---
+
+type xferRig struct {
+	net      *simnet.Network
+	sender   *Sender
+	received []Received
+}
+
+func newXferRig(t *testing.T, src, dst simnet.Profile, ropts ReceiverOptions) *xferRig {
+	t.Helper()
+	n := simnet.New(11)
+	a := n.MustAddNode("src", src)
+	b := n.MustAddNode("dst", dst)
+	epA, err := a.Endpoint("xfer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	epB, err := b.Endpoint("xfer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig := &xferRig{net: n}
+	muxA := pipe.NewMux(a, epA, pipe.Options{MaxRetries: 12})
+	muxB := pipe.NewMux(b, epB, pipe.Options{MaxRetries: 12})
+	rig.sender = NewSender(a, muxA, SenderOptions{})
+	userOnFile := ropts.OnFile
+	ropts.OnFile = func(rc Received) {
+		rig.received = append(rig.received, rc)
+		if userOnFile != nil {
+			userOnFile(rc)
+		}
+	}
+	NewReceiver(b, muxB, ropts).Start()
+	return rig
+}
+
+func fastProfile() simnet.Profile {
+	p := simnet.DefaultProfile()
+	p.LatencyOneWay = 10 * time.Millisecond
+	p.Bandwidth = 1e6 // 1 MB/s
+	return p
+}
+
+func TestEndToEndVirtualTransfer(t *testing.T) {
+	rig := newXferRig(t, fastProfile(), fastProfile(), ReceiverOptions{})
+	var m Metrics
+	var err error
+	rig.net.Run(func() {
+		m, err = rig.sender.Send("dst/xfer", NewVirtualFile("report.dat", 5*Mb, 9), 4)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Failed {
+		t.Fatal("metrics marked failed")
+	}
+	if len(rig.received) != 1 {
+		t.Fatalf("receiver got %d files", len(rig.received))
+	}
+	rc := rig.received[0]
+	if rc.File.Size != 5*Mb || !rc.Verified || rc.Sender != "src" {
+		t.Fatalf("received = %+v", rc)
+	}
+	// ~10s serialization at 1MB/s (5MB, halved link) plus small overheads.
+	if tt := m.TransmissionTime(); tt < 5*time.Second || tt > 20*time.Second {
+		t.Fatalf("transmission time = %v, want seconds-scale", tt)
+	}
+	if len(m.Parts) != 4 {
+		t.Fatalf("parts = %d", len(m.Parts))
+	}
+	for i, pt := range m.Parts {
+		if pt.Confirmed.Before(pt.Started) {
+			t.Fatalf("part %d confirmed before started", i)
+		}
+	}
+}
+
+func TestEndToEndRealDataVerified(t *testing.T) {
+	rig := newXferRig(t, fastProfile(), fastProfile(), ReceiverOptions{})
+	data := bytes.Repeat([]byte("abcdefgh"), 1000)
+	var err error
+	rig.net.Run(func() {
+		_, err = rig.sender.Send("dst/xfer", NewFile("real.bin", data), 3)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rig.received) != 1 {
+		t.Fatal("no file received")
+	}
+	rc := rig.received[0]
+	if !rc.Verified {
+		t.Fatal("checksum verification failed")
+	}
+	if !bytes.Equal(rc.File.Data, data) {
+		t.Fatal("data corrupted in flight")
+	}
+}
+
+func TestPetitionDelayReflectsWakeLag(t *testing.T) {
+	dst := fastProfile()
+	dst.WakeLag = 12 * time.Second
+	dst.WakeLagSpread = 0
+	rig := newXferRig(t, fastProfile(), dst, ReceiverOptions{})
+	var m Metrics
+	var err error
+	rig.net.Run(func() {
+		m, err = rig.sender.Send("dst/xfer", NewVirtualFile("f", 1*Mb, 1), 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pd := m.PetitionDelay(); pd < 12*time.Second || pd > 14*time.Second {
+		t.Fatalf("petition delay = %v, want ~12s wake lag", pd)
+	}
+}
+
+func TestPetitionRejected(t *testing.T) {
+	rig := newXferRig(t, fastProfile(), fastProfile(), ReceiverOptions{
+		Accept: func(name string, size, parts int, from string) (bool, string) {
+			return false, "quota exceeded"
+		},
+	})
+	var err error
+	rig.net.Run(func() {
+		_, err = rig.sender.Send("dst/xfer", NewVirtualFile("f", Mb, 1), 1)
+	})
+	if !errors.Is(err, ErrRejected) {
+		t.Fatalf("err = %v, want ErrRejected", err)
+	}
+	if len(rig.received) != 0 {
+		t.Fatal("rejected transfer delivered a file")
+	}
+}
+
+func TestAcceptCallbackSeesPetitionFields(t *testing.T) {
+	var gotName, gotFrom string
+	var gotSize, gotParts int
+	rig := newXferRig(t, fastProfile(), fastProfile(), ReceiverOptions{
+		Accept: func(name string, size, parts int, from string) (bool, string) {
+			gotName, gotSize, gotParts, gotFrom = name, size, parts, from
+			return true, ""
+		},
+	})
+	rig.net.Run(func() {
+		rig.sender.Send("dst/xfer", NewVirtualFile("doc.pdf", 2*Mb, 1), 2)
+	})
+	if gotName != "doc.pdf" || gotSize != 2*Mb || gotParts != 2 || gotFrom != "src" {
+		t.Fatalf("petition fields = %q %d %d %q", gotName, gotSize, gotParts, gotFrom)
+	}
+}
+
+func TestGranularityWholeSlowerThanParts(t *testing.T) {
+	// With size-dependent degradation, the whole file must be slower than
+	// 4 parts, which must be slower than 16 parts (Figure 5's shape).
+	run := func(parts int) time.Duration {
+		dst := fastProfile()
+		dst.DegradeRefBytes = 25 * Mb
+		dst.DegradeExp = 1.5
+		rig := newXferRig(t, fastProfile(), dst, ReceiverOptions{})
+		var m Metrics
+		var err error
+		rig.net.Run(func() {
+			m, err = rig.sender.Send("dst/xfer", NewVirtualFile("big", 100*Mb, 3), parts)
+		})
+		if err != nil {
+			t.Fatalf("parts=%d: %v", parts, err)
+		}
+		return m.TransmissionTime()
+	}
+	whole := run(1)
+	four := run(4)
+	sixteen := run(16)
+	if !(whole > four && four > sixteen) {
+		t.Fatalf("granularity shape violated: whole=%v four=%v sixteen=%v", whole, four, sixteen)
+	}
+}
+
+func TestTransferSurvivesLoss(t *testing.T) {
+	dst := fastProfile()
+	dst.LossRate = 0.2
+	rig := newXferRig(t, fastProfile(), dst, ReceiverOptions{})
+	var err error
+	rig.net.Run(func() {
+		_, err = rig.sender.Send("dst/xfer", NewVirtualFile("f", 2*Mb, 5), 8)
+	})
+	if err != nil {
+		t.Fatalf("transfer failed under 20%% loss: %v", err)
+	}
+	if len(rig.received) != 1 || !rig.received[0].Verified {
+		t.Fatal("file not received intact")
+	}
+}
+
+func TestSendToDeadPeerFails(t *testing.T) {
+	n := simnet.New(11)
+	a := n.MustAddNode("src", fastProfile())
+	n.MustAddNode("dst", fastProfile()) // no receiver bound
+	epA, _ := a.Endpoint("xfer")
+	muxA := pipe.NewMux(a, epA, pipe.Options{MaxRetries: 2, InitialRTT: 100 * time.Millisecond})
+	s := NewSender(a, muxA, SenderOptions{PetitionTimeout: 30 * time.Second})
+	var err error
+	n.Run(func() {
+		_, err = s.Send("dst/xfer", NewVirtualFile("f", Mb, 1), 1)
+	})
+	if !errors.Is(err, ErrFailed) {
+		t.Fatalf("err = %v, want ErrFailed", err)
+	}
+}
+
+func TestLastMbTimeScaling(t *testing.T) {
+	m := Metrics{
+		TotalBytes:  50 * Mb,
+		Granularity: 1,
+		Parts: []PartTiming{{
+			Index:     0,
+			Size:      50 * Mb,
+			Started:   time.Unix(0, 0),
+			Delivered: time.Unix(50, 0), // 50s service for 50 Mb
+			Confirmed: time.Unix(51, 0), // 1s confirm RTT
+		}},
+	}
+	// 1 Mb of a 50 Mb part: 1s of service + 1s confirm = 2s.
+	if got := m.LastMbTime(); got != 2*time.Second {
+		t.Fatalf("LastMbTime = %v, want 2s", got)
+	}
+}
+
+func TestMetricsDerivations(t *testing.T) {
+	t0 := time.Unix(100, 0)
+	m := Metrics{
+		TotalBytes:       10 * Mb,
+		PetitionSent:     t0,
+		PetitionReceived: t0.Add(3 * time.Second),
+		Parts: []PartTiming{
+			{Index: 0, Size: 5 * Mb, Started: t0.Add(4 * time.Second), Delivered: t0.Add(9 * time.Second), Confirmed: t0.Add(10 * time.Second)},
+			{Index: 1, Size: 5 * Mb, Started: t0.Add(10 * time.Second), Delivered: t0.Add(15 * time.Second), Confirmed: t0.Add(16 * time.Second)},
+		},
+		Done: t0.Add(16 * time.Second),
+	}
+	if got := m.PetitionDelay(); got != 3*time.Second {
+		t.Fatalf("PetitionDelay = %v", got)
+	}
+	if got := m.TransmissionTime(); got != 12*time.Second {
+		t.Fatalf("TransmissionTime = %v", got)
+	}
+	if got := m.TotalTime(); got != 16*time.Second {
+		t.Fatalf("TotalTime = %v", got)
+	}
+	if got := m.Throughput(); got < 800_000 || got > 900_000 {
+		t.Fatalf("Throughput = %v, want ~833333", got)
+	}
+}

@@ -1,0 +1,53 @@
+package transport
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeAddrAndSplit(t *testing.T) {
+	a := MakeAddr("planetlab1.hiit.fi", "xfer")
+	if a != "planetlab1.hiit.fi/xfer" {
+		t.Fatalf("addr = %q", a)
+	}
+	node, svc := a.Split()
+	if node != "planetlab1.hiit.fi" || svc != "xfer" {
+		t.Fatalf("split = %q, %q", node, svc)
+	}
+	if a.Node() != "planetlab1.hiit.fi" || a.Service() != "xfer" {
+		t.Fatalf("accessors = %q, %q", a.Node(), a.Service())
+	}
+}
+
+func TestSplitWithoutService(t *testing.T) {
+	a := Addr("bare-node")
+	node, svc := a.Split()
+	if node != "bare-node" || svc != "" {
+		t.Fatalf("split = %q, %q", node, svc)
+	}
+}
+
+func TestSplitKeepsExtraSlashes(t *testing.T) {
+	// Only the first slash separates node from service; services may nest.
+	a := Addr("n/svc/sub")
+	if a.Node() != "n" || a.Service() != "svc/sub" {
+		t.Fatalf("split = %q, %q", a.Node(), a.Service())
+	}
+}
+
+func TestPropertyMakeSplitRoundtrip(t *testing.T) {
+	f := func(node, svc string) bool {
+		// Node names must not contain the separator; service names may.
+		for _, r := range node {
+			if r == '/' {
+				return true
+			}
+		}
+		a := MakeAddr(node, svc)
+		n, s := a.Split()
+		return n == node && s == svc
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

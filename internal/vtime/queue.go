@@ -1,0 +1,159 @@
+package vtime
+
+import (
+	"errors"
+	"time"
+)
+
+// ErrClosed is returned by Queue operations after Close.
+var ErrClosed = errors.New("vtime: queue closed")
+
+// Queue is an unbounded FIFO of values integrated with the scheduler: Pop
+// parks the calling process without stalling virtual time, and Push (from a
+// process or a link-delivery callback) wakes the oldest waiter.
+//
+// Queue is the rendezvous point between simulated network links and protocol
+// code: it plays the role a socket receive buffer plays in a real host.
+type Queue struct {
+	s      *Scheduler
+	items  []any
+	waits  []*qwaiter
+	closed bool
+}
+
+type qwaiter struct {
+	ch       chan any
+	deadline *timerEntry // non-nil if a Pop timeout is armed
+}
+
+// NewQueue returns an empty queue bound to the scheduler.
+func NewQueue(s *Scheduler) *Queue {
+	return &Queue{s: s}
+}
+
+// Push appends v and wakes the oldest waiter, if any. Push on a closed queue
+// returns ErrClosed and drops the value.
+func (q *Queue) Push(v any) error {
+	q.s.mu.Lock()
+	defer q.s.mu.Unlock()
+	return q.pushLocked(v)
+}
+
+// pushLocked is Push with the scheduler lock held; link-delivery callbacks
+// use it directly.
+func (q *Queue) pushLocked(v any) error {
+	if q.closed {
+		return ErrClosed
+	}
+	if len(q.waits) > 0 {
+		w := q.waits[0]
+		q.waits = q.waits[1:]
+		if w.deadline != nil {
+			w.deadline.cancelled = true
+		}
+		q.s.running++
+		w.ch <- v
+		return nil
+	}
+	q.items = append(q.items, v)
+	return nil
+}
+
+// Pop removes and returns the oldest value, parking the calling process until
+// one is available. It returns ErrClosed once the queue is closed and
+// drained.
+func (q *Queue) Pop() (any, error) {
+	return q.pop(-1)
+}
+
+// PopTimeout is Pop with a virtual-time deadline. It returns ErrTimeout if no
+// value arrives within d.
+func (q *Queue) PopTimeout(d time.Duration) (any, error) {
+	return q.pop(d)
+}
+
+// ErrTimeout is returned by PopTimeout when the deadline passes first.
+var ErrTimeout = errors.New("vtime: pop timeout")
+
+func (q *Queue) pop(timeout time.Duration) (any, error) {
+	q.s.mu.Lock()
+	if len(q.items) > 0 {
+		v := q.items[0]
+		q.items = q.items[1:]
+		q.s.mu.Unlock()
+		return v, nil
+	}
+	if q.closed {
+		q.s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	w := &qwaiter{ch: make(chan any, 1)}
+	if timeout >= 0 {
+		w.deadline = q.s.scheduleLocked(q.s.now+timeout, func() {
+			// Remove w from the wait list and wake it with a timeout marker.
+			for i, other := range q.waits {
+				if other == w {
+					q.waits = append(q.waits[:i], q.waits[i+1:]...)
+					break
+				}
+			}
+			q.s.running++
+			w.ch <- errTimeoutMarker{}
+		})
+	}
+	q.waits = append(q.waits, w)
+	q.s.running--
+	q.s.advanceLocked()
+	q.s.mu.Unlock()
+
+	v := <-w.ch
+	switch v.(type) {
+	case errTimeoutMarker:
+		return nil, ErrTimeout
+	case errClosedMarker:
+		return nil, ErrClosed
+	default:
+		return v, nil
+	}
+}
+
+type errTimeoutMarker struct{}
+type errClosedMarker struct{}
+
+// PushAt schedules v to be pushed at absolute virtual time at. If at is in
+// the past it is clamped to now. Pushes scheduled for the same instant are
+// delivered in PushAt call order. The push is silently dropped if the queue
+// is closed by then — exactly the semantics of a datagram arriving at a dead
+// socket.
+func (q *Queue) PushAt(v any, at time.Time) {
+	q.s.callbackAt(at.Sub(Epoch), func() {
+		_ = q.pushLocked(v)
+	})
+}
+
+// Len reports the number of buffered values.
+func (q *Queue) Len() int {
+	q.s.mu.Lock()
+	defer q.s.mu.Unlock()
+	return len(q.items)
+}
+
+// Close marks the queue closed and wakes every waiter with ErrClosed.
+// Values already buffered remain poppable; once drained, Pop reports
+// ErrClosed.
+func (q *Queue) Close() {
+	q.s.mu.Lock()
+	defer q.s.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	for _, w := range q.waits {
+		if w.deadline != nil {
+			w.deadline.cancelled = true
+		}
+		q.s.running++
+		w.ch <- errClosedMarker{}
+	}
+	q.waits = nil
+}

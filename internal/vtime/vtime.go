@@ -1,0 +1,284 @@
+// Package vtime implements a conservative virtual-time scheduler.
+//
+// The scheduler coordinates a set of goroutines ("processes") over a shared
+// virtual clock. Processes advance the clock only by blocking in one of the
+// scheduler's primitives (Sleep, Queue.Pop, Timer callbacks). When every
+// registered process is parked, the scheduler advances the clock to the
+// earliest pending timer and wakes its waiters. Virtual time therefore moves
+// in discrete, deterministic jumps, and a simulated minute costs no wall
+// time.
+//
+// The package underpins internal/simnet: network links schedule message
+// deliveries as timers, and protocol code written against the transport
+// interfaces blocks in Queue.Pop exactly as it would block in a socket read.
+package vtime
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Epoch is the instant at which every Scheduler's clock starts. A fixed epoch
+// keeps traces comparable across runs.
+var Epoch = time.Date(2007, time.March, 1, 0, 0, 0, 0, time.UTC)
+
+// Scheduler is a conservative virtual-clock process scheduler. The zero value
+// is not usable; call NewScheduler.
+type Scheduler struct {
+	mu      sync.Mutex
+	now     time.Duration // virtual time since Epoch
+	running int           // processes currently runnable (not parked)
+	started int           // processes ever started
+	timers  timerHeap
+	seq     int64
+	quiet   *sync.Cond // signalled when the system quiesces
+	halted  bool
+
+	// OnDeadlock, if non-nil, is invoked instead of panicking when every
+	// process is parked on a queue and no timers are pending while a Sleep
+	// could never complete. It exists for tests of the detector itself.
+	OnDeadlock func(info string)
+}
+
+// NewScheduler returns a scheduler with the clock at Epoch and no processes.
+func NewScheduler() *Scheduler {
+	s := &Scheduler{}
+	s.quiet = sync.NewCond(&s.mu)
+	return s
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Epoch.Add(s.now)
+}
+
+// Elapsed returns the virtual time elapsed since Epoch.
+func (s *Scheduler) Elapsed() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Go starts fn as a scheduler process. The process counts as runnable until
+// it returns or parks in a scheduler primitive. Processes may spawn further
+// processes.
+func (s *Scheduler) Go(fn func()) {
+	s.mu.Lock()
+	s.running++
+	s.started++
+	s.mu.Unlock()
+	go func() {
+		defer s.exit()
+		fn()
+	}()
+}
+
+func (s *Scheduler) exit() {
+	s.mu.Lock()
+	s.running--
+	s.advanceLocked()
+	s.mu.Unlock()
+}
+
+// Sleep parks the calling process for d of virtual time. Non-positive d
+// yields without advancing the clock. Sleep must only be called from a
+// process started via Go (or a Timer/AfterFunc callback).
+func (s *Scheduler) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	ch := make(chan struct{})
+	s.mu.Lock()
+	s.scheduleLocked(s.now+d, func() {
+		s.running++
+		close(ch)
+	})
+	s.running--
+	s.advanceLocked()
+	s.mu.Unlock()
+	<-ch
+}
+
+// Timer is a cancellable virtual-time timer created by AfterFunc.
+type Timer struct {
+	s       *Scheduler
+	entry   *timerEntry
+	stopped bool
+}
+
+// Stop cancels the timer. It reports whether the call prevented the callback
+// from firing.
+func (t *Timer) Stop() bool {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	if t.stopped || t.entry.fired {
+		return false
+	}
+	t.stopped = true
+	t.entry.cancelled = true
+	return true
+}
+
+// AfterFunc schedules fn to run as a new process d of virtual time from now.
+// The returned Timer can cancel it before it fires.
+func (s *Scheduler) AfterFunc(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entry := s.scheduleLocked(s.now+d, func() {
+		s.running++
+		s.started++
+		go func() {
+			defer s.exit()
+			fn()
+		}()
+	})
+	return &Timer{s: s, entry: entry}
+}
+
+// callbackAt schedules fn to run with the scheduler lock held at virtual time
+// at. It is the low-level hook used by queues and simnet links; fn must not
+// block or re-enter the scheduler other than waking queue waiters.
+func (s *Scheduler) callbackAt(at time.Duration, fn func()) *timerEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if at < s.now {
+		at = s.now
+	}
+	return s.scheduleLocked(at, fn)
+}
+
+// scheduleLocked enqueues a timer entry. Caller holds s.mu.
+func (s *Scheduler) scheduleLocked(at time.Duration, fn func()) *timerEntry {
+	s.seq++
+	e := &timerEntry{at: at, seq: s.seq, fire: fn}
+	heap.Push(&s.timers, e)
+	return e
+}
+
+// advanceLocked is called whenever running may have dropped to zero. If no
+// process is runnable it advances the clock to the earliest pending timer and
+// fires every entry scheduled for that instant, in schedule order. Caller
+// holds s.mu.
+func (s *Scheduler) advanceLocked() {
+	for s.running == 0 {
+		// Discard cancelled entries at the head.
+		for len(s.timers) > 0 && s.timers[0].cancelled {
+			heap.Pop(&s.timers)
+		}
+		if len(s.timers) == 0 {
+			// Quiescent: no runnable process, no pending event. Remaining
+			// parked processes (queue waiters) are daemons.
+			s.quiet.Broadcast()
+			return
+		}
+		at := s.timers[0].at
+		if at < s.now {
+			panic(fmt.Sprintf("vtime: timer in the past: %v < %v", at, s.now))
+		}
+		s.now = at
+		// Fire every entry at this instant in seq order for determinism.
+		var batch []*timerEntry
+		for len(s.timers) > 0 && s.timers[0].at == at {
+			e := heap.Pop(&s.timers).(*timerEntry)
+			if !e.cancelled {
+				batch = append(batch, e)
+			}
+		}
+		sort.Slice(batch, func(i, j int) bool { return batch[i].seq < batch[j].seq })
+		for _, e := range batch {
+			e.fired = true
+			e.fire()
+		}
+		// Firing may have made processes runnable; if not, loop to the next
+		// instant.
+	}
+}
+
+// Wait blocks the caller (which must NOT be a scheduler process) until the
+// system quiesces: no runnable process and no pending timer. Processes parked
+// on queues may still exist; they are treated as daemons. Wait also drives
+// the clock when timers were registered from outside any process (e.g. a test
+// calling AfterFunc directly).
+func (s *Scheduler) Wait() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.running == 0 {
+			s.advanceLocked()
+			if s.running == 0 && s.pendingLocked() == 0 {
+				return
+			}
+		}
+		s.quiet.Wait()
+	}
+}
+
+// pendingLocked counts non-cancelled timers. Caller holds s.mu.
+func (s *Scheduler) pendingLocked() int {
+	n := 0
+	for _, e := range s.timers {
+		if !e.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Pending reports the number of live timers; useful in tests.
+func (s *Scheduler) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pendingLocked()
+}
+
+// Running reports the number of runnable processes; useful in tests.
+func (s *Scheduler) Running() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.running
+}
+
+type timerEntry struct {
+	at        time.Duration
+	seq       int64
+	fire      func()
+	cancelled bool
+	fired     bool
+	index     int
+}
+
+type timerHeap []*timerEntry
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *timerHeap) Push(x any) {
+	e := x.(*timerEntry)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

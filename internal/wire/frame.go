@@ -1,0 +1,45 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// MaxFrameLen bounds a single framed message. File parts travel as single
+// messages (the granularity experiments depend on it), so the bound is
+// generous.
+const MaxFrameLen = 512 << 20 // 512 MiB
+
+// WriteFrame writes payload to w prefixed with a 4-byte big-endian length.
+// Framing is used by the real-socket transport; the simulated transport is
+// message-oriented and does not need it.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameLen {
+		return fmt.Errorf("%w: frame of %d bytes exceeds limit", ErrCorrupt, len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame from r.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameLen {
+		return nil, fmt.Errorf("%w: frame length %d exceeds limit", ErrCorrupt, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

@@ -1,0 +1,311 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestUint64Roundtrip(t *testing.T) {
+	for _, v := range []uint64{0, 1, 127, 128, 1 << 20, math.MaxUint64} {
+		e := NewEncoder(16)
+		e.Uint64(v)
+		d := NewDecoder(e.Bytes())
+		if got := d.Uint64(); got != v || d.Err() != nil {
+			t.Fatalf("Uint64(%d) roundtrip = %d, err %v", v, got, d.Err())
+		}
+	}
+}
+
+func TestInt64Roundtrip(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 63, -64, math.MaxInt64, math.MinInt64} {
+		e := NewEncoder(16)
+		e.Int64(v)
+		d := NewDecoder(e.Bytes())
+		if got := d.Int64(); got != v || d.Err() != nil {
+			t.Fatalf("Int64(%d) roundtrip = %d, err %v", v, got, d.Err())
+		}
+	}
+}
+
+func TestMixedRoundtrip(t *testing.T) {
+	e := NewEncoder(64)
+	e.Uint64(42)
+	e.Int(-7)
+	e.Bool(true)
+	e.Bool(false)
+	e.Byte(0xAB)
+	e.Float64(3.14159)
+	e.String("peer-selection")
+	e.BytesField([]byte{1, 2, 3})
+	e.Duration(250 * time.Millisecond)
+	ts := time.Date(2007, 3, 1, 12, 0, 0, 0, time.UTC)
+	e.Time(ts)
+	e.StringSlice([]string{"a", "bb", ""})
+	e.Float64Slice([]float64{1.5, -2.5})
+
+	d := NewDecoder(e.Bytes())
+	if v := d.Uint64(); v != 42 {
+		t.Fatalf("Uint64 = %d", v)
+	}
+	if v := d.Int(); v != -7 {
+		t.Fatalf("Int = %d", v)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Fatal("Bool sequence wrong")
+	}
+	if v := d.Byte(); v != 0xAB {
+		t.Fatalf("Byte = %x", v)
+	}
+	if v := d.Float64(); v != 3.14159 {
+		t.Fatalf("Float64 = %v", v)
+	}
+	if v := d.StringField(); v != "peer-selection" {
+		t.Fatalf("String = %q", v)
+	}
+	if v := d.BytesField(); !bytes.Equal(v, []byte{1, 2, 3}) {
+		t.Fatalf("Bytes = %v", v)
+	}
+	if v := d.Duration(); v != 250*time.Millisecond {
+		t.Fatalf("Duration = %v", v)
+	}
+	if v := d.Time(); !v.Equal(ts) {
+		t.Fatalf("Time = %v", v)
+	}
+	if v := d.StringSlice(); len(v) != 3 || v[0] != "a" || v[1] != "bb" || v[2] != "" {
+		t.Fatalf("StringSlice = %v", v)
+	}
+	if v := d.Float64Slice(); len(v) != 2 || v[0] != 1.5 || v[1] != -2.5 {
+		t.Fatalf("Float64Slice = %v", v)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+func TestDecoderShortBuffer(t *testing.T) {
+	d := NewDecoder(nil)
+	d.Uint64()
+	if !errors.Is(d.Err(), ErrShort) {
+		t.Fatalf("err = %v, want ErrShort", d.Err())
+	}
+}
+
+func TestDecoderErrorSticks(t *testing.T) {
+	e := NewEncoder(8)
+	e.Uint64(5)
+	d := NewDecoder(e.Bytes())
+	d.Float64() // needs 8 bytes, only 1 available
+	first := d.Err()
+	if first == nil {
+		t.Fatal("expected error")
+	}
+	d.Uint64()
+	d.StringField()
+	if d.Err() != first {
+		t.Fatalf("error changed from %v to %v", first, d.Err())
+	}
+}
+
+func TestDecoderCorruptLengthPrefix(t *testing.T) {
+	e := NewEncoder(8)
+	e.Uint64(1 << 40) // length prefix far larger than buffer
+	d := NewDecoder(e.Bytes())
+	d.BytesField()
+	if !errors.Is(d.Err(), ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", d.Err())
+	}
+}
+
+func TestDecoderCorruptSliceCount(t *testing.T) {
+	e := NewEncoder(8)
+	e.Uint64(1 << 30)
+	d := NewDecoder(e.Bytes())
+	d.StringSlice()
+	if !errors.Is(d.Err(), ErrCorrupt) {
+		t.Fatalf("StringSlice err = %v, want ErrCorrupt", d.Err())
+	}
+
+	e2 := NewEncoder(8)
+	e2.Uint64(1 << 30)
+	d2 := NewDecoder(e2.Bytes())
+	d2.Float64Slice()
+	if !errors.Is(d2.Err(), ErrCorrupt) {
+		t.Fatalf("Float64Slice err = %v, want ErrCorrupt", d2.Err())
+	}
+}
+
+func TestFinishRejectsTrailingBytes(t *testing.T) {
+	e := NewEncoder(8)
+	e.Uint64(1)
+	e.Uint64(2)
+	d := NewDecoder(e.Bytes())
+	d.Uint64()
+	if err := d.Finish(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Finish = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestEncoderReset(t *testing.T) {
+	e := NewEncoder(8)
+	e.String("hello")
+	e.Reset()
+	if e.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", e.Len())
+	}
+	e.Uint64(9)
+	d := NewDecoder(e.Bytes())
+	if v := d.Uint64(); v != 9 || d.Finish() != nil {
+		t.Fatalf("post-reset roundtrip = %d", v)
+	}
+}
+
+func TestPropertyUint64Roundtrip(t *testing.T) {
+	f := func(v uint64) bool {
+		e := NewEncoder(16)
+		e.Uint64(v)
+		d := NewDecoder(e.Bytes())
+		return d.Uint64() == v && d.Finish() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyInt64Roundtrip(t *testing.T) {
+	f := func(v int64) bool {
+		e := NewEncoder(16)
+		e.Int64(v)
+		d := NewDecoder(e.Bytes())
+		return d.Int64() == v && d.Finish() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyStringRoundtrip(t *testing.T) {
+	f := func(s string) bool {
+		e := NewEncoder(len(s) + 8)
+		e.String(s)
+		d := NewDecoder(e.Bytes())
+		return d.StringField() == s && d.Finish() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyBytesRoundtrip(t *testing.T) {
+	f := func(b []byte) bool {
+		e := NewEncoder(len(b) + 8)
+		e.BytesField(b)
+		d := NewDecoder(e.Bytes())
+		return bytes.Equal(d.BytesField(), b) && d.Finish() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyFloat64Roundtrip(t *testing.T) {
+	f := func(v float64) bool {
+		e := NewEncoder(16)
+		e.Float64(v)
+		d := NewDecoder(e.Bytes())
+		got := d.Float64()
+		if math.IsNaN(v) {
+			return math.IsNaN(got)
+		}
+		return got == v && d.Finish() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyStringSliceRoundtrip(t *testing.T) {
+	f := func(ss []string) bool {
+		e := NewEncoder(64)
+		e.StringSlice(ss)
+		d := NewDecoder(e.Bytes())
+		got := d.StringSlice()
+		if d.Finish() != nil || len(got) != len(ss) {
+			return false
+		}
+		for i := range ss {
+			if got[i] != ss[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDecoderNeverPanics(t *testing.T) {
+	// Feeding arbitrary bytes through every decode method must never panic.
+	f := func(b []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		d := NewDecoder(b)
+		d.Uint64()
+		d.Int64()
+		d.Bool()
+		d.Float64()
+		d.StringField()
+		d.BytesField()
+		d.StringSlice()
+		d.Float64Slice()
+		d.Time()
+		d.Duration()
+		_ = d.Finish()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{{}, {1}, bytes.Repeat([]byte{0xCC}, 70000)}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	}
+	for i, p := range payloads {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("frame %d: got %d bytes, want %d", i, len(got), len(p))
+		}
+	}
+}
+
+func TestReadFrameRejectsHugeLength(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadFrame(&buf); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("ReadFrame = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestReadFrameShortPayload(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 10, 1, 2}) // claims 10 bytes, has 2
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("ReadFrame succeeded on truncated payload")
+	}
+}

@@ -1,0 +1,293 @@
+// Package peerlab is the public face of a reproduction of Xhafa, Barolli,
+// Fernández and Daradoumis, "An Experimental Study on Peer Selection in a
+// P2P Network over PlanetLab" (ICPP Workshops 2007).
+//
+// It assembles the repo's subsystems — a virtual-time network simulator
+// calibrated to the paper's PlanetLab measurements, a JXTA-Overlay-style
+// platform (broker, primitives, SimpleClients), the paper's three
+// peer-selection models plus a blind baseline, file transmission with
+// configurable granularity, and task execution — behind one deployment
+// type. The examples/ directory shows the intended usage; the experiment
+// harness in internal/experiments regenerates every table and figure of
+// the paper on top of the same API surface.
+//
+// A Deployment runs on simulated time: a scenario spanning hours of
+// transfers finishes in milliseconds of wall time, deterministically for a
+// given seed.
+package peerlab
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"peerlab/internal/core"
+	"peerlab/internal/overlay"
+	"peerlab/internal/planetlab"
+	"peerlab/internal/simnet"
+	"peerlab/internal/stats"
+	"peerlab/internal/task"
+	"peerlab/internal/transfer"
+	"peerlab/internal/vtime"
+)
+
+// Mb is the paper's file-size unit (10^6 bytes).
+const Mb = transfer.Mb
+
+// Re-exported result and request types.
+type (
+	// TransferMetrics is the full timing record of one file transfer.
+	TransferMetrics = transfer.Metrics
+	// File is a transferable file (virtual or with real bytes).
+	File = transfer.File
+	// Task is one executable work item.
+	Task = task.Task
+	// TaskResult reports one finished task.
+	TaskResult = task.Result
+	// Snapshot is a peer's statistics view.
+	Snapshot = stats.Snapshot
+	// SelectionRequest describes work a peer must be selected for.
+	SelectionRequest = core.Request
+)
+
+// Selection request kinds.
+const (
+	KindMessage      = core.KindMessage
+	KindFileTransfer = core.KindFileTransfer
+	KindTask         = core.KindTask
+)
+
+// Selection model names accepted by SelectPeers.
+const (
+	ModelBlind        = "blind"
+	ModelEconomic     = "economic"
+	ModelSamePriority = "same-priority"
+	ModelQuickPeer    = "quick-peer"
+)
+
+// NewVirtualFile describes a file of the given size without materializing
+// its content; the simulated transport charges for the declared size.
+func NewVirtualFile(name string, size int, seed int64) File {
+	return transfer.NewVirtualFile(name, size, seed)
+}
+
+// NewFile wraps real bytes (verified end to end by checksum).
+func NewFile(name string, data []byte) File { return transfer.NewFile(name, data) }
+
+// PeerConfig describes one peer node in a deployment.
+type PeerConfig struct {
+	// Name is the node's hostname. Required, unique.
+	Name string
+	// Profile describes the node's link and load; zero value gets a
+	// well-connected default.
+	Profile simnet.Profile
+}
+
+// Config describes a deployment.
+type Config struct {
+	// Seed drives all randomness (jitter, wake lags, failures). Runs with
+	// the same seed are identical.
+	Seed int64
+	// Peers lists the client nodes. Leave empty and set UsePlanetLab to
+	// deploy the paper's calibrated SC1..SC8 slice instead.
+	Peers []PeerConfig
+	// UsePlanetLab deploys the paper's eight calibrated SimpleClient peers
+	// (and ignores Peers).
+	UsePlanetLab bool
+}
+
+// Deployment is a running simulated overlay: one broker ("governor"), one
+// controller client that the application drives, and a set of peer clients.
+type Deployment struct {
+	net      *simnet.Network
+	broker   *overlay.Broker
+	ctl      *overlay.Client
+	peers    []string
+	starters []starter
+}
+
+// ErrNoPeers is returned when a deployment is configured without peers.
+var ErrNoPeers = errors.New("peerlab: deployment needs at least one peer")
+
+// Deploy builds the network and returns the deployment. All interaction —
+// transfers, tasks, selection — must happen inside Run.
+func Deploy(cfg Config) (*Deployment, error) {
+	var (
+		net     *simnet.Network
+		ctlNode *simnet.Node
+		peers   []PeerConfig
+	)
+	if cfg.UsePlanetLab {
+		slice, err := planetlab.DeploySC(cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		net, ctlNode = slice.Net, slice.Control
+		for _, p := range planetlab.SCPeers() {
+			peers = append(peers, PeerConfig{Name: p.Hostname, Profile: p.Profile})
+		}
+	} else {
+		if len(cfg.Peers) == 0 {
+			return nil, ErrNoPeers
+		}
+		net = simnet.New(cfg.Seed)
+		var err error
+		ctlNode, err = net.AddNode("controller", planetlab.ControlProfile())
+		if err != nil {
+			return nil, err
+		}
+		peers = cfg.Peers
+	}
+
+	broker, err := overlay.NewBroker(ctlNode, overlay.BrokerConfig{AdvTTL: 30 * 24 * time.Hour})
+	if err != nil {
+		return nil, err
+	}
+	d := &Deployment{net: net, broker: broker}
+	d.ctl = overlay.NewClient(ctlNode, broker.Addr(), overlay.ClientConfig{CPUScore: 2})
+
+	for _, p := range peers {
+		prof := p.Profile
+		if prof.Bandwidth <= 0 {
+			prof = simnet.DefaultProfile()
+		}
+		node := net.Node(p.Name)
+		if node == nil {
+			var err error
+			node, err = net.AddNode(p.Name, prof)
+			if err != nil {
+				return nil, err
+			}
+		}
+		client := overlay.NewClient(node, broker.Addr(), overlay.ClientConfig{CPUScore: prof.CPUScore})
+		name := p.Name
+		d.peers = append(d.peers, name)
+		// Start inside the simulation; stash the starter.
+		d.starters = append(d.starters, func() error {
+			if err := client.Start(); err != nil {
+				return fmt.Errorf("peerlab: start %s: %w", name, err)
+			}
+			return client.ReportStats()
+		})
+	}
+	return d, nil
+}
+
+// starters are run at the beginning of Run, inside the scheduler.
+type starter = func() error
+
+// Session is the application's handle during Run: every method executes on
+// simulated time.
+type Session struct {
+	d *Deployment
+}
+
+// Run boots the overlay (broker is already serving; clients register) and
+// executes fn as the driver process. It returns fn's error after the
+// network quiesces. The elapsed virtual time is available via Elapsed.
+func (d *Deployment) Run(fn func(s *Session) error) error {
+	var err error
+	d.net.Run(func() {
+		if serr := d.ctl.Start(); serr != nil {
+			err = fmt.Errorf("peerlab: controller: %w", serr)
+			return
+		}
+		for _, st := range d.starters {
+			if serr := st(); serr != nil {
+				err = serr
+				return
+			}
+		}
+		err = fn(&Session{d: d})
+	})
+	return err
+}
+
+// Elapsed reports how much virtual time the deployment has consumed.
+func (d *Deployment) Elapsed() time.Duration {
+	return d.net.Scheduler().Elapsed()
+}
+
+// Peers returns the deployed peer names.
+func (d *Deployment) Peers() []string {
+	return append([]string(nil), d.peers...)
+}
+
+// Snapshots returns the broker's current per-peer statistics.
+func (d *Deployment) Snapshots() []Snapshot {
+	return d.broker.Registry().Snapshots()
+}
+
+// Now returns the current virtual time.
+func (s *Session) Now() time.Time { return s.d.net.Now() }
+
+// Sleep advances virtual time for the driver.
+func (s *Session) Sleep(dur time.Duration) { s.d.net.Scheduler().Sleep(dur) }
+
+// SendFile transmits a file from the controller to the named peer, split
+// into parts (1 = whole), confirming each part as in the paper's protocol.
+func (s *Session) SendFile(peer string, f File, parts int) (TransferMetrics, error) {
+	return s.d.ctl.SendFile(peer, f, parts)
+}
+
+// SubmitTask runs a task on the named peer and waits for its result.
+func (s *Session) SubmitTask(peer string, t Task) (TaskResult, error) {
+	return s.d.ctl.SubmitTask(peer, t)
+}
+
+// SendInstant delivers an instant message to the named peer.
+func (s *Session) SendInstant(peer, text string) error {
+	return s.d.ctl.SendInstant(peer, text)
+}
+
+// SelectPeers asks the broker to rank peers with the named model (see the
+// Model constants). For ModelQuickPeer, preferred carries the user's own
+// remembered ranking, fastest first.
+func (s *Session) SelectPeers(model string, req SelectionRequest, max int, preferred []string) ([]string, error) {
+	return s.d.ctl.SelectPeers(model, req, max, preferred)
+}
+
+// Snapshots returns the broker's statistics mid-run.
+func (s *Session) Snapshots() []Snapshot {
+	return s.d.broker.Registry().Snapshots()
+}
+
+// Group runs functions as concurrent simulation processes and joins them.
+// Raw goroutines and channels must NOT be used inside Run — a goroutine
+// blocking outside the scheduler stalls the virtual clock; Group is the
+// supported fan-out primitive.
+type Group struct {
+	s    *Session
+	join *vtime.Queue
+	n    int
+}
+
+// Group returns an empty process group.
+func (s *Session) Group() *Group {
+	return &Group{s: s, join: vtime.NewQueue(s.d.net.Scheduler())}
+}
+
+// Go starts fn as a simulation process tracked by the group.
+func (g *Group) Go(fn func() error) {
+	g.n++
+	g.s.d.net.Scheduler().Go(func() {
+		g.join.Push(fn())
+	})
+}
+
+// Wait blocks the caller (on virtual time) until every process finishes,
+// returning the first non-nil error.
+func (g *Group) Wait() error {
+	var first error
+	for i := 0; i < g.n; i++ {
+		v, qerr := g.join.Pop()
+		if qerr != nil {
+			return errors.New("peerlab: group join queue closed")
+		}
+		if err, ok := v.(error); ok && err != nil && first == nil {
+			first = err
+		}
+	}
+	g.n = 0
+	return first
+}

@@ -1,0 +1,205 @@
+package peerlab
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDeployRequiresPeers(t *testing.T) {
+	if _, err := Deploy(Config{}); !errors.Is(err, ErrNoPeers) {
+		t.Fatalf("err = %v, want ErrNoPeers", err)
+	}
+}
+
+func TestCustomDeploymentTransfer(t *testing.T) {
+	d, err := Deploy(Config{
+		Seed:  42,
+		Peers: []PeerConfig{{Name: "alpha"}, {Name: "beta"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = d.Run(func(s *Session) error {
+		m, err := s.SendFile("alpha", NewVirtualFile("f", 2*Mb, 1), 4)
+		if err != nil {
+			return err
+		}
+		if m.TransmissionTime() <= 0 {
+			t.Error("no transmission time")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Elapsed() <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+}
+
+func TestPlanetLabDeployment(t *testing.T) {
+	d, err := Deploy(Config{Seed: 7, UsePlanetLab: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Peers()) != 8 {
+		t.Fatalf("peers = %d, want 8", len(d.Peers()))
+	}
+	err = d.Run(func(s *Session) error {
+		// A transfer to the pathological SC7 node takes much longer than to
+		// the healthy SC8 node.
+		m7, err := s.SendFile("planetlab1.itwm.fhg.de", NewVirtualFile("f", 5*Mb, 1), 1)
+		if err != nil {
+			return err
+		}
+		m8, err := s.SendFile("planetlab1.ssvl.kth.se", NewVirtualFile("f", 5*Mb, 2), 1)
+		if err != nil {
+			return err
+		}
+		if m7.TransmissionTime() <= m8.TransmissionTime() {
+			t.Errorf("SC7 (%v) not slower than SC8 (%v)",
+				m7.TransmissionTime(), m8.TransmissionTime())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectionThroughFacade(t *testing.T) {
+	d, err := Deploy(Config{Seed: 7, UsePlanetLab: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = d.Run(func(s *Session) error {
+		// Warm the statistics, then ask each model for a ranking.
+		for _, p := range d.Peers() {
+			if _, err := s.SendFile(p, NewVirtualFile("w", Mb, 1), 1); err != nil {
+				return err
+			}
+		}
+		req := SelectionRequest{Kind: KindFileTransfer, SizeBytes: 10 * Mb}
+		for _, model := range []string{ModelBlind, ModelEconomic, ModelSamePriority} {
+			peers, err := s.SelectPeers(model, req, 3, nil)
+			if err != nil {
+				return err
+			}
+			if len(peers) != 3 {
+				t.Errorf("%s returned %d peers", model, len(peers))
+			}
+		}
+		// The economic model must not pick the pathological SC7 first.
+		peers, err := s.SelectPeers(ModelEconomic, req, 8, nil)
+		if err != nil {
+			return err
+		}
+		if peers[0] == "planetlab1.itwm.fhg.de" {
+			t.Error("economic model picked SC7 first")
+		}
+		if peers[len(peers)-1] != "planetlab1.itwm.fhg.de" {
+			t.Errorf("economic model did not rank SC7 last: %v", peers)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTasksAndMessagingThroughFacade(t *testing.T) {
+	d, err := Deploy(Config{Seed: 3, Peers: []PeerConfig{{Name: "w1"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = d.Run(func(s *Session) error {
+		res, err := s.SubmitTask("w1", Task{Name: "t", WorkUnits: 5})
+		if err != nil {
+			return err
+		}
+		if !res.OK || res.Elapsed != 5*time.Second {
+			t.Errorf("result = %+v", res)
+		}
+		if err := s.SendInstant("w1", "hi"); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := d.Snapshots()
+	found := false
+	for _, sn := range snaps {
+		if sn.Peer == "w1" && sn.PctTaskExecSession == 100 && sn.PctMsgSession == 100 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("statistics not recorded: %+v", snaps)
+	}
+}
+
+func TestDeterministicAcrossDeployments(t *testing.T) {
+	run := func() time.Duration {
+		d, err := Deploy(Config{Seed: 11, UsePlanetLab: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Run(func(s *Session) error {
+			_, err := s.SendFile("ait05.us.es", NewVirtualFile("f", 10*Mb, 1), 4)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return d.Elapsed()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed produced different elapsed times: %v vs %v", a, b)
+	}
+}
+
+func TestGroupRunsProcessesConcurrently(t *testing.T) {
+	d, err := Deploy(Config{Seed: 5, Peers: []PeerConfig{{Name: "w1"}, {Name: "w2"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = d.Run(func(s *Session) error {
+		g := s.Group()
+		for _, peer := range []string{"w1", "w2"} {
+			peer := peer
+			g.Go(func() error {
+				_, err := s.SubmitTask(peer, Task{Name: "p", WorkUnits: 10})
+				return err
+			})
+		}
+		return g.Wait()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two 10s tasks on two peers must overlap: total well under 20s.
+	if d.Elapsed() >= 20*time.Second {
+		t.Fatalf("elapsed %v; group processes did not overlap", d.Elapsed())
+	}
+}
+
+func TestGroupPropagatesError(t *testing.T) {
+	d, err := Deploy(Config{Seed: 5, Peers: []PeerConfig{{Name: "w1"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = d.Run(func(s *Session) error {
+		g := s.Group()
+		g.Go(func() error {
+			_, err := s.SubmitTask("no-such-peer", Task{WorkUnits: 1})
+			return err
+		})
+		g.Go(func() error { return nil })
+		return g.Wait()
+	})
+	if err == nil {
+		t.Fatal("group swallowed the error")
+	}
+}
