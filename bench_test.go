@@ -128,6 +128,28 @@ func BenchmarkFig7ExecVsTransferExec(b *testing.B) {
 	b.ReportMetric(gap, "SC7-transfer-penalty-min")
 }
 
+// BenchmarkFigureSuite regenerates the full Fig2–Fig7 suite on the parallel
+// cell runner. The serial/parallel pair pins the runner's multi-core speedup
+// on the bench trajectory; both variants produce bit-identical figures for
+// the same seed.
+func BenchmarkFigureSuite(b *testing.B) {
+	run := func(b *testing.B, workers int) {
+		for i := 0; i < b.N; i++ {
+			suite, err := experiments.FigureSuite(experiments.Config{
+				Seed: int64(600 + i), Reps: 2, Workers: workers,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(suite.Figures) != 6 {
+				b.Fatalf("suite has %d figures, want 6", len(suite.Figures))
+			}
+		}
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 1) })
+	b.Run("parallel", func(b *testing.B) { run(b, 0) })
+}
+
 // --- Ablations -----------------------------------------------------------
 
 // BenchmarkAblationGranularitySweep extends Figure 5: transmission time of

@@ -1,70 +1,126 @@
 // Command p2pbench regenerates the paper's tables and figures on the
 // simulated PlanetLab deployment and prints them as markdown tables, ASCII
-// bar charts, or CSV.
+// bar charts, CSV, or JSON.
+//
+// Experiments run on the parallel cell runner: independent
+// (scenario, peer, repetition) cells fan out across -parallel workers, and
+// per-cell seed derivation keeps the output bit-identical for a given seed
+// at any worker count.
 //
 // Usage:
 //
 //	p2pbench [-experiment all|table1|fig2|fig3|fig4|fig5|fig6|fig7]
-//	         [-seed N] [-reps N] [-format markdown|bars|csv]
+//	         [-seed N] [-reps N] [-parallel N]
+//	         [-format markdown|bars|csv|json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"peerlab/internal/experiments"
 	"peerlab/internal/metrics"
 )
 
+// result is the machine-readable run record emitted by -format json.
+type result struct {
+	Seed    int64                     `json:"seed"`
+	Reps    int                       `json:"reps"`
+	Workers int                       `json:"workers"`
+	Table1  *metrics.Table            `json:"table1,omitempty"`
+	Figures []experiments.SuiteFigure `json:"figures,omitempty"`
+}
+
 func main() {
 	var (
-		exp    = flag.String("experiment", "all", "which exhibit to regenerate (all, table1, fig2..fig7)")
-		seed   = flag.Int64("seed", 2007, "simulation seed (runs with equal seeds are identical)")
-		reps   = flag.Int("reps", 5, "repetitions per data point (the paper used 5)")
-		format = flag.String("format", "markdown", "output format: markdown, bars, csv")
+		exp      = flag.String("experiment", "all", "which exhibit to regenerate (all, table1, fig2..fig7)")
+		seed     = flag.Int64("seed", 2007, "simulation seed (runs with equal seeds are identical)")
+		reps     = flag.Int("reps", 5, "repetitions per data point (the paper used 5)")
+		parallel = flag.Int("parallel", 0, "experiment cells run concurrently (0 = GOMAXPROCS, 1 = serial)")
+		format   = flag.String("format", "markdown", "output format: markdown, bars, csv, json")
 	)
 	flag.Parse()
 
-	cfg := experiments.Config{Seed: *seed, Reps: *reps}
-	figs := map[string]func(experiments.Config) (*metrics.Figure, error){
-		"fig2": experiments.Fig2PetitionTime,
-		"fig3": experiments.Fig3Transmission50Mb,
-		"fig4": experiments.Fig4LastMb,
-		"fig5": experiments.Fig5Granularity,
-		"fig6": experiments.Fig6SelectionModels,
-		"fig7": experiments.Fig7ExecVsTransferExec,
+	switch *format {
+	case "markdown", "bars", "csv", "json":
+	default:
+		// Reject up front: a typo'd format should not cost a full run.
+		fmt.Fprintf(os.Stderr, "p2pbench: unknown format %q (want markdown, bars, csv, json)\n", *format)
+		os.Exit(2)
 	}
-	order := []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7"}
 
-	selected := strings.Split(*exp, ",")
-	if *exp == "all" {
-		selected = order
+	cfg := experiments.Config{Seed: *seed, Reps: *reps, Workers: *parallel}
+	out := result{Seed: *seed, Reps: *reps, Workers: *parallel}
+	if out.Workers <= 0 {
+		out.Workers = runtime.GOMAXPROCS(0)
 	}
-	for _, name := range selected {
-		name = strings.TrimSpace(name)
-		switch {
-		case name == "table1":
-			fmt.Println(experiments.Table1().Markdown())
-		case figs[name] != nil:
-			fig, err := figs[name](cfg)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "p2pbench: %s: %v\n", name, err)
-				os.Exit(1)
-			}
-			switch *format {
-			case "bars":
-				fmt.Println(fig.Bars(50))
-			case "csv":
-				fmt.Print(fig.CSV())
+
+	if *exp == "all" {
+		// The suite entry point runs all figures concurrently over one
+		// shared worker pool.
+		suite, err := experiments.FigureSuite(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p2pbench: %v\n", err)
+			os.Exit(1)
+		}
+		out.Table1 = suite.Table1
+		out.Figures = suite.Figures
+	} else {
+		figs := map[string]func(experiments.Config) (*metrics.Figure, error){
+			"fig2": experiments.Fig2PetitionTime,
+			"fig3": experiments.Fig3Transmission50Mb,
+			"fig4": experiments.Fig4LastMb,
+			"fig5": experiments.Fig5Granularity,
+			"fig6": experiments.Fig6SelectionModels,
+			"fig7": experiments.Fig7ExecVsTransferExec,
+		}
+		for _, name := range strings.Split(*exp, ",") {
+			name = strings.TrimSpace(name)
+			switch {
+			case name == "table1":
+				out.Table1 = experiments.Table1()
+			case figs[name] != nil:
+				fig, err := figs[name](cfg)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "p2pbench: %s: %v\n", name, err)
+					os.Exit(1)
+				}
+				out.Figures = append(out.Figures, experiments.SuiteFigure{Name: name, Figure: fig})
 			default:
-				fmt.Println(fig.Markdown())
+				fmt.Fprintf(os.Stderr, "p2pbench: unknown experiment %q (want all, table1, fig2..fig7)\n", name)
+				os.Exit(2)
 			}
-		default:
-			fmt.Fprintf(os.Stderr, "p2pbench: unknown experiment %q (want %s)\n",
-				name, strings.Join(order, ", "))
-			os.Exit(2)
 		}
 	}
+
+	if err := render(out, *format); err != nil {
+		fmt.Fprintf(os.Stderr, "p2pbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func render(out result, format string) error {
+	if format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+	if out.Table1 != nil {
+		fmt.Println(out.Table1.Markdown())
+	}
+	for _, sf := range out.Figures {
+		switch format {
+		case "bars":
+			fmt.Println(sf.Figure.Bars(50))
+		case "csv":
+			fmt.Print(sf.Figure.CSV())
+		default:
+			fmt.Println(sf.Figure.Markdown())
+		}
+	}
+	return nil
 }

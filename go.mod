@@ -1,0 +1,3 @@
+module peerlab
+
+go 1.24

@@ -12,6 +12,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"peerlab/internal/overlay"
@@ -29,6 +30,18 @@ type Config struct {
 	// IdleGap is the virtual-time gap between repetitions, long enough for
 	// peers to fall idle again (wake lag re-applies). Default 10 minutes.
 	IdleGap time.Duration
+	// Workers bounds how many experiment cells run concurrently, each on its
+	// own freshly deployed slice. 0 means GOMAXPROCS. Cell seeds derive from
+	// (Seed, figure, cell index), so results are bit-identical for a given
+	// Seed at any worker count, including 1.
+	Workers int
+
+	// pool, when set, is shared across figures so a whole-suite run is
+	// bounded by one worker budget (see FigureSuite).
+	pool *workerPool
+	// fig50, when set, shares the 50 Mb transfer cells between Figures 3
+	// and 4 within one suite run (see fig50mbResults).
+	fig50 *fig50Cache
 }
 
 func (c Config) withDefaults() Config {
@@ -40,6 +53,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.IdleGap <= 0 {
 		c.IdleGap = 10 * time.Minute
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	return c
 }

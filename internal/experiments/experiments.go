@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"peerlab/internal/core"
 	"peerlab/internal/metrics"
@@ -30,39 +31,32 @@ func Table1() *metrics.Table {
 
 // Fig2PetitionTime reproduces Figure 2: the time each SC peer takes to
 // receive the petition for a file transmission, averaged over Reps
-// repetitions with idle gaps between them (an engaged peer would not pay
-// its wake-up lag, and the paper's peers were idle when petitioned).
+// repetitions with idle gaps before each one (an engaged peer would not pay
+// its wake-up lag, and the paper's peers were idle when petitioned). Each
+// (peer, rep) pair is an independent cell on the parallel runner.
 func Fig2PetitionTime(cfg Config) (*metrics.Figure, error) {
 	cfg = cfg.withDefaults()
-	env, err := NewEnv(cfg)
-	if err != nil {
-		return nil, err
-	}
 	fig := &metrics.Figure{
 		Title:  "Figure 2 — Time in receiving the petition for file transmission",
 		Unit:   "seconds",
 		Labels: SCLabels,
 	}
-	values := make([]float64, len(SCLabels))
-	err = env.Run(func(ctl *overlay.Client, _ map[string]*overlay.Client) error {
-		for i, label := range SCLabels {
-			var samples []float64
-			for rep := 0; rep < cfg.Reps; rep++ {
-				env.Slice.Control.Sleep(cfg.IdleGap)
+	samples, err := runCells(cfg, "fig2", len(SCLabels)*cfg.Reps,
+		func(i int, cellCfg Config) (float64, error) {
+			label, rep := SCLabels[i/cfg.Reps], i%cfg.Reps
+			return envCell(cellCfg, func(env *Env, ctl *overlay.Client) (float64, error) {
+				env.Slice.Control.Sleep(cellCfg.IdleGap)
 				m, err := ctl.SendFile(env.Host(label), transfer.NewVirtualFile("petition-probe", transfer.Mb, int64(rep)), 1)
 				if err != nil {
-					return fmt.Errorf("fig2 %s rep %d: %w", label, rep, err)
+					return 0, fmt.Errorf("fig2 %s rep %d: %w", label, rep, err)
 				}
-				samples = append(samples, m.PetitionDelay().Seconds())
-			}
-			values[i] = metrics.Mean(samples)
-		}
-		return nil
-	})
+				return m.PetitionDelay().Seconds(), nil
+			})
+		})
 	if err != nil {
 		return nil, err
 	}
-	if err := fig.AddSeries("petition time", values); err != nil {
+	if err := fig.AddSeries("petition time", meansOf(samples, cfg.Reps)); err != nil {
 		return nil, err
 	}
 	return fig, nil
@@ -77,7 +71,7 @@ func Fig3Transmission50Mb(cfg Config) (*metrics.Figure, error) {
 		Unit:   "minutes",
 		Labels: SCLabels,
 	}
-	values, _, err := transferPerPeer(cfg, 50*transfer.Mb, 1)
+	values, _, err := fig50mbResults(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -96,7 +90,7 @@ func Fig4LastMb(cfg Config) (*metrics.Figure, error) {
 		Unit:   "seconds",
 		Labels: SCLabels,
 	}
-	_, lastMb, err := transferPerPeer(cfg, 50*transfer.Mb, 1)
+	_, lastMb, err := fig50mbResults(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -106,42 +100,93 @@ func Fig4LastMb(cfg Config) (*metrics.Figure, error) {
 	return fig, nil
 }
 
+// transferSample is one cell's measurement of a single transfer.
+type transferSample struct {
+	minutes    float64
+	lastMbSecs float64
+}
+
+// transferCell runs one (peer, rep) transfer in its own environment.
+func transferCell(cellCfg Config, label string, rep, size, parts int) (transferSample, error) {
+	return envCell(cellCfg, func(env *Env, ctl *overlay.Client) (transferSample, error) {
+		env.Slice.Control.Sleep(cellCfg.IdleGap)
+		m, err := ctl.SendFile(env.Host(label),
+			transfer.NewVirtualFile("payload", size, int64(rep)), parts)
+		if err != nil {
+			return transferSample{}, fmt.Errorf("transfer to %s rep %d: %w", label, rep, err)
+		}
+		return transferSample{
+			minutes:    m.TransmissionTime().Minutes(),
+			lastMbSecs: m.LastMbTime().Seconds(),
+		}, nil
+	})
+}
+
+// fig50Cache memoizes the "fig50mb" cell batch: Figures 3 and 4 are two
+// views of the very same 50 Mb transfers (transmission time and last-Mb
+// time), so a suite run simulates them once. The cached values are the
+// deterministic transferPerPeer output, hence identical to an uncached run.
+type fig50Cache struct {
+	once    sync.Once
+	minutes []float64
+	lastMb  []float64
+	err     error
+}
+
+// fig50mbResults returns the per-peer 50 Mb whole-file transfer results,
+// through the suite's cache when one is attached to cfg.
+func fig50mbResults(cfg Config) (minutes, lastMb []float64, err error) {
+	run := func() ([]float64, []float64, error) {
+		return transferPerPeer(cfg, "fig50mb", 50*transfer.Mb, 1)
+	}
+	c := cfg.fig50
+	if c == nil {
+		return run()
+	}
+	c.once.Do(func() { c.minutes, c.lastMb, c.err = run() })
+	return c.minutes, c.lastMb, c.err
+}
+
 // transferPerPeer sends a file of the given size/granularity to every SC
-// peer Reps times; it returns mean transmission minutes and mean last-Mb
-// seconds per peer.
-func transferPerPeer(cfg Config, size, parts int) (minutes, lastMb []float64, err error) {
-	env, err := NewEnv(cfg)
+// peer Reps times — one runner cell per (peer, rep) — and returns mean
+// transmission minutes and mean last-Mb seconds per peer. figure tags the
+// cell seed derivation.
+func transferPerPeer(cfg Config, figure string, size, parts int) (minutes, lastMb []float64, err error) {
+	samples, err := runCells(cfg, figure, len(SCLabels)*cfg.Reps,
+		func(i int, cellCfg Config) (transferSample, error) {
+			return transferCell(cellCfg, SCLabels[i/cfg.Reps], i%cfg.Reps, size, parts)
+		})
 	if err != nil {
 		return nil, nil, err
 	}
-	minutes = make([]float64, len(SCLabels))
-	lastMb = make([]float64, len(SCLabels))
-	err = env.Run(func(ctl *overlay.Client, _ map[string]*overlay.Client) error {
-		for i, label := range SCLabels {
-			var mins, lasts []float64
-			for rep := 0; rep < cfg.Reps; rep++ {
-				env.Slice.Control.Sleep(cfg.IdleGap)
-				m, err := ctl.SendFile(env.Host(label),
-					transfer.NewVirtualFile("payload", size, int64(rep)), parts)
-				if err != nil {
-					return fmt.Errorf("transfer to %s rep %d: %w", label, rep, err)
-				}
-				mins = append(mins, m.TransmissionTime().Minutes())
-				lasts = append(lasts, m.LastMbTime().Seconds())
-			}
-			minutes[i] = metrics.Mean(mins)
-			lastMb[i] = metrics.Mean(lasts)
+	minutes = make([]float64, 0, len(SCLabels))
+	lastMb = make([]float64, 0, len(SCLabels))
+	for p := 0; p < len(SCLabels); p++ {
+		var mins, lasts []float64
+		for r := 0; r < cfg.Reps; r++ {
+			s := samples[p*cfg.Reps+r]
+			mins = append(mins, s.minutes)
+			lasts = append(lasts, s.lastMbSecs)
 		}
-		return nil
-	})
-	if err != nil {
-		return nil, nil, err
+		minutes = append(minutes, metrics.Mean(mins))
+		lastMb = append(lastMb, metrics.Mean(lasts))
 	}
 	return minutes, lastMb, nil
 }
 
+// fig5Granularities are Figure 5's series, in the paper's order.
+var fig5Granularities = []struct {
+	name  string
+	parts int
+}{
+	{"complete file", 1},
+	{"division into 4 parts", 4},
+	{"division into 16 parts", 16},
+}
+
 // Fig5Granularity reproduces Figure 5: a 100 Mb file sent whole, in 4 parts
-// and in 16 parts, per peer, in minutes.
+// and in 16 parts, per peer, in minutes. All (granularity, peer, rep)
+// triples fan out as one cell batch.
 func Fig5Granularity(cfg Config) (*metrics.Figure, error) {
 	cfg = cfg.withDefaults()
 	fig := &metrics.Figure{
@@ -149,19 +194,23 @@ func Fig5Granularity(cfg Config) (*metrics.Figure, error) {
 		Unit:   "minutes",
 		Labels: SCLabels,
 	}
-	for _, g := range []struct {
-		name  string
-		parts int
-	}{
-		{"complete file", 1},
-		{"division into 4 parts", 4},
-		{"division into 16 parts", 16},
-	} {
-		minutes, _, err := transferPerPeer(cfg, 100*transfer.Mb, g.parts)
-		if err != nil {
-			return nil, fmt.Errorf("fig5 %s: %w", g.name, err)
-		}
-		if err := fig.AddSeries(g.name, minutes); err != nil {
+	perGran := len(SCLabels) * cfg.Reps
+	samples, err := runCells(cfg, "fig5", len(fig5Granularities)*perGran,
+		func(i int, cellCfg Config) (transferSample, error) {
+			g := fig5Granularities[i/perGran]
+			rest := i % perGran
+			return transferCell(cellCfg, SCLabels[rest/cfg.Reps], rest%cfg.Reps,
+				100*transfer.Mb, g.parts)
+		})
+	if err != nil {
+		return nil, fmt.Errorf("fig5: %w", err)
+	}
+	minutes := make([]float64, len(samples))
+	for i, s := range samples {
+		minutes[i] = s.minutes
+	}
+	for gi, g := range fig5Granularities {
+		if err := fig.AddSeries(g.name, meansOf(minutes[gi*perGran:(gi+1)*perGran], cfg.Reps)); err != nil {
 			return nil, err
 		}
 	}
@@ -186,25 +235,21 @@ var Fig6Models = []string{"economic", "same-priority", "quick-peer"}
 // on a clean mid-tier peer; the user's quick-peer memory predates the
 // current session entirely and points at a slower peer. That disagreement
 // is the paper's point: the models embody different judgments.
-func Fig6SelectionModels(cfg Config) (*metrics.Figure, error) {
-	cfg = cfg.withDefaults()
-	env, err := NewEnv(cfg)
-	if err != nil {
-		return nil, err
-	}
-	fig := &metrics.Figure{
-		Title:  "Figure 6 — File transmission time per selection model",
-		Unit:   "seconds",
-		Labels: Fig6Models,
-	}
-	perParts := map[int][]float64{4: nil, 16: nil}
-	err = env.Run(func(ctl *overlay.Client, sc map[string]*overlay.Client) error {
+// fig6Granularities are Figure 6's two part counts, in the paper's order.
+var fig6Granularities = []int{4, 16}
+
+// fig6Cell measures one (parts, model) combination in its own freshly
+// warmed-up environment: broker statistics from a working session,
+// blemished records on the fastest peers, then one selection and Reps
+// transfers to the chosen peer.
+func fig6Cell(cellCfg Config, parts int, model string) (float64, error) {
+	return envCell(cellCfg, func(env *Env, ctl *overlay.Client) (float64, error) {
 		// Warm-up: give the broker statistics about every peer.
 		for _, label := range SCLabels {
 			for rep := 0; rep < 2; rep++ {
 				if _, err := ctl.SendFile(env.Host(label),
 					transfer.NewVirtualFile("warmup", transfer.Mb, int64(rep)), 2); err != nil {
-					return fmt.Errorf("fig6 warmup %s: %w", label, err)
+					return 0, fmt.Errorf("fig6 warmup %s: %w", label, err)
 				}
 			}
 		}
@@ -221,44 +266,52 @@ func Fig6SelectionModels(cfg Config) (*metrics.Figure, error) {
 		// The user's stale memory (quick-peer mode): SC3 was quick once.
 		remembered := []string{env.Host("SC3"), env.Host("SC6"), env.Host("SC5")}
 
-		for _, parts := range []int{4, 16} {
-			for _, model := range Fig6Models {
-				env.Slice.Control.Sleep(cfg.IdleGap)
-				req := core.Request{Kind: core.KindFileTransfer, SizeBytes: transfer.Mb}
-				var preferred []string
-				if model == "quick-peer" {
-					preferred = remembered
-				}
-				peers, err := ctl.SelectPeers(model, req, 1, preferred)
-				if err != nil {
-					return fmt.Errorf("fig6 select %s: %w", model, err)
-				}
-				if len(peers) == 0 {
-					return fmt.Errorf("fig6 select %s: empty result", model)
-				}
-				var samples []float64
-				for rep := 0; rep < cfg.Reps; rep++ {
-					env.Slice.Control.Sleep(cfg.IdleGap)
-					m, err := ctl.SendFile(peers[0],
-						transfer.NewVirtualFile("selected", transfer.Mb, int64(rep)), parts)
-					if err != nil {
-						return fmt.Errorf("fig6 %s via %s: %w", model, peers[0], err)
-					}
-					samples = append(samples, m.TransmissionTime().Seconds()/float64(parts))
-				}
-				perParts[parts] = append(perParts[parts], metrics.Mean(samples))
-			}
+		env.Slice.Control.Sleep(cellCfg.IdleGap)
+		req := core.Request{Kind: core.KindFileTransfer, SizeBytes: transfer.Mb}
+		var preferred []string
+		if model == "quick-peer" {
+			preferred = remembered
 		}
-		return nil
+		peers, err := ctl.SelectPeers(model, req, 1, preferred)
+		if err != nil {
+			return 0, fmt.Errorf("fig6 select %s: %w", model, err)
+		}
+		if len(peers) == 0 {
+			return 0, fmt.Errorf("fig6 select %s: empty result", model)
+		}
+		var samples []float64
+		for rep := 0; rep < cellCfg.Reps; rep++ {
+			env.Slice.Control.Sleep(cellCfg.IdleGap)
+			m, err := ctl.SendFile(peers[0],
+				transfer.NewVirtualFile("selected", transfer.Mb, int64(rep)), parts)
+			if err != nil {
+				return 0, fmt.Errorf("fig6 %s via %s: %w", model, peers[0], err)
+			}
+			samples = append(samples, m.TransmissionTime().Seconds()/float64(parts))
+		}
+		return metrics.Mean(samples), nil
 	})
+}
+
+func Fig6SelectionModels(cfg Config) (*metrics.Figure, error) {
+	cfg = cfg.withDefaults()
+	fig := &metrics.Figure{
+		Title:  "Figure 6 — File transmission time per selection model",
+		Unit:   "seconds",
+		Labels: Fig6Models,
+	}
+	means, err := runCells(cfg, "fig6", len(fig6Granularities)*len(Fig6Models),
+		func(i int, cellCfg Config) (float64, error) {
+			return fig6Cell(cellCfg, fig6Granularities[i/len(Fig6Models)], Fig6Models[i%len(Fig6Models)])
+		})
 	if err != nil {
 		return nil, err
 	}
-	if err := fig.AddSeries("division into 4 parts", perParts[4]); err != nil {
-		return nil, err
-	}
-	if err := fig.AddSeries("division into 16 parts", perParts[16]); err != nil {
-		return nil, err
+	for gi, parts := range fig6Granularities {
+		name := fmt.Sprintf("division into %d parts", parts)
+		if err := fig.AddSeries(name, means[gi*len(Fig6Models):(gi+1)*len(Fig6Models)]); err != nil {
+			return nil, err
+		}
 	}
 	return fig, nil
 }
@@ -267,60 +320,63 @@ func Fig6SelectionModels(cfg Config) (*metrics.Figure, error) {
 // 50 Mb file costs 120 reference-seconds of compute.
 const Fig7Work = 120.0
 
+// fig7Sample is one cell's pair of measurements.
+type fig7Sample struct {
+	execMins float64
+	bothMins float64
+}
+
 // Fig7ExecVsTransferExec reproduces Figure 7: per peer, the time of just
 // executing a processing task versus transferring its 50 Mb input first and
-// then executing.
+// then executing. Each (peer, rep) pair is an independent runner cell that
+// measures both regimes.
 func Fig7ExecVsTransferExec(cfg Config) (*metrics.Figure, error) {
 	cfg = cfg.withDefaults()
-	env, err := NewEnv(cfg)
-	if err != nil {
-		return nil, err
-	}
 	fig := &metrics.Figure{
 		Title:  "Figure 7 — Just execution vs transmission & execution",
 		Unit:   "minutes",
 		Labels: SCLabels,
 	}
-	exec := make([]float64, len(SCLabels))
-	both := make([]float64, len(SCLabels))
-	err = env.Run(func(ctl *overlay.Client, _ map[string]*overlay.Client) error {
-		for i, label := range SCLabels {
-			host := env.Host(label)
-			var execSamples, bothSamples []float64
-			for rep := 0; rep < cfg.Reps; rep++ {
-				env.Slice.Control.Sleep(cfg.IdleGap)
+	samples, err := runCells(cfg, "fig7", len(SCLabels)*cfg.Reps,
+		func(i int, cellCfg Config) (fig7Sample, error) {
+			label, rep := SCLabels[i/cfg.Reps], i%cfg.Reps
+			return envCell(cellCfg, func(env *Env, ctl *overlay.Client) (fig7Sample, error) {
+				host := env.Host(label)
+				env.Slice.Control.Sleep(cellCfg.IdleGap)
 				// Just execution: the input is already at the peer.
 				res, err := ctl.SubmitTask(host, taskFor(rep))
 				if err != nil {
-					return fmt.Errorf("fig7 exec %s: %w", label, err)
+					return fig7Sample{}, fmt.Errorf("fig7 exec %s: %w", label, err)
 				}
-				execSamples = append(execSamples, res.Elapsed.Minutes())
+				out := fig7Sample{execMins: res.Elapsed.Minutes()}
 
-				env.Slice.Control.Sleep(cfg.IdleGap)
+				env.Slice.Control.Sleep(cellCfg.IdleGap)
 				// Transmission & execution. The input travels in 4 parts —
 				// by Figure 5 the platform's users would not ship 50 Mb whole.
 				start := env.Slice.Control.Now()
 				if _, err := ctl.SendFile(host,
 					transfer.NewVirtualFile("input", 50*transfer.Mb, int64(rep)), 4); err != nil {
-					return fmt.Errorf("fig7 transfer %s: %w", label, err)
+					return fig7Sample{}, fmt.Errorf("fig7 transfer %s: %w", label, err)
 				}
 				if _, err := ctl.SubmitTask(host, taskFor(rep)); err != nil {
-					return fmt.Errorf("fig7 exec-after-transfer %s: %w", label, err)
+					return fig7Sample{}, fmt.Errorf("fig7 exec-after-transfer %s: %w", label, err)
 				}
-				bothSamples = append(bothSamples, env.Slice.Control.Now().Sub(start).Minutes())
-			}
-			exec[i] = metrics.Mean(execSamples)
-			both[i] = metrics.Mean(bothSamples)
-		}
-		return nil
-	})
+				out.bothMins = env.Slice.Control.Now().Sub(start).Minutes()
+				return out, nil
+			})
+		})
 	if err != nil {
 		return nil, err
 	}
-	if err := fig.AddSeries("just execution", exec); err != nil {
+	exec := make([]float64, len(samples))
+	both := make([]float64, len(samples))
+	for i, s := range samples {
+		exec[i], both[i] = s.execMins, s.bothMins
+	}
+	if err := fig.AddSeries("just execution", meansOf(exec, cfg.Reps)); err != nil {
 		return nil, err
 	}
-	if err := fig.AddSeries("transmission & execution", both); err != nil {
+	if err := fig.AddSeries("transmission & execution", meansOf(both, cfg.Reps)); err != nil {
 		return nil, err
 	}
 	return fig, nil

@@ -1,0 +1,182 @@
+// Parallel experiment runner.
+//
+// The paper's evaluation is embarrassingly parallel: every data point is an
+// independent PlanetLab run. The runner decomposes each figure into *cells*
+// — one (scenario, peer, repetition) unit with its own freshly deployed
+// slice and virtual-time scheduler — and executes cells across a worker
+// pool. Each cell's simnet seed derives deterministically from
+// (Config.Seed, figure, cell index) via SplitMix64, and results are
+// collected positionally, so a figure's values are bit-identical for a
+// given seed at any worker count, including 1.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"peerlab/internal/metrics"
+	"peerlab/internal/overlay"
+)
+
+// splitmix64 is the SplitMix64 finalizer: a cheap bijective mixer whose
+// output is statistically independent of closely spaced inputs — exactly
+// what turning (seed, figure, index) triples into simnet seeds needs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// deriveSeed maps (root seed, figure, cell index) to the cell's simnet seed.
+func deriveSeed(seed int64, figure string, index int) int64 {
+	h := splitmix64(uint64(seed))
+	for _, b := range []byte(figure) {
+		h = splitmix64(h ^ uint64(b))
+	}
+	return int64(splitmix64(h ^ uint64(index)))
+}
+
+// workerPool bounds how many cells simulate concurrently. A cell holds a
+// slot only while its own scheduler runs; cells are CPU-bound, so the pool
+// is sized to cores by default.
+type workerPool struct {
+	sem chan struct{}
+}
+
+func newWorkerPool(n int) *workerPool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &workerPool{sem: make(chan struct{}, n)}
+}
+
+func (p *workerPool) acquire() { p.sem <- struct{}{} }
+func (p *workerPool) release() { <-p.sem }
+
+// runCells executes n independent cells of one figure across the worker
+// pool and returns their results in cell order. Each cell receives a copy
+// of cfg with Seed replaced by its derived seed. On failure the error of
+// the lowest-index failing cell is returned, keeping even error output
+// independent of the worker count.
+func runCells[T any](cfg Config, figure string, n int, cell func(i int, cellCfg Config) (T, error)) ([]T, error) {
+	pool := cfg.pool
+	if pool == nil {
+		pool = newWorkerPool(cfg.Workers)
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pool.acquire()
+			defer pool.release()
+			cellCfg := cfg
+			cellCfg.Seed = deriveSeed(cfg.Seed, figure, i)
+			out[i], errs[i] = cell(i, cellCfg)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// envCell deploys a fresh slice for one cell and runs fn as its driver
+// process, returning fn's result once the cell's network quiesces.
+func envCell[T any](cellCfg Config, fn func(env *Env, ctl *overlay.Client) (T, error)) (T, error) {
+	var out T
+	env, err := NewEnv(cellCfg)
+	if err != nil {
+		return out, err
+	}
+	err = env.Run(func(ctl *overlay.Client, _ map[string]*overlay.Client) error {
+		v, ferr := fn(env, ctl)
+		out = v
+		return ferr
+	})
+	return out, err
+}
+
+// meansOf folds consecutive runs of reps samples into their means: cell
+// results arrive ordered (group-major, repetition-minor), one mean per group.
+func meansOf(samples []float64, reps int) []float64 {
+	out := make([]float64, 0, len(samples)/reps)
+	for i := 0; i+reps <= len(samples); i += reps {
+		out = append(out, metrics.Mean(samples[i:i+reps]))
+	}
+	return out
+}
+
+// SuiteFigure pairs a figure key ("fig2".."fig7") with its regenerated
+// figure.
+type SuiteFigure struct {
+	Name   string          `json:"name"`
+	Figure *metrics.Figure `json:"figure"`
+}
+
+// Suite is the paper's full regenerated evaluation.
+type Suite struct {
+	Table1  *metrics.Table `json:"table1"`
+	Figures []SuiteFigure  `json:"figures"`
+}
+
+// Figure returns the suite figure with the given key, or nil.
+func (s *Suite) Figure(name string) *metrics.Figure {
+	for _, f := range s.Figures {
+		if f.Name == name {
+			return f.Figure
+		}
+	}
+	return nil
+}
+
+// suiteGenerators lists the figure generators in paper order.
+var suiteGenerators = []struct {
+	name string
+	fn   func(Config) (*metrics.Figure, error)
+}{
+	{"fig2", Fig2PetitionTime},
+	{"fig3", Fig3Transmission50Mb},
+	{"fig4", Fig4LastMb},
+	{"fig5", Fig5Granularity},
+	{"fig6", Fig6SelectionModels},
+	{"fig7", Fig7ExecVsTransferExec},
+}
+
+// FigureSuite regenerates Table 1 and Figures 2–7. All figures run
+// concurrently over one shared worker pool of cfg.Workers slots, so the
+// whole suite saturates the machine without oversubscribing it; per-cell
+// seed derivation keeps every figure's values identical to a Workers: 1 run.
+func FigureSuite(cfg Config) (*Suite, error) {
+	cfg = cfg.withDefaults()
+	if cfg.pool == nil {
+		cfg.pool = newWorkerPool(cfg.Workers)
+	}
+	cfg.fig50 = &fig50Cache{}
+	figs := make([]*metrics.Figure, len(suiteGenerators))
+	errs := make([]error, len(suiteGenerators))
+	var wg sync.WaitGroup
+	for i, g := range suiteGenerators {
+		wg.Add(1)
+		go func(i int, fn func(Config) (*metrics.Figure, error)) {
+			defer wg.Done()
+			figs[i], errs[i] = fn(cfg)
+		}(i, g.fn)
+	}
+	wg.Wait()
+	suite := &Suite{Table1: Table1(), Figures: make([]SuiteFigure, 0, len(suiteGenerators))}
+	for i, g := range suiteGenerators {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", g.name, errs[i])
+		}
+		suite.Figures = append(suite.Figures, SuiteFigure{Name: g.name, Figure: figs[i]})
+	}
+	return suite, nil
+}

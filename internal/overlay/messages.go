@@ -49,10 +49,11 @@ type register struct {
 }
 
 func (m register) encode() []byte {
-	e := wire.NewEncoder(128)
+	e := wire.GetEncoder()
+	defer wire.PutEncoder(e)
 	e.Byte(mtRegister)
 	m.Adv.Encode(e)
-	return append([]byte(nil), e.Bytes()...)
+	return e.Detach()
 }
 
 // registerAck confirms registration.
@@ -63,12 +64,13 @@ type registerAck struct {
 }
 
 func (m registerAck) encode() []byte {
-	e := wire.NewEncoder(32)
+	e := wire.GetEncoder()
+	defer wire.PutEncoder(e)
 	e.Byte(mtRegisterAck)
 	e.Bool(m.OK)
 	e.String(m.Broker)
 	e.Int(m.KnownPeers)
-	return append([]byte(nil), e.Bytes()...)
+	return e.Detach()
 }
 
 // statsReport carries a client's self-reported load.
@@ -82,7 +84,8 @@ type statsReport struct {
 }
 
 func (m statsReport) encode() []byte {
-	e := wire.NewEncoder(64)
+	e := wire.GetEncoder()
+	defer wire.PutEncoder(e)
 	e.Byte(mtStatsReport)
 	e.String(m.Peer)
 	e.Int(m.InboxLen)
@@ -90,7 +93,7 @@ func (m statsReport) encode() []byte {
 	e.Int(m.QueueLen)
 	e.Duration(m.ReadyIn)
 	e.Float64(m.CPUScore)
-	return append([]byte(nil), e.Bytes()...)
+	return e.Detach()
 }
 
 // discover queries the broker's advertisement directory.
@@ -100,11 +103,12 @@ type discover struct {
 }
 
 func (m discover) encode() []byte {
-	e := wire.NewEncoder(32)
+	e := wire.GetEncoder()
+	defer wire.PutEncoder(e)
 	e.Byte(mtDiscover)
 	e.Byte(byte(m.Kind))
 	e.String(m.Name)
-	return append([]byte(nil), e.Bytes()...)
+	return e.Detach()
 }
 
 // discoverResult returns matching advertisements.
@@ -113,13 +117,14 @@ type discoverResult struct {
 }
 
 func (m discoverResult) encode() []byte {
-	e := wire.NewEncoder(256)
+	e := wire.GetEncoder()
+	defer wire.PutEncoder(e)
 	e.Byte(mtDiscoverResult)
 	e.Uint64(uint64(len(m.Advs)))
 	for _, a := range m.Advs {
 		a.Encode(e)
 	}
-	return append([]byte(nil), e.Bytes()...)
+	return e.Detach()
 }
 
 // selectReq asks the broker's selection service to rank peers.
@@ -136,7 +141,8 @@ type selectReq struct {
 }
 
 func (m selectReq) encode() []byte {
-	e := wire.NewEncoder(96)
+	e := wire.GetEncoder()
+	defer wire.PutEncoder(e)
 	e.Byte(mtSelect)
 	e.String(m.Model)
 	e.Byte(m.Kind)
@@ -145,7 +151,7 @@ func (m selectReq) encode() []byte {
 	e.Int(m.MaxResults)
 	e.StringSlice(m.Preferred)
 	e.StringSlice(m.Exclude)
-	return append([]byte(nil), e.Bytes()...)
+	return e.Detach()
 }
 
 // selectResult returns ranked peer names and their transfer addresses.
@@ -156,12 +162,13 @@ type selectResult struct {
 }
 
 func (m selectResult) encode() []byte {
-	e := wire.NewEncoder(128)
+	e := wire.GetEncoder()
+	defer wire.PutEncoder(e)
 	e.Byte(mtSelectResult)
 	e.StringSlice(m.Peers)
 	e.StringSlice(m.Addrs)
 	e.String(m.Err)
-	return append([]byte(nil), e.Bytes()...)
+	return e.Detach()
 }
 
 // reportTransfer carries a sender's observations of one transfer.
@@ -175,7 +182,8 @@ type reportTransfer struct {
 }
 
 func (m reportTransfer) encode() []byte {
-	e := wire.NewEncoder(64)
+	e := wire.GetEncoder()
+	defer wire.PutEncoder(e)
 	e.Byte(mtReportTransfer)
 	e.String(m.Peer)
 	e.Bool(m.OK)
@@ -183,7 +191,7 @@ func (m reportTransfer) encode() []byte {
 	e.Int(m.Bytes)
 	e.Duration(m.Duration)
 	e.Duration(m.PetitionDelay)
-	return append([]byte(nil), e.Bytes()...)
+	return e.Detach()
 }
 
 // reportTask carries a submitter's observations of one task offer.
@@ -195,13 +203,14 @@ type reportTask struct {
 }
 
 func (m reportTask) encode() []byte {
-	e := wire.NewEncoder(48)
+	e := wire.GetEncoder()
+	defer wire.PutEncoder(e)
 	e.Byte(mtReportTask)
 	e.String(m.Peer)
 	e.Bool(m.Accepted)
 	e.Bool(m.OK)
 	e.Float64(m.SecondsPerUnit)
-	return append([]byte(nil), e.Bytes()...)
+	return e.Detach()
 }
 
 // reportMessage records an instant-message outcome.
@@ -211,11 +220,12 @@ type reportMessage struct {
 }
 
 func (m reportMessage) encode() []byte {
-	e := wire.NewEncoder(32)
+	e := wire.GetEncoder()
+	defer wire.PutEncoder(e)
 	e.Byte(mtReportMessage)
 	e.String(m.Peer)
 	e.Bool(m.OK)
-	return append([]byte(nil), e.Bytes()...)
+	return e.Detach()
 }
 
 // taskSubmit offers a task to a peer's executor.
@@ -225,14 +235,15 @@ type taskSubmit struct {
 }
 
 func (m taskSubmit) encode() []byte {
-	e := wire.NewEncoder(64)
+	e := wire.GetEncoder()
+	defer wire.PutEncoder(e)
 	e.Byte(mtTaskSubmit)
 	e.Uint64(m.Task.ID)
 	e.String(m.Task.Name)
 	e.Float64(m.Task.WorkUnits)
 	e.Int(m.Task.InputSize)
 	e.String(m.From)
-	return append([]byte(nil), e.Bytes()...)
+	return e.Detach()
 }
 
 // taskDecision reports acceptance or rejection of a submitted task.
@@ -243,12 +254,13 @@ type taskDecision struct {
 }
 
 func (m taskDecision) encode() []byte {
-	e := wire.NewEncoder(32)
+	e := wire.GetEncoder()
+	defer wire.PutEncoder(e)
 	e.Byte(mtTaskDecision)
 	e.Uint64(m.TaskID)
 	e.Bool(m.Accepted)
 	e.String(m.Reason)
-	return append([]byte(nil), e.Bytes()...)
+	return e.Detach()
 }
 
 // taskDone returns the execution result.
@@ -257,14 +269,15 @@ type taskDone struct {
 }
 
 func (m taskDone) encode() []byte {
-	e := wire.NewEncoder(64)
+	e := wire.GetEncoder()
+	defer wire.PutEncoder(e)
 	e.Byte(mtTaskDone)
 	e.Uint64(m.Result.TaskID)
 	e.Bool(m.Result.OK)
 	e.String(m.Result.Detail)
 	e.Duration(m.Result.Elapsed)
 	e.String(m.Result.Peer)
-	return append([]byte(nil), e.Bytes()...)
+	return e.Detach()
 }
 
 // instant is a one-line instant message between peers.
@@ -274,11 +287,12 @@ type instant struct {
 }
 
 func (m instant) encode() []byte {
-	e := wire.NewEncoder(64)
+	e := wire.GetEncoder()
+	defer wire.PutEncoder(e)
 	e.Byte(mtInstant)
 	e.String(m.From)
 	e.String(m.Text)
-	return append([]byte(nil), e.Bytes()...)
+	return e.Detach()
 }
 
 // ackBytes is the generic acknowledgment payload.

@@ -268,7 +268,8 @@ func (m *Mux) dispatch(msg transport.Message) {
 // sendFrame encodes and transmits one frame. size is the app-level wire
 // size; the header is added on top.
 func (m *Mux) sendFrame(peer transport.Addr, kind byte, dirTheirs bool, id, seq, ack uint64, payload []byte, size int) error {
-	e := wire.NewEncoder(len(payload) + 32)
+	e := wire.GetEncoder()
+	defer wire.PutEncoder(e)
 	e.Byte(kind)
 	e.Bool(dirTheirs)
 	e.Uint64(id)
@@ -276,7 +277,8 @@ func (m *Mux) sendFrame(peer transport.Addr, kind byte, dirTheirs bool, id, seq,
 	e.Uint64(ack)
 	hdrLen := e.Len() + uvarintLen(uint64(len(payload)))
 	e.BytesField(payload)
-	return m.ep.SendSized(peer, e.Bytes(), hdrLen+size)
+	// Detach: the simulated transport retains the buffer until delivery.
+	return m.ep.SendSized(peer, e.Detach(), hdrLen+size)
 }
 
 func uvarintLen(v uint64) int {

@@ -251,7 +251,10 @@ func (ep *endpoint) SendSized(to transport.Addr, payload []byte, size int) error
 	if err != nil {
 		return err
 	}
-	e := wire.NewEncoder(len(payload) + 64)
+	// The frame is written to the socket before this call returns, so the
+	// pooled buffer can be handed straight to WriteFrame.
+	e := wire.GetEncoder()
+	defer wire.PutEncoder(e)
 	e.String(string(ep.addr))
 	e.String(string(to))
 	e.Int(size)

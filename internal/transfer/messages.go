@@ -27,7 +27,8 @@ type petition struct {
 }
 
 func (p petition) encode() []byte {
-	e := wire.NewEncoder(96)
+	e := wire.GetEncoder()
+	defer wire.PutEncoder(e)
 	e.Byte(msgPetition)
 	e.Uint64(p.TransferID)
 	e.String(p.FileName)
@@ -36,7 +37,7 @@ func (p petition) encode() []byte {
 	e.Int(p.Parts)
 	e.String(p.Sender)
 	e.Time(p.SentAt)
-	return append([]byte(nil), e.Bytes()...)
+	return e.Detach()
 }
 
 func decodePetition(d *wire.Decoder) (petition, error) {
@@ -62,13 +63,14 @@ type petitionAck struct {
 }
 
 func (p petitionAck) encode() []byte {
-	e := wire.NewEncoder(48)
+	e := wire.GetEncoder()
+	defer wire.PutEncoder(e)
 	e.Byte(msgPetitionAck)
 	e.Uint64(p.TransferID)
 	e.Bool(p.Accept)
 	e.String(p.Reason)
 	e.Time(p.ReceivedAt)
-	return append([]byte(nil), e.Bytes()...)
+	return e.Detach()
 }
 
 func decodePetitionAck(d *wire.Decoder) (petitionAck, error) {
@@ -91,14 +93,15 @@ type partHeader struct {
 }
 
 func (p partHeader) encode() []byte {
-	e := wire.NewEncoder(64 + len(p.Data))
+	e := wire.GetEncoder()
+	defer wire.PutEncoder(e)
 	e.Byte(msgPart)
 	e.Uint64(p.TransferID)
 	e.Int(p.Index)
 	e.Int(p.Offset)
 	e.Int(p.Size)
 	e.BytesField(p.Data)
-	return append([]byte(nil), e.Bytes()...)
+	return e.Detach()
 }
 
 func decodePart(d *wire.Decoder) (partHeader, error) {
@@ -128,7 +131,8 @@ type partAck struct {
 }
 
 func (p partAck) encode() []byte {
-	e := wire.NewEncoder(48)
+	e := wire.GetEncoder()
+	defer wire.PutEncoder(e)
 	e.Byte(msgPartAck)
 	e.Uint64(p.TransferID)
 	e.Int(p.Index)
@@ -136,7 +140,7 @@ func (p partAck) encode() []byte {
 	e.String(p.Reason)
 	e.Time(p.DeliveredAt)
 	e.Bool(p.Ready)
-	return append([]byte(nil), e.Bytes()...)
+	return e.Detach()
 }
 
 func decodePartAck(d *wire.Decoder) (partAck, error) {

@@ -48,9 +48,7 @@ func (q *Queue) pushLocked(v any) error {
 	if len(q.waits) > 0 {
 		w := q.waits[0]
 		q.waits = q.waits[1:]
-		if w.deadline != nil {
-			w.deadline.cancelled = true
-		}
+		q.s.cancelLocked(w.deadline)
 		q.s.running++
 		w.ch <- v
 		return nil
@@ -149,9 +147,7 @@ func (q *Queue) Close() {
 	}
 	q.closed = true
 	for _, w := range q.waits {
-		if w.deadline != nil {
-			w.deadline.cancelled = true
-		}
+		q.s.cancelLocked(w.deadline)
 		q.s.running++
 		w.ch <- errClosedMarker{}
 	}

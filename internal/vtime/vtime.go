@@ -16,7 +16,6 @@ package vtime
 import (
 	"container/heap"
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 )
@@ -34,7 +33,8 @@ type Scheduler struct {
 	started int           // processes ever started
 	timers  timerHeap
 	seq     int64
-	quiet   *sync.Cond // signalled when the system quiesces
+	batch   []*timerEntry // reused fire batch, see advanceLocked
+	quiet   *sync.Cond    // signalled when the system quiesces
 	halted  bool
 
 	// OnDeadlock, if non-nil, is invoked instead of panicking when every
@@ -120,7 +120,7 @@ func (t *Timer) Stop() bool {
 		return false
 	}
 	t.stopped = true
-	t.entry.cancelled = true
+	t.s.cancelLocked(t.entry)
 	return true
 }
 
@@ -163,16 +163,27 @@ func (s *Scheduler) scheduleLocked(at time.Duration, fn func()) *timerEntry {
 	return e
 }
 
+// cancelLocked marks e cancelled and removes it from the heap eagerly, using
+// the index the heap maintains. Eager removal keeps the invariant that every
+// heap entry is live, which makes Pending O(1). An entry already popped into
+// the current fire batch (index -1) is only marked; advanceLocked skips it.
+// Caller holds s.mu.
+func (s *Scheduler) cancelLocked(e *timerEntry) {
+	if e == nil || e.cancelled || e.fired {
+		return
+	}
+	e.cancelled = true
+	if e.index >= 0 {
+		heap.Remove(&s.timers, e.index)
+	}
+}
+
 // advanceLocked is called whenever running may have dropped to zero. If no
 // process is runnable it advances the clock to the earliest pending timer and
 // fires every entry scheduled for that instant, in schedule order. Caller
 // holds s.mu.
 func (s *Scheduler) advanceLocked() {
 	for s.running == 0 {
-		// Discard cancelled entries at the head.
-		for len(s.timers) > 0 && s.timers[0].cancelled {
-			heap.Pop(&s.timers)
-		}
 		if len(s.timers) == 0 {
 			// Quiescent: no runnable process, no pending event. Remaining
 			// parked processes (queue waiters) are daemons.
@@ -184,19 +195,29 @@ func (s *Scheduler) advanceLocked() {
 			panic(fmt.Sprintf("vtime: timer in the past: %v < %v", at, s.now))
 		}
 		s.now = at
-		// Fire every entry at this instant in seq order for determinism.
-		var batch []*timerEntry
+		// Fire every entry at this instant. The heap pops in (at, seq) order,
+		// so the batch is already in schedule order; the batch slice is reused
+		// across advances (detached from s while firing, in case a callback
+		// re-enters the scheduler).
+		batch := s.batch[:0]
+		s.batch = nil
 		for len(s.timers) > 0 && s.timers[0].at == at {
-			e := heap.Pop(&s.timers).(*timerEntry)
-			if !e.cancelled {
-				batch = append(batch, e)
-			}
+			batch = append(batch, heap.Pop(&s.timers).(*timerEntry))
 		}
-		sort.Slice(batch, func(i, j int) bool { return batch[i].seq < batch[j].seq })
 		for _, e := range batch {
+			if e.cancelled {
+				// A callback earlier in this batch cancelled e after it was
+				// already popped (e.g. a same-instant push beating a pop
+				// deadline): firing it anyway would double-wake its waiter.
+				continue
+			}
 			e.fired = true
 			e.fire()
 		}
+		for i := range batch {
+			batch[i] = nil // don't pin fired entries until the next advance
+		}
+		s.batch = batch[:0]
 		// Firing may have made processes runnable; if not, loop to the next
 		// instant.
 	}
@@ -221,15 +242,11 @@ func (s *Scheduler) Wait() {
 	}
 }
 
-// pendingLocked counts non-cancelled timers. Caller holds s.mu.
+// pendingLocked counts live timers. Cancelled entries are removed from the
+// heap eagerly (see cancelLocked), so the heap length is the live count —
+// O(1) instead of a scan. Caller holds s.mu.
 func (s *Scheduler) pendingLocked() int {
-	n := 0
-	for _, e := range s.timers {
-		if !e.cancelled {
-			n++
-		}
-	}
-	return n
+	return len(s.timers)
 }
 
 // Pending reports the number of live timers; useful in tests.
@@ -279,6 +296,7 @@ func (h *timerHeap) Pop() any {
 	n := len(old)
 	e := old[n-1]
 	old[n-1] = nil
+	e.index = -1 // no longer in the heap; cancelLocked must not Remove it
 	*h = old[:n-1]
 	return e
 }

@@ -154,6 +154,67 @@ func TestSameInstantTimersFireInScheduleOrder(t *testing.T) {
 	}
 }
 
+func TestCallbackFiringOrderIsScheduleOrder(t *testing.T) {
+	// The heap pops in (at, seq) order, which must be exactly the firing
+	// order: entries at an earlier instant first, ties broken by schedule
+	// order. Callbacks registered via callbackAt run with the scheduler lock
+	// held, so the recorded order is the true firing order.
+	s := NewScheduler()
+	var order []string
+	schedule := func(name string, at time.Duration) {
+		s.callbackAt(at, func() { order = append(order, name) })
+	}
+	// Interleave instants so heap order differs from insertion order.
+	schedule("b1", 5*time.Millisecond)
+	schedule("b2", 5*time.Millisecond)
+	schedule("a1", 3*time.Millisecond)
+	schedule("b3", 5*time.Millisecond)
+	schedule("a2", 3*time.Millisecond)
+	s.Wait()
+	want := []string{"a1", "a2", "b1", "b2", "b3"}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
+	}
+}
+
+func TestStopRemovesTimerFromHeapEagerly(t *testing.T) {
+	s := NewScheduler()
+	tm1 := s.AfterFunc(time.Hour, func() {})
+	tm2 := s.AfterFunc(2*time.Hour, func() {})
+	if s.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", s.Pending())
+	}
+	// Stop a timer that is NOT at the heap head: it must leave the heap
+	// immediately, not linger until it would reach the front.
+	if !tm2.Stop() {
+		t.Fatal("Stop returned false on a pending timer")
+	}
+	s.mu.Lock()
+	heapLen := len(s.timers)
+	s.mu.Unlock()
+	if heapLen != 1 {
+		t.Fatalf("heap holds %d entries after Stop, want 1 (eager removal)", heapLen)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", s.Pending())
+	}
+	if !tm1.Stop() {
+		t.Fatal("Stop on first timer returned false")
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", s.Pending())
+	}
+	s.Wait()
+	if s.Elapsed() != 0 {
+		t.Fatalf("Elapsed = %v, want 0 (stopped timers must not drive the clock)", s.Elapsed())
+	}
+}
+
 func TestQueuePushPop(t *testing.T) {
 	s := NewScheduler()
 	q := NewQueue(s)
@@ -240,6 +301,40 @@ func TestQueuePopTimeoutBeatenByPush(t *testing.T) {
 	// The timeout timer must have been cancelled: no stray clock advance.
 	if s.Elapsed() != time.Second {
 		t.Fatalf("Elapsed = %v, want 1s", s.Elapsed())
+	}
+}
+
+func TestPushAtSameInstantAsPopDeadline(t *testing.T) {
+	// A delivery and a pop deadline scheduled for the same virtual instant
+	// are popped into one fire batch. The delivery (lower seq) fires first
+	// and cancels the deadline; the deadline must then be skipped — firing
+	// it anyway would wake the already-woken waiter a second time and leak
+	// a phantom runnable that stalls the clock forever.
+	done := make(chan struct{})
+	var v any
+	var err error
+	var elapsed time.Duration
+	go func() {
+		defer close(done)
+		s := NewScheduler()
+		q := NewQueue(s)
+		s.Go(func() {
+			q.PushAt("msg", Epoch.Add(2*time.Second))
+			v, err = q.PopTimeout(2 * time.Second)
+		})
+		s.Wait()
+		elapsed = s.Elapsed()
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("scheduler wedged: cancelled same-instant deadline must not fire")
+	}
+	if err != nil || v != "msg" {
+		t.Fatalf("PopTimeout = (%v, %v), want (msg, nil)", v, err)
+	}
+	if elapsed != 2*time.Second {
+		t.Fatalf("Elapsed = %v, want 2s", elapsed)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 )
 
@@ -48,6 +49,39 @@ func (e *Encoder) Len() int { return len(e.buf) }
 
 // Reset truncates the encoder for reuse, keeping the allocation.
 func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Detach returns a copy of the encoded bytes that stays valid after the
+// encoder is reset or returned to the pool.
+func (e *Encoder) Detach() []byte {
+	return append([]byte(nil), e.buf...)
+}
+
+// maxPooledEncoder caps the buffer capacity kept in the encoder pool so a
+// single huge message (e.g. a whole file part) does not pin memory forever.
+const maxPooledEncoder = 64 << 10
+
+// encoderPool recycles encoders for the protocol hot path: every overlay,
+// transfer and transport message encode otherwise allocates a fresh buffer.
+var encoderPool = sync.Pool{
+	New: func() any { return &Encoder{buf: make([]byte, 0, 512)} },
+}
+
+// GetEncoder returns an empty pooled encoder. Pair with PutEncoder; the
+// buffer (and anything returned by Bytes) is invalid after PutEncoder, so
+// callers that keep the encoding use Detach first.
+func GetEncoder() *Encoder {
+	return encoderPool.Get().(*Encoder)
+}
+
+// PutEncoder resets e and returns it to the pool. Oversized buffers are
+// dropped rather than pooled.
+func PutEncoder(e *Encoder) {
+	if cap(e.buf) > maxPooledEncoder {
+		return
+	}
+	e.Reset()
+	encoderPool.Put(e)
+}
 
 // Uint64 appends v as an unsigned varint.
 func (e *Encoder) Uint64(v uint64) {

@@ -309,3 +309,40 @@ func TestReadFrameShortPayload(t *testing.T) {
 		t.Fatal("ReadFrame succeeded on truncated payload")
 	}
 }
+
+func TestEncoderPoolRoundtrip(t *testing.T) {
+	e := GetEncoder()
+	if e.Len() != 0 {
+		t.Fatalf("pooled encoder not empty: %d bytes", e.Len())
+	}
+	e.Uint64(7)
+	e.String("peer")
+	detached := e.Detach()
+	PutEncoder(e)
+
+	// The detached copy must survive arbitrary reuse of the pooled encoder.
+	e2 := GetEncoder()
+	for i := 0; i < 64; i++ {
+		e2.String("overwrite-the-backing-array")
+	}
+	d := NewDecoder(detached)
+	if got := d.Uint64(); got != 7 {
+		t.Fatalf("Uint64 = %d, want 7", got)
+	}
+	if got := d.StringField(); got != "peer" {
+		t.Fatalf("String = %q, want peer", got)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	PutEncoder(e2)
+}
+
+func TestPutEncoderDropsOversizedBuffers(t *testing.T) {
+	e := GetEncoder()
+	e.BytesField(make([]byte, maxPooledEncoder+1))
+	PutEncoder(e) // must not panic; oversized buffer is simply not pooled
+	if got := GetEncoder(); got.Len() != 0 {
+		t.Fatalf("encoder from pool not reset: %d bytes", got.Len())
+	}
+}

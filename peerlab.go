@@ -22,6 +22,8 @@ import (
 	"time"
 
 	"peerlab/internal/core"
+	"peerlab/internal/experiments"
+	"peerlab/internal/metrics"
 	"peerlab/internal/overlay"
 	"peerlab/internal/planetlab"
 	"peerlab/internal/simnet"
@@ -73,6 +75,23 @@ func NewVirtualFile(name string, size int, seed int64) File {
 
 // NewFile wraps real bytes (verified end to end by checksum).
 func NewFile(name string, data []byte) File { return transfer.NewFile(name, data) }
+
+// Figure is a labeled group of result series — one regenerated chart.
+type Figure = metrics.Figure
+
+// FigureSuite is the paper's full regenerated evaluation: Table 1 plus
+// Figures 2–7 in paper order.
+type FigureSuite = experiments.Suite
+
+// ReproduceFigures regenerates the paper's evaluation on the parallel
+// experiment runner: every (scenario, peer, repetition) cell deploys its own
+// simulated slice and the cells fan out across workers concurrent slots
+// (0 = GOMAXPROCS). Cell seeds derive deterministically from the root seed,
+// so the suite is bit-identical for a given seed at any worker count. reps
+// is the repetitions averaged per data point (0 = the paper's 5).
+func ReproduceFigures(seed int64, reps, workers int) (*FigureSuite, error) {
+	return experiments.FigureSuite(experiments.Config{Seed: seed, Reps: reps, Workers: workers})
+}
 
 // PeerConfig describes one peer node in a deployment.
 type PeerConfig struct {
