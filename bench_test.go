@@ -22,6 +22,7 @@ import (
 	"peerlab/internal/metrics"
 	"peerlab/internal/pipe"
 	"peerlab/internal/planetlab"
+	"peerlab/internal/scenario"
 	"peerlab/internal/simnet"
 	"peerlab/internal/stats"
 	"peerlab/internal/vtime"
@@ -131,13 +132,14 @@ func BenchmarkFig7ExecVsTransferExec(b *testing.B) {
 // BenchmarkFigureSuite regenerates the full Fig2–Fig7 suite on the parallel
 // cell runner. The serial/parallel pair pins the runner's multi-core speedup
 // on the bench trajectory; both variants produce bit-identical figures for
-// the same seed.
+// the same seed. The heterogeneous-128 variant runs the identical suite on
+// a synthesized 128-peer slice (one rep per data point), so the trajectory
+// starts capturing production-scale workloads, not just the paper's 8 peers.
 func BenchmarkFigureSuite(b *testing.B) {
-	run := func(b *testing.B, workers int) {
+	run := func(b *testing.B, cfg experiments.Config) {
 		for i := 0; i < b.N; i++ {
-			suite, err := experiments.FigureSuite(experiments.Config{
-				Seed: int64(600 + i), Reps: 2, Workers: workers,
-			})
+			cfg.Seed = int64(600 + i)
+			suite, err := experiments.FigureSuite(cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -146,8 +148,11 @@ func BenchmarkFigureSuite(b *testing.B) {
 			}
 		}
 	}
-	b.Run("serial", func(b *testing.B) { run(b, 1) })
-	b.Run("parallel", func(b *testing.B) { run(b, 0) })
+	b.Run("serial", func(b *testing.B) { run(b, experiments.Config{Reps: 2, Workers: 1}) })
+	b.Run("parallel", func(b *testing.B) { run(b, experiments.Config{Reps: 2}) })
+	b.Run("heterogeneous-128", func(b *testing.B) {
+		run(b, experiments.Config{Reps: 1, Scenario: scenario.Heterogeneous(128), Shards: 4})
+	})
 }
 
 // --- Ablations -----------------------------------------------------------

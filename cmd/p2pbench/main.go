@@ -10,7 +10,8 @@
 // Usage:
 //
 //	p2pbench [-experiment all|table1|fig2|fig3|fig4|fig5|fig6|fig7]
-//	         [-seed N] [-reps N] [-parallel N]
+//	         [-scenario table1|uniform:N|heterogeneous:N]
+//	         [-seed N] [-reps N] [-parallel N] [-shards N]
 //	         [-format markdown|bars|csv|json]
 package main
 
@@ -24,23 +25,28 @@ import (
 
 	"peerlab/internal/experiments"
 	"peerlab/internal/metrics"
+	"peerlab/internal/scenario"
 )
 
 // result is the machine-readable run record emitted by -format json.
 type result struct {
-	Seed    int64                     `json:"seed"`
-	Reps    int                       `json:"reps"`
-	Workers int                       `json:"workers"`
-	Table1  *metrics.Table            `json:"table1,omitempty"`
-	Figures []experiments.SuiteFigure `json:"figures,omitempty"`
+	Scenario string                    `json:"scenario"`
+	Seed     int64                     `json:"seed"`
+	Reps     int                       `json:"reps"`
+	Workers  int                       `json:"workers"`
+	Shards   int                       `json:"shards"`
+	Table1   *metrics.Table            `json:"table1,omitempty"`
+	Figures  []experiments.SuiteFigure `json:"figures,omitempty"`
 }
 
 func main() {
 	var (
 		exp      = flag.String("experiment", "all", "which exhibit to regenerate (all, table1, fig2..fig7)")
+		scen     = flag.String("scenario", "table1", "slice scenario: table1 (the paper's calibrated world), uniform:N, heterogeneous:N")
 		seed     = flag.Int64("seed", 2007, "simulation seed (runs with equal seeds are identical)")
 		reps     = flag.Int("reps", 5, "repetitions per data point (the paper used 5)")
 		parallel = flag.Int("parallel", 0, "experiment cells run concurrently (0 = GOMAXPROCS, 1 = serial)")
+		shards   = flag.Int("shards", 1, "broker shards per deployed slice (results are shard-count independent)")
 		format   = flag.String("format", "markdown", "output format: markdown, bars, csv, json")
 	)
 	flag.Parse()
@@ -52,9 +58,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "p2pbench: unknown format %q (want markdown, bars, csv, json)\n", *format)
 		os.Exit(2)
 	}
+	sc, err := scenario.Parse(*scen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p2pbench: %v\n", err)
+		os.Exit(2)
+	}
 
-	cfg := experiments.Config{Seed: *seed, Reps: *reps, Workers: *parallel}
-	out := result{Seed: *seed, Reps: *reps, Workers: *parallel}
+	cfg := experiments.Config{Seed: *seed, Reps: *reps, Workers: *parallel, Scenario: sc, Shards: *shards}
+	out := result{Scenario: sc.Name, Seed: *seed, Reps: *reps, Workers: *parallel, Shards: *shards}
 	if out.Workers <= 0 {
 		out.Workers = runtime.GOMAXPROCS(0)
 	}

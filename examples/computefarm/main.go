@@ -18,7 +18,7 @@ const (
 )
 
 func runBatch(seed int64, model string) (time.Duration, error) {
-	d, err := peerlab.Deploy(peerlab.Config{Seed: seed, UsePlanetLab: true})
+	d, err := peerlab.Deploy(peerlab.Config{Seed: seed, Scenario: peerlab.ScenarioTable1})
 	if err != nil {
 		return 0, err
 	}

@@ -13,7 +13,7 @@ import (
 )
 
 func main() {
-	d, err := peerlab.Deploy(peerlab.Config{Seed: 2007, UsePlanetLab: true})
+	d, err := peerlab.Deploy(peerlab.Config{Seed: 2007, Scenario: peerlab.ScenarioTable1})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,12 @@
-// Quickstart: deploy a small simulated overlay, transfer a file, run a
-// task, read the broker's statistics. Everything happens on virtual time —
-// the program finishes in milliseconds while simulating minutes.
+// Quickstart: deploy a simulated slice from a scenario spec, transfer
+// files, run a task, and let the broker pick the best peer. Everything
+// happens on virtual time — the program finishes in milliseconds while
+// simulating minutes.
+//
+// The scenario layer synthesizes the slice: "heterogeneous:8" draws eight
+// peers from a PlanetLab-like mixture of healthy, loaded and pathological
+// slivers (seed-deterministic), so the same program scales to
+// "heterogeneous:128" by changing one string.
 package main
 
 import (
@@ -9,59 +15,52 @@ import (
 	"time"
 
 	"peerlab"
-	"peerlab/internal/simnet"
 )
 
 func main() {
-	// Three peers: two healthy, one on a loaded, slow sliver.
-	slow := simnet.DefaultProfile()
-	slow.Bandwidth = 200_000 // 200 KB/s
-	slow.WakeLag = 8 * time.Second
-
 	d, err := peerlab.Deploy(peerlab.Config{
-		Seed: 1,
-		Peers: []peerlab.PeerConfig{
-			{Name: "fast-peer"},
-			{Name: "steady-peer"},
-			{Name: "loaded-peer", Profile: slow},
-		},
+		Seed:     1,
+		Scenario: "heterogeneous:8",
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	peers := d.Peers()
 
 	err = d.Run(func(s *peerlab.Session) error {
-		// Let the peers fall idle after registration, so the loaded peer's
+		// Let the peers fall idle after registration, so loaded slivers'
 		// wake-up lag is visible (an engaged sliver answers promptly).
 		s.Sleep(2 * time.Minute)
 
 		// 1. File transmission with per-part confirmation (the paper's
-		//    protocol). Compare a healthy peer with the loaded one.
-		for _, peer := range []string{"fast-peer", "loaded-peer"} {
+		//    protocol) to a couple of peers: the mixture shows through the
+		//    petition and transmission times.
+		for _, peer := range peers[:2] {
 			m, err := s.SendFile(peer, peerlab.NewVirtualFile("dataset.bin", 5*peerlab.Mb, 1), 4)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("%-12s petition %8v   transmission %8v\n",
+			fmt.Printf("%-28s petition %8v   transmission %8v\n",
 				peer, m.PetitionDelay().Round(time.Millisecond),
 				m.TransmissionTime().Round(time.Millisecond))
 		}
 
-		// 2. Task execution.
-		res, err := s.SubmitTask("steady-peer", peerlab.Task{Name: "analyze", WorkUnits: 30})
-		if err != nil {
-			return err
-		}
-		fmt.Printf("task on %s: ok=%v in %v\n", res.Peer, res.OK, res.Elapsed)
-
-		// 3. Ask the broker to pick the best peer for a big transfer.
-		peers, err := s.SelectPeers(peerlab.ModelEconomic,
+		// 2. Ask the broker to pick the best peer for a big transfer, then
+		//    use the recommendation.
+		picked, err := s.SelectPeers(peerlab.ModelEconomic,
 			peerlab.SelectionRequest{Kind: peerlab.KindFileTransfer, SizeBytes: 50 * peerlab.Mb},
 			1, nil)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("economic model recommends: %s\n", peers[0])
+		fmt.Printf("economic model recommends: %s\n", picked[0])
+
+		// 3. Task execution on the recommended peer.
+		res, err := s.SubmitTask(picked[0], peerlab.Task{Name: "analyze", WorkUnits: 30})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("task on %s: ok=%v in %v\n", res.Peer, res.OK, res.Elapsed)
 		return nil
 	})
 	if err != nil {
@@ -71,7 +70,7 @@ func main() {
 	fmt.Printf("\nsimulated %v of network time\n", d.Elapsed().Round(time.Second))
 	for _, snap := range d.Snapshots() {
 		if snap.TransferRate > 0 {
-			fmt.Printf("  %-12s measured rate %.0f B/s, petition delay %v\n",
+			fmt.Printf("  %-28s measured rate %.0f B/s, petition delay %v\n",
 				snap.Peer, snap.TransferRate, snap.PetitionDelay.Round(time.Millisecond))
 		}
 	}

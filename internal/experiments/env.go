@@ -1,13 +1,15 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation (§4) on the simulated PlanetLab deployment.
+// evaluation (§4) on a simulated slice.
 //
-// Each experiment deploys the Table 1 slice (control node + SC1..SC8),
-// starts the JXTA-Overlay broker and SimpleClients, and drives the same
-// workloads the paper describes: petitions, 50 Mb and 100 Mb transfers at
-// different granularities, selection-model-driven transfers, and
-// transmission+execution runs. Results come back as metrics.Figure /
-// metrics.Table values whose shape tests compare against the paper's
-// qualitative findings.
+// Each experiment deploys a scenario (by default the calibrated Table 1
+// world: control node + SC1..SC8), starts the JXTA-Overlay broker and
+// SimpleClients, and drives the same workloads the paper describes:
+// petitions, 50 Mb and 100 Mb transfers at different granularities,
+// selection-model-driven transfers, and transmission+execution runs.
+// Results come back as metrics.Figure / metrics.Table values whose shape
+// tests compare against the paper's qualitative findings. Synthetic
+// scenarios (uniform:N, heterogeneous:N) run the identical harness on
+// slices of arbitrary size.
 package experiments
 
 import (
@@ -17,7 +19,7 @@ import (
 
 	"peerlab/internal/overlay"
 	"peerlab/internal/planetlab"
-	"peerlab/internal/simnet"
+	"peerlab/internal/scenario"
 )
 
 // Config controls an experiment run.
@@ -35,6 +37,15 @@ type Config struct {
 	// (Seed, figure, cell index), so results are bit-identical for a given
 	// Seed at any worker count, including 1.
 	Workers int
+	// Scenario describes the slice under test. The zero value deploys the
+	// paper's calibrated Table-1 world (planetlab.Scenario()). Synthetic
+	// scenarios draw their catalogs from each cell's derived seed, so they
+	// stay bit-identical at any worker count too.
+	Scenario scenario.Scenario
+	// Shards is the broker's shard count (default 1). Whole-network reads
+	// aggregate across shards in canonical order, so figures are identical
+	// at any shard count.
+	Shards int
 
 	// pool, when set, is shared across figures so a whole-suite run is
 	// bounded by one worker budget (see FigureSuite).
@@ -57,58 +68,88 @@ func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
+	if c.Scenario.IsZero() {
+		c.Scenario = planetlab.Scenario()
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
 	return c
 }
 
-// SCLabels is the fixed X axis of the per-peer figures.
+// labels returns the measured-peer labels — the X axis of the per-peer
+// figures for the configured scenario.
+func (c Config) labels() []string { return c.Scenario.Labels }
+
+// SCLabels is the fixed X axis of the per-peer figures on the default
+// table1 scenario.
 var SCLabels = []string{"SC1", "SC2", "SC3", "SC4", "SC5", "SC6", "SC7", "SC8"}
 
 // Env is one deployed experiment environment.
 type Env struct {
-	Slice      *planetlab.Slice
+	Slice      *scenario.Slice
 	Broker     *overlay.Broker
 	Controller *overlay.Client
-	hostOf     map[string]string // SC label -> hostname
+	hostOf     map[string]string // peer label -> hostname
 }
 
-// NewEnv deploys the SC slice and builds (but does not yet start) the
-// overlay. Start must run inside the network's scheduler (see Run).
+// NewEnv deploys the configured scenario and builds (but does not yet
+// start) the overlay. Start must run inside the network's scheduler (see
+// Run).
 func NewEnv(cfg Config) (*Env, error) {
-	s, err := planetlab.DeploySC(cfg.Seed)
+	s, err := scenario.Deploy(cfg.Scenario, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
 	// Experiments span many virtual hours of idle gaps; leases must outlive
 	// the whole run (the paper's slice membership was static).
-	broker, err := overlay.NewBroker(s.Control, overlay.BrokerConfig{AdvTTL: 30 * 24 * time.Hour})
+	broker, err := overlay.NewBroker(s.Control, overlay.BrokerConfig{
+		AdvTTL: 30 * 24 * time.Hour,
+		Shards: cfg.Shards,
+	})
 	if err != nil {
 		return nil, err
 	}
-	env := &Env{Slice: s, Broker: broker, hostOf: make(map[string]string)}
-	for _, p := range planetlab.SCPeers() {
+	env := &Env{Slice: s, Broker: broker, hostOf: make(map[string]string, len(s.Catalog))}
+	for _, p := range s.Catalog {
 		env.hostOf[p.Label] = p.Hostname
 	}
 	return env, nil
 }
 
-// Host returns the hostname behind an SC label.
+// Host returns the hostname behind a peer label.
 func (e *Env) Host(label string) string { return e.hostOf[label] }
 
-// Run executes fn as the experiment driver process: it starts the
-// controller client and one client per SC peer, runs fn, and returns when
-// the network quiesces.
+// Run executes fn as the experiment driver process with every catalog peer
+// started; see RunPeers.
 func (e *Env) Run(fn func(ctl *overlay.Client, sc map[string]*overlay.Client) error) error {
+	return e.RunPeers(nil, fn)
+}
+
+// RunPeers executes fn as the experiment driver process: it starts the
+// controller client and one client per named peer label (nil = every
+// catalog peer), runs fn, and returns when the network quiesces. Cells that
+// touch a single peer pass just that label so a 100+ peer slice does not
+// pay a full overlay boot per data point.
+func (e *Env) RunPeers(labels []string, fn func(ctl *overlay.Client, sc map[string]*overlay.Client) error) error {
+	want := make(map[string]bool, len(labels))
+	for _, l := range labels {
+		want[l] = true
+	}
 	var runErr error
 	e.Slice.Net.Run(func() {
-		ctl := overlay.NewClient(controllerHost(e), e.Broker.Addr(), overlay.ClientConfig{CPUScore: 2})
+		ctl := overlay.NewClient(e.Slice.Control, e.Broker.Addr(), overlay.ClientConfig{CPUScore: 2})
 		if err := ctl.Start(); err != nil {
 			runErr = fmt.Errorf("experiments: controller start: %w", err)
 			return
 		}
 		e.Controller = ctl
-		clients := make(map[string]*overlay.Client, len(e.Slice.SC))
-		for _, p := range planetlab.SCPeers() {
-			node := e.Slice.SC[p.Label]
+		clients := make(map[string]*overlay.Client, len(e.Slice.Catalog))
+		for _, p := range e.Slice.Catalog {
+			if labels != nil && !want[p.Label] {
+				continue
+			}
+			node := e.Slice.Peers[p.Label]
 			c := overlay.NewClient(node, e.Broker.Addr(), overlay.ClientConfig{
 				CPUScore: p.Profile.CPUScore,
 			})
@@ -126,7 +167,3 @@ func (e *Env) Run(fn func(ctl *overlay.Client, sc map[string]*overlay.Client) er
 	})
 	return runErr
 }
-
-// controllerHost places the controller client on the control node. The
-// broker already occupies the broker service; the client binds its own.
-func controllerHost(e *Env) *simnet.Node { return e.Slice.Control }

@@ -17,25 +17,18 @@ import (
 
 	"peerlab/internal/metrics"
 	"peerlab/internal/overlay"
+	"peerlab/internal/scenario"
 )
 
-// splitmix64 is the SplitMix64 finalizer: a cheap bijective mixer whose
-// output is statistically independent of closely spaced inputs — exactly
-// what turning (seed, figure, index) triples into simnet seeds needs.
-func splitmix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}
-
-// deriveSeed maps (root seed, figure, cell index) to the cell's simnet seed.
+// deriveSeed maps (root seed, figure, cell index) to the cell's simnet
+// seed via scenario.Mix64 (SplitMix64) — the shared seed-derivation
+// primitive of the experiment stack.
 func deriveSeed(seed int64, figure string, index int) int64 {
-	h := splitmix64(uint64(seed))
+	h := scenario.Mix64(uint64(seed))
 	for _, b := range []byte(figure) {
-		h = splitmix64(h ^ uint64(b))
+		h = scenario.Mix64(h ^ uint64(b))
 	}
-	return int64(splitmix64(h ^ uint64(index)))
+	return int64(scenario.Mix64(h ^ uint64(index)))
 }
 
 // workerPool bounds how many cells simulate concurrently. A cell holds a
@@ -89,14 +82,16 @@ func runCells[T any](cfg Config, figure string, n int, cell func(i int, cellCfg 
 }
 
 // envCell deploys a fresh slice for one cell and runs fn as its driver
-// process, returning fn's result once the cell's network quiesces.
-func envCell[T any](cellCfg Config, fn func(env *Env, ctl *overlay.Client) (T, error)) (T, error) {
+// process, returning fn's result once the cell's network quiesces. peers
+// names the peer labels the cell interacts with (nil = all): a per-peer
+// measurement on a 100+ peer slice boots one client, not hundreds.
+func envCell[T any](cellCfg Config, peers []string, fn func(env *Env, ctl *overlay.Client) (T, error)) (T, error) {
 	var out T
 	env, err := NewEnv(cellCfg)
 	if err != nil {
 		return out, err
 	}
-	err = env.Run(func(ctl *overlay.Client, _ map[string]*overlay.Client) error {
+	err = env.RunPeers(peers, func(ctl *overlay.Client, _ map[string]*overlay.Client) error {
 		v, ferr := fn(env, ctl)
 		out = v
 		return ferr

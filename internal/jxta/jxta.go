@@ -245,13 +245,21 @@ func (c *Cache) Query(kind AdvKind, name string) []Advertisement {
 		}
 		out = append(out, a)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Name != out[j].Name {
-			return out[i].Name < out[j].Name
-		}
-		return hex.EncodeToString(out[i].ID[:]) < hex.EncodeToString(out[j].ID[:])
-	})
+	SortAdvertisements(out)
 	return out
+}
+
+// SortAdvertisements orders advertisements by Name then ID — the canonical
+// directory order. Every query returns it, and sharded directories restore
+// it after merging per-shard results, so a multi-shard cache answers
+// queries identically to a single one.
+func SortAdvertisements(advs []Advertisement) {
+	sort.Slice(advs, func(i, j int) bool {
+		if advs[i].Name != advs[j].Name {
+			return advs[i].Name < advs[j].Name
+		}
+		return hex.EncodeToString(advs[i].ID[:]) < hex.EncodeToString(advs[j].ID[:])
+	})
 }
 
 // Remove deletes an advertisement by ID.

@@ -17,8 +17,19 @@ import (
 type BrokerConfig struct {
 	// AdvTTL is how long client advertisements stay valid (default 1h).
 	AdvTTL time.Duration
-	// CacheLimit bounds the advertisement directory (default 1024).
+	// CacheLimit bounds the advertisement directory (default 1024). Each
+	// shard holds at most CacheLimit advertisements of the peers it owns:
+	// any workload a single-shard directory serves without evicting is
+	// served identically at any shard count (a shard never holds more than
+	// the whole network would).
 	CacheLimit int
+	// Shards splits the advertisement directory and the statistics
+	// registry into N peer-hash shards (default 1). Every per-peer event —
+	// registration, stats report, transfer/task/message outcome — touches
+	// only the shard owning that peer; whole-network reads (discovery,
+	// selection, Snapshots) aggregate across shards in canonical order, so
+	// results are identical at any shard count.
+	Shards int
 	// Pipe tunes the broker's reliable pipes.
 	Pipe pipe.Options
 }
@@ -27,20 +38,34 @@ func (c BrokerConfig) withDefaults() BrokerConfig {
 	if c.AdvTTL <= 0 {
 		c.AdvTTL = time.Hour
 	}
+	if c.CacheLimit <= 0 {
+		c.CacheLimit = 1024
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
 	return c
+}
+
+// shard owns one peer-hash slice of the broker's state: the advertisement
+// cache entries and the statistics of the peers hashing to it.
+type shard struct {
+	cache    *jxta.Cache
+	registry *stats.Registry
 }
 
 // Broker is the governor of the P2P network: it keeps the advertisement
 // directory (rendezvous role), aggregates per-peer statistics from client
 // reports and sender observations, and answers peer-selection requests with
-// any registered model.
+// any registered model. State is split across cfg.Shards peer-hash shards
+// so large slices do not serialize on one registry.
 type Broker struct {
 	host transport.Host
 	cfg  BrokerConfig
 	mux  *pipe.Mux
 
-	cache     *jxta.Cache
-	registry  *stats.Registry
+	shards    []*shard
+	registry  *stats.Union
 	selectors map[string]core.Selector
 }
 
@@ -55,10 +80,20 @@ func NewBroker(host transport.Host, cfg BrokerConfig) (*Broker, error) {
 		host:      host,
 		cfg:       cfg,
 		mux:       pipe.NewMux(host, ep, cfg.Pipe),
-		cache:     jxta.NewCache(cfg.CacheLimit, host.Now),
-		registry:  stats.NewRegistry(host.Now),
+		shards:    make([]*shard, cfg.Shards),
 		selectors: make(map[string]core.Selector),
 	}
+	regs := make([]*stats.Registry, cfg.Shards)
+	for i := range b.shards {
+		b.shards[i] = &shard{
+			cache:    jxta.NewCache(cfg.CacheLimit, host.Now),
+			registry: stats.NewRegistry(host.Now),
+		}
+		regs[i] = b.shards[i].registry
+	}
+	b.registry = stats.NewUnion(regs, func(peer string) *stats.Registry {
+		return b.shardOf(peer).registry
+	})
 	// The standard model lineup from the paper's Figure 6, plus the blind
 	// baseline. User-preference models are built per request from the
 	// preferences the requester sends.
@@ -69,15 +104,50 @@ func NewBroker(host transport.Host, cfg BrokerConfig) (*Broker, error) {
 	return b, nil
 }
 
+// shardOf returns the shard owning a peer name (FNV-1a hash mod shard
+// count — the ownership rule every handler routes by). The hash is inlined:
+// this sits on the per-message path and runs once per candidate during
+// selection, so it must not allocate.
+func (b *Broker) shardOf(peer string) *shard {
+	if len(b.shards) == 1 {
+		return b.shards[0]
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(peer); i++ {
+		h ^= uint32(peer[i])
+		h *= 16777619
+	}
+	return b.shards[h%uint32(len(b.shards))]
+}
+
 // Addr returns the broker's pipe address.
 func (b *Broker) Addr() transport.Addr { return b.mux.Addr() }
 
-// Registry exposes the broker's statistics (the experiment harness reads it
-// directly; remote access goes through the selection service).
-func (b *Broker) Registry() *stats.Registry { return b.registry }
+// Registry exposes the broker's whole-network statistics view (the
+// experiment harness reads it directly; remote access goes through the
+// selection service). Per-peer access routes to the owning shard.
+func (b *Broker) Registry() *stats.Union { return b.registry }
 
-// Directory exposes the advertisement cache.
-func (b *Broker) Directory() *jxta.Cache { return b.cache }
+// Shards reports the broker's shard count.
+func (b *Broker) Shards() int { return len(b.shards) }
+
+// Advertisements queries the sharded advertisement directory: per-shard
+// results merged back into canonical (Name, ID) order.
+func (b *Broker) Advertisements(kind jxta.AdvKind, name string) []jxta.Advertisement {
+	if name != "" {
+		// A named query touches only the owning shard.
+		return b.shardOf(name).cache.Query(kind, name)
+	}
+	if len(b.shards) == 1 {
+		return b.shards[0].cache.Query(kind, name)
+	}
+	var out []jxta.Advertisement
+	for _, sh := range b.shards {
+		out = append(out, sh.cache.Query(kind, name)...)
+	}
+	jxta.SortAdvertisements(out)
+	return out
+}
 
 // RegisterSelector installs (or replaces) a selection model under its name.
 func (b *Broker) RegisterSelector(s core.Selector) {
@@ -86,7 +156,7 @@ func (b *Broker) RegisterSelector(s core.Selector) {
 
 // Peers lists registered peer names (live advertisements only).
 func (b *Broker) Peers() []string {
-	advs := b.cache.Query(jxta.AdvPeer, "")
+	advs := b.Advertisements(jxta.AdvPeer, "")
 	names := make([]string, 0, len(advs))
 	for _, a := range advs {
 		names = append(names, a.Name)
@@ -144,8 +214,9 @@ func (b *Broker) handleRegister(conn *pipe.Conn, d *wire.Decoder) {
 	}
 	adv := req.Adv
 	adv.Expires = b.host.Now().Add(b.cfg.AdvTTL)
-	b.cache.Publish(adv)
-	ps := b.registry.Peer(adv.Name)
+	sh := b.shardOf(adv.Name)
+	sh.cache.Publish(adv)
+	ps := sh.registry.Peer(adv.Name)
 	if cpu, err := strconv.ParseFloat(adv.Attr(jxta.AttrCPUScore), 64); err == nil && cpu > 0 {
 		ps.SetCPUScore(cpu)
 	}
@@ -158,7 +229,8 @@ func (b *Broker) handleStatsReport(conn *pipe.Conn, d *wire.Decoder) {
 	if err != nil {
 		return
 	}
-	ps := b.registry.Peer(rep.Peer)
+	sh := b.shardOf(rep.Peer)
+	ps := sh.registry.Peer(rep.Peer)
 	ps.SetQueues(rep.InboxLen, rep.OutboxLen)
 	ps.SetQueueLen(rep.QueueLen)
 	ps.SetReadyAt(b.host.Now().Add(rep.ReadyIn))
@@ -166,9 +238,9 @@ func (b *Broker) handleStatsReport(conn *pipe.Conn, d *wire.Decoder) {
 		ps.SetCPUScore(rep.CPUScore)
 	}
 	// A live report also renews the peer's advertisement lease.
-	if adv, ok := b.cache.Lookup(jxta.NewID("peer", rep.Peer)); ok {
+	if adv, ok := sh.cache.Lookup(jxta.NewID("peer", rep.Peer)); ok {
 		adv.Expires = b.host.Now().Add(b.cfg.AdvTTL)
-		b.cache.Publish(adv)
+		sh.cache.Publish(adv)
 	}
 	conn.Send(ackBytes())
 }
@@ -178,7 +250,7 @@ func (b *Broker) handleDiscover(conn *pipe.Conn, d *wire.Decoder) {
 	if err != nil {
 		return
 	}
-	res := discoverResult{Advs: b.cache.Query(req.Kind, req.Name)}
+	res := discoverResult{Advs: b.Advertisements(req.Kind, req.Name)}
 	conn.Send(res.encode())
 }
 
@@ -201,14 +273,18 @@ func (b *Broker) selectPeers(req selectReq) (peers, addrs []string, err error) {
 	for _, p := range req.Exclude {
 		excluded[p] = true
 	}
-	advs := b.cache.Query(jxta.AdvPeer, "")
+	// The candidate set spans the whole network: advertisements merge from
+	// every shard in canonical order, and each candidate's statistics come
+	// from its owning shard, so a sharded broker ranks exactly as a single
+	// one would.
+	advs := b.Advertisements(jxta.AdvPeer, "")
 	var cands []core.Candidate
 	addrOf := make(map[string]string, len(advs))
 	for _, a := range advs {
 		if excluded[a.Name] {
 			continue
 		}
-		cands = append(cands, core.Candidate{Snapshot: b.registry.Peer(a.Name).Snapshot()})
+		cands = append(cands, core.Candidate{Snapshot: b.shardOf(a.Name).registry.Peer(a.Name).Snapshot()})
 		addrOf[a.Name] = a.Addr
 	}
 
@@ -255,7 +331,7 @@ func (b *Broker) handleReportTransfer(conn *pipe.Conn, d *wire.Decoder) {
 	if err != nil {
 		return
 	}
-	ps := b.registry.Peer(rep.Peer)
+	ps := b.shardOf(rep.Peer).registry.Peer(rep.Peer)
 	ps.RecordFileSent(rep.OK)
 	ps.RecordTransferOutcome(rep.Cancelled)
 	if rep.OK {
@@ -272,7 +348,7 @@ func (b *Broker) handleReportTask(conn *pipe.Conn, d *wire.Decoder) {
 	if err != nil {
 		return
 	}
-	ps := b.registry.Peer(rep.Peer)
+	ps := b.shardOf(rep.Peer).registry.Peer(rep.Peer)
 	ps.RecordTaskOffer(rep.Accepted)
 	if rep.Accepted {
 		ps.RecordTaskExecution(rep.OK, rep.SecondsPerUnit)
@@ -285,6 +361,6 @@ func (b *Broker) handleReportMessage(conn *pipe.Conn, d *wire.Decoder) {
 	if err != nil {
 		return
 	}
-	b.registry.Peer(rep.Peer).RecordMessage(rep.OK)
+	b.shardOf(rep.Peer).registry.Peer(rep.Peer).RecordMessage(rep.OK)
 	conn.Send(ackBytes())
 }

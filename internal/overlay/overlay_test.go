@@ -19,24 +19,11 @@ type deployment struct {
 	clients map[string]*Client
 }
 
-// deploy builds a broker on "broker0" and one client per named profile.
-// Client Start (registration) runs inside net.Run from the caller.
+// deploy builds a single-shard broker on "broker0" and one client per named
+// profile. Client Start (registration) runs inside net.Run from the caller.
 func deploy(t *testing.T, profiles map[string]simnet.Profile) *deployment {
 	t.Helper()
-	n := simnet.New(21)
-	bp := simnet.DefaultProfile()
-	bp.Bandwidth = 50e6
-	bhost := n.MustAddNode("broker0", bp)
-	broker, err := NewBroker(bhost, BrokerConfig{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	d := &deployment{net: n, broker: broker, clients: make(map[string]*Client)}
-	for name, p := range profiles {
-		host := n.MustAddNode(name, p)
-		d.clients[name] = NewClient(host, broker.Addr(), ClientConfig{CPUScore: p.CPUScore})
-	}
-	return d
+	return deployShards(t, 1, profiles)
 }
 
 // startAll registers every client; must run inside a scheduler process.
@@ -303,6 +290,96 @@ func TestSelectionUnknownModel(t *testing.T) {
 	})
 	if err == nil {
 		t.Fatal("unknown model accepted")
+	}
+}
+
+// deployShards builds a broker with the given shard count on "broker0" and
+// one client per named profile.
+func deployShards(t *testing.T, shards int, profiles map[string]simnet.Profile) *deployment {
+	t.Helper()
+	n := simnet.New(21)
+	bp := simnet.DefaultProfile()
+	bp.Bandwidth = 50e6
+	bhost := n.MustAddNode("broker0", bp)
+	broker, err := NewBroker(bhost, BrokerConfig{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &deployment{net: n, broker: broker, clients: make(map[string]*Client)}
+	for name, p := range profiles {
+		host := n.MustAddNode(name, p)
+		d.clients[name] = NewClient(host, broker.Addr(), ClientConfig{CPUScore: p.CPUScore})
+	}
+	return d
+}
+
+// TestShardedBrokerEndToEnd drives every broker service against a
+// multi-shard broker: registration and reports must land on the owning
+// shard, while discovery, selection and the statistics union must read the
+// whole network back in the same canonical order a single shard would.
+func TestShardedBrokerEndToEnd(t *testing.T) {
+	profiles := map[string]simnet.Profile{}
+	names := []string{"sc1", "sc2", "sc3", "sc4", "sc5"}
+	for _, name := range names {
+		profiles[name] = clientProfile()
+	}
+	d := deployShards(t, 3, profiles)
+	if d.broker.Shards() != 3 {
+		t.Fatalf("Shards() = %d", d.broker.Shards())
+	}
+	var picked []string
+	d.net.Run(func() {
+		d.startAll(t)
+		c := d.clients["sc1"]
+		if _, err := c.SendFile("sc4", transfer.NewVirtualFile("w", transfer.Mb, 1), 2); err != nil {
+			t.Errorf("SendFile: %v", err)
+			return
+		}
+		if err := c.SendInstant("sc3", "ping"); err != nil {
+			t.Errorf("SendInstant: %v", err)
+			return
+		}
+		var err error
+		picked, err = c.SelectPeers("same-priority",
+			core.Request{Kind: core.KindFileTransfer, SizeBytes: transfer.Mb}, len(names), nil)
+		if err != nil {
+			t.Errorf("SelectPeers: %v", err)
+		}
+	})
+	// Discovery must see every peer across shards, in sorted order.
+	peers := d.broker.Peers()
+	if len(peers) != len(names) {
+		t.Fatalf("broker sees %d peers, want %d: %v", len(peers), len(names), peers)
+	}
+	for i, name := range names {
+		if peers[i] != name {
+			t.Fatalf("peers = %v, want canonical sorted order %v", peers, names)
+		}
+	}
+	// Selection spans shards and still excludes the requester.
+	if len(picked) != len(names)-1 {
+		t.Fatalf("selection returned %d peers: %v", len(picked), picked)
+	}
+	for _, p := range picked {
+		if p == "sc1" {
+			t.Fatal("selection returned the requester")
+		}
+	}
+	// Per-peer statistics landed on the owning shards and aggregate back.
+	if got := d.broker.Registry().Peer("sc4").Snapshot(); got.PctFileSentSession != 100 {
+		t.Fatalf("sc4 file stats = %+v", got)
+	}
+	if got := d.broker.Registry().Peer("sc3").Snapshot(); got.PctMsgSession != 100 {
+		t.Fatalf("sc3 message stats = %+v", got)
+	}
+	snaps := d.broker.Registry().Snapshots()
+	if len(snaps) != len(names) {
+		t.Fatalf("union has %d snapshots, want %d", len(snaps), len(names))
+	}
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i-1].Peer >= snaps[i].Peer {
+			t.Fatalf("union snapshots not sorted: %v before %v", snaps[i-1].Peer, snaps[i].Peer)
+		}
 	}
 }
 

@@ -52,8 +52,12 @@ var (
 // Options tunes a Mux and the Conns it creates.
 type Options struct {
 	// Window is the maximum number of unacknowledged messages per Conn.
-	// The default 1 gives stop-and-wait — the paper's "confirm reception
-	// before the next part" protocol.
+	// The default 4 keeps concurrent senders on a high-latency path busy
+	// (see BenchmarkAblationPipeWindow). Set Window to 1 explicitly for
+	// stop-and-wait — the paper's "confirm reception before the next part"
+	// protocol (the transfer engine confirms each part at the application
+	// level regardless, so the figures' granularity semantics do not
+	// depend on this default).
 	Window int
 	// MaxRetries bounds transmission attempts per message (default 8).
 	MaxRetries int
@@ -72,7 +76,7 @@ type Options struct {
 
 func (o Options) withDefaults() Options {
 	if o.Window <= 0 {
-		o.Window = 1
+		o.Window = 4
 	}
 	if o.MaxRetries <= 0 {
 		o.MaxRetries = 8

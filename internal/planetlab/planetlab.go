@@ -14,8 +14,15 @@ import (
 	"fmt"
 	"time"
 
+	"peerlab/internal/scenario"
 	"peerlab/internal/simnet"
 )
+
+// The calibrated Table-1 world is the scenario layer's default; registering
+// it here lets any importer of the experiment stack scenario.Parse("table1").
+func init() {
+	scenario.Register("table1", Scenario)
+}
 
 // NodeInfo is one catalog entry (Table 1 of the paper).
 type NodeInfo struct {
@@ -134,6 +141,29 @@ func GenericProfile() simnet.Profile {
 	return p
 }
 
+// Scenario returns the paper's calibrated Table-1 world as a scenario: the
+// nozomi control node plus the eight SC peers, with the exact profiles of
+// SCPeers (the catalog is seed-independent — the calibration IS the data).
+// Figure 6's warm-up hints match the paper's session history: blemished
+// records on the two fastest links (SC2, SC8) and a stale user memory of
+// mid-tier peers (SC3, SC6, SC5).
+func Scenario() scenario.Scenario {
+	peers := make([]scenario.Peer, 0, 8)
+	labels := make([]string, 0, 8)
+	for _, p := range SCPeers() {
+		peers = append(peers, scenario.Peer{Label: p.Label, Hostname: p.Hostname, Profile: p.Profile})
+		labels = append(labels, p.Label)
+	}
+	return scenario.Scenario{
+		Name:       "table1",
+		Control:    scenario.Peer{Label: "nozomi", Hostname: "nozomi.lsi.upc.edu", Profile: ControlProfile()},
+		Labels:     labels,
+		Synthesize: func(int64) []scenario.Peer { return peers },
+		Remembered: []string{"SC3", "SC6", "SC5"},
+		Blemished:  []string{"SC2", "SC8"},
+	}
+}
+
 // Slice builds simnet nodes for a deployment.
 type Slice struct {
 	Net     *simnet.Network
@@ -143,22 +173,18 @@ type Slice struct {
 }
 
 // DeploySC creates a network with the control node and the eight SC peers —
-// the setup of every figure's experiment.
+// the setup of every figure's experiment — by deploying the table1 scenario.
 func DeploySC(seed int64) (*Slice, error) {
-	net := simnet.New(seed)
-	control, err := net.AddNode("nozomi.lsi.upc.edu", ControlProfile())
+	sl, err := scenario.Deploy(Scenario(), seed)
 	if err != nil {
 		return nil, err
 	}
-	s := &Slice{Net: net, Control: control, SC: make(map[string]*simnet.Node), Others: make(map[string]*simnet.Node)}
-	for _, p := range SCPeers() {
-		node, err := net.AddNode(p.Hostname, p.Profile)
-		if err != nil {
-			return nil, err
-		}
-		s.SC[p.Label] = node
-	}
-	return s, nil
+	return &Slice{
+		Net:     sl.Net,
+		Control: sl.Control,
+		SC:      sl.Peers,
+		Others:  make(map[string]*simnet.Node),
+	}, nil
 }
 
 // DeployFull is DeploySC plus every other catalog host with the generic

@@ -1,0 +1,330 @@
+// Package scenario lifts the experiment world into a first-class layer: a
+// Scenario describes a slice — the control node, the peers, and how each
+// peer's simnet.Profile is drawn — and synthesizes catalogs of arbitrary
+// size deterministically from a seed.
+//
+// The paper's evaluation stops at 8 SimpleClient peers on the Table 1
+// slice; the calibrated "table1" scenario (registered by internal/planetlab)
+// reproduces exactly that world, while the synthetic generators (Uniform,
+// Heterogeneous) scale the same experiment harness to slices of hundreds of
+// peers per machine. Profile draws for synthetic scenarios come from the
+// seed alone — same seed, same catalog, at any worker count — so the
+// parallel experiment runner stays bit-reproducible on top of them.
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"peerlab/internal/simnet"
+)
+
+// Peer is one catalog entry: a label (the figure axis name), the hostname
+// the node is deployed under, and the node's link/load profile.
+type Peer struct {
+	Label    string
+	Hostname string
+	Profile  simnet.Profile
+}
+
+// Scenario describes a slice. The zero value is invalid; obtain scenarios
+// from Parse, the generators below, or a registered constructor.
+type Scenario struct {
+	// Name identifies the scenario ("table1", "uniform:64", ...).
+	Name string
+	// Control is the broker-side node (the paper's nozomi main node).
+	Control Peer
+	// Labels lists the measured peers — the X axis of every per-peer
+	// figure — in catalog order.
+	Labels []string
+	// Synthesize returns the full peer catalog for a seed. It must be a
+	// pure function of the seed: the runner calls it once per experiment
+	// cell and relies on identical output at any worker count.
+	Synthesize func(seed int64) []Peer
+	// Remembered is the stale "quick peers" user memory Figure 6's
+	// quick-peer model consults, fastest-remembered first.
+	Remembered []string
+	// Blemished names the peers whose statistical record earlier sessions
+	// left blemishes on (failed messages, a cancelled transfer) before
+	// Figure 6's selection runs.
+	Blemished []string
+}
+
+// IsZero reports whether the scenario is unset.
+func (s Scenario) IsZero() bool { return s.Synthesize == nil }
+
+// Catalog synthesizes the peer catalog for a seed.
+func (s Scenario) Catalog(seed int64) []Peer { return s.Synthesize(seed) }
+
+// Slice is one deployed scenario: a simnet with the control node and every
+// catalog peer added, ready for an overlay to boot on top.
+type Slice struct {
+	Net     *simnet.Network
+	Control *simnet.Node
+	// Peers maps peer label to node.
+	Peers map[string]*simnet.Node
+	// Catalog is the synthesized peer list, in order.
+	Catalog []Peer
+}
+
+// Deploy builds the simnet for a scenario. The seed drives both the catalog
+// synthesis and every network random draw, so a (scenario, seed) pair names
+// one reproducible world.
+func Deploy(sc Scenario, seed int64) (*Slice, error) {
+	if sc.IsZero() {
+		return nil, errors.New("scenario: Deploy of zero Scenario")
+	}
+	net := simnet.New(seed)
+	control, err := net.AddNode(sc.Control.Hostname, sc.Control.Profile)
+	if err != nil {
+		return nil, err
+	}
+	catalog := sc.Synthesize(seed)
+	s := &Slice{
+		Net:     net,
+		Control: control,
+		Peers:   make(map[string]*simnet.Node, len(catalog)),
+		Catalog: catalog,
+	}
+	for _, p := range catalog {
+		node, err := net.AddNode(p.Hostname, p.Profile)
+		if err != nil {
+			return nil, err
+		}
+		s.Peers[p.Label] = node
+	}
+	return s, nil
+}
+
+// Host returns the hostname behind a peer label, or "".
+func (s *Slice) Host(label string) string {
+	for _, p := range s.Catalog {
+		if p.Label == label {
+			return p.Hostname
+		}
+	}
+	return ""
+}
+
+// ---- registry -----------------------------------------------------------
+
+var (
+	regMu    sync.Mutex
+	registry = make(map[string]func() Scenario)
+)
+
+// Register installs a named scenario constructor; Parse resolves bare names
+// through it. internal/planetlab registers "table1" (the calibrated
+// default) at init time, so any importer of the experiment stack can parse
+// it.
+func Register(name string, fn func() Scenario) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[name] = fn
+}
+
+// Registered returns the registered scenario names, sorted.
+func Registered() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Parse resolves a scenario spec: a registered name ("table1"), or a
+// generator spec "uniform:N" / "heterogeneous:N" with N peers.
+func Parse(spec string) (Scenario, error) {
+	if kind, arg, ok := strings.Cut(spec, ":"); ok {
+		n, err := strconv.Atoi(arg)
+		if err != nil || n < 1 {
+			return Scenario{}, fmt.Errorf("scenario: %q: peer count must be a positive integer", spec)
+		}
+		switch kind {
+		case "uniform":
+			return Uniform(n), nil
+		case "heterogeneous":
+			return Heterogeneous(n), nil
+		default:
+			return Scenario{}, fmt.Errorf("scenario: unknown generator %q (want uniform:N or heterogeneous:N)", kind)
+		}
+	}
+	regMu.Lock()
+	fn := registry[spec]
+	regMu.Unlock()
+	if fn == nil {
+		return Scenario{}, fmt.Errorf("scenario: unknown scenario %q (want %s, uniform:N or heterogeneous:N)",
+			spec, strings.Join(Registered(), ", "))
+	}
+	return fn(), nil
+}
+
+// ---- synthetic generators -----------------------------------------------
+
+// Mix64 is the SplitMix64 finalizer: a cheap bijective mixer whose output
+// is statistically independent of closely spaced inputs. It is the one
+// seed-derivation primitive of the experiment stack — the generators below
+// decorrelate per-peer draw streams with it, and the experiment runner
+// derives per-cell seeds from it — shared so the two layers cannot drift
+// apart.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// peerRand returns the deterministic draw stream for peer index i.
+func peerRand(seed int64, i int) *rand.Rand {
+	return rand.New(rand.NewSource(int64(Mix64(Mix64(uint64(seed)) ^ uint64(i+1)))))
+}
+
+func uniformIn(r *rand.Rand, lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// syntheticControl models a well-provisioned, lightly loaded broker-side
+// machine (the same figures as the calibrated nozomi main node).
+func syntheticControl() Peer {
+	return Peer{
+		Label:    "control",
+		Hostname: "control.slice.peerlab",
+		Profile: simnet.Profile{
+			LatencyOneWay: 5 * time.Millisecond,
+			Jitter:        time.Millisecond,
+			Bandwidth:     50e6,
+			CPUScore:      2.0,
+		},
+	}
+}
+
+// syntheticLabels names n peers p001..pN.
+func syntheticLabels(n int) []string {
+	labels := make([]string, n)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("p%03d", i+1)
+	}
+	return labels
+}
+
+// fig6Hints fills the Remembered/Blemished roles for an n-peer synthetic
+// scenario with fixed, seed-independent picks (the "user memory" and the
+// prior sessions' history are arbitrary; they only need to be stable).
+func fig6Hints(labels []string) (remembered, blemished []string) {
+	n := len(labels)
+	for _, i := range []int{2, 5, 4} {
+		if i < n {
+			remembered = append(remembered, labels[i])
+		}
+	}
+	if len(remembered) == 0 {
+		remembered = []string{labels[0]}
+	}
+	blemished = []string{labels[0]}
+	if n > 1 {
+		blemished = append(blemished, labels[1])
+	}
+	return remembered, blemished
+}
+
+// baseProfile carries the model parameters every slice node shares: per
+// DESIGN.md, the failure-restart and size-degradation models are properties
+// of the substrate, not of individual calibrations.
+func baseProfile() simnet.Profile {
+	return simnet.Profile{
+		Jitter:          8 * time.Millisecond,
+		WakeLagSpread:   0.15,
+		EngagedWindow:   30 * time.Second,
+		DegradeRefBytes: 50e6,
+		DegradeExp:      1.5,
+	}
+}
+
+// Uniform describes a homogeneous slice of n well-behaved peers: profiles
+// drawn from narrow bands around the mid-tier calibrated SC peers.
+func Uniform(n int) Scenario {
+	labels := syntheticLabels(n)
+	remembered, blemished := fig6Hints(labels)
+	return Scenario{
+		Name:    fmt.Sprintf("uniform:%d", n),
+		Control: syntheticControl(),
+		Labels:  labels,
+		Synthesize: func(seed int64) []Peer {
+			peers := make([]Peer, n)
+			for i := range peers {
+				r := peerRand(seed, i)
+				p := baseProfile()
+				p.LatencyOneWay = time.Duration(uniformIn(r, 15, 35) * float64(time.Millisecond))
+				p.Bandwidth = uniformIn(r, 1.0e6, 1.4e6)
+				p.CPUScore = uniformIn(r, 0.9, 1.1)
+				p.MTBF = 180 * time.Minute
+				peers[i] = Peer{
+					Label:    labels[i],
+					Hostname: labels[i] + ".uniform.slice.peerlab",
+					Profile:  p,
+				}
+			}
+			return peers
+		},
+		Remembered: remembered,
+		Blemished:  blemished,
+	}
+}
+
+// Heterogeneous describes a PlanetLab-like slice of n peers drawn from a
+// three-class mixture: ~50% healthy slivers, ~30% loaded (seconds of wake
+// lag, thinner links), ~20% pathological SC7-style nodes (long wake lags,
+// weak CPUs, frequent restarts). Class membership and every parameter are
+// drawn from the seed.
+func Heterogeneous(n int) Scenario {
+	labels := syntheticLabels(n)
+	remembered, blemished := fig6Hints(labels)
+	return Scenario{
+		Name:    fmt.Sprintf("heterogeneous:%d", n),
+		Control: syntheticControl(),
+		Labels:  labels,
+		Synthesize: func(seed int64) []Peer {
+			peers := make([]Peer, n)
+			for i := range peers {
+				r := peerRand(seed, i)
+				p := baseProfile()
+				switch class := r.Float64(); {
+				case class < 0.5: // healthy
+					p.LatencyOneWay = time.Duration(uniformIn(r, 10, 30) * float64(time.Millisecond))
+					p.Bandwidth = uniformIn(r, 1.2e6, 1.8e6)
+					p.CPUScore = uniformIn(r, 1.0, 1.3)
+					p.MTBF = 180 * time.Minute
+				case class < 0.8: // loaded sliver
+					p.LatencyOneWay = time.Duration(uniformIn(r, 20, 40) * float64(time.Millisecond))
+					p.Bandwidth = uniformIn(r, 0.6e6, 1.2e6)
+					p.CPUScore = uniformIn(r, 0.7, 1.0)
+					p.WakeLag = time.Duration(uniformIn(r, 1, 8) * float64(time.Second))
+					p.MTBF = 120 * time.Minute
+				default: // pathological (SC7-style)
+					p.LatencyOneWay = time.Duration(uniformIn(r, 30, 60) * float64(time.Millisecond))
+					p.Bandwidth = uniformIn(r, 0.2e6, 0.6e6)
+					p.CPUScore = uniformIn(r, 0.4, 0.7)
+					p.WakeLag = time.Duration(uniformIn(r, 8, 30) * float64(time.Second))
+					p.MTBF = time.Duration(uniformIn(r, 35, 60) * float64(time.Minute))
+				}
+				peers[i] = Peer{
+					Label:    labels[i],
+					Hostname: labels[i] + ".hetero.slice.peerlab",
+					Profile:  p,
+				}
+			}
+			return peers
+		},
+		Remembered: remembered,
+		Blemished:  blemished,
+	}
+}

@@ -1,0 +1,211 @@
+package scenario_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"peerlab/internal/planetlab" // registers "table1"
+	"peerlab/internal/scenario"
+)
+
+func TestParseGenerators(t *testing.T) {
+	sc, err := scenario.Parse("uniform:16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "uniform:16" || len(sc.Labels) != 16 {
+		t.Fatalf("uniform:16 parsed as %q with %d labels", sc.Name, len(sc.Labels))
+	}
+	if got := len(sc.Catalog(1)); got != 16 {
+		t.Fatalf("catalog has %d peers, want 16", got)
+	}
+	sc, err = scenario.Parse("heterogeneous:128")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Catalog(7)) != 128 {
+		t.Fatal("heterogeneous:128 did not synthesize 128 peers")
+	}
+	for _, bad := range []string{"uniform:0", "uniform:-3", "uniform:x", "zipf:9", "bogus"} {
+		if _, err := scenario.Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseRegisteredTable1(t *testing.T) {
+	sc, err := scenario.Parse("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "table1" {
+		t.Fatalf("name = %q", sc.Name)
+	}
+	if len(sc.Labels) != 8 || sc.Labels[0] != "SC1" || sc.Labels[7] != "SC8" {
+		t.Fatalf("labels = %v", sc.Labels)
+	}
+	// The catalog is the calibration: seed-independent and identical to
+	// planetlab.SCPeers.
+	a, b := sc.Catalog(1), sc.Catalog(99)
+	want := planetlab.SCPeers()
+	if len(a) != len(want) {
+		t.Fatalf("catalog size %d, want %d", len(a), len(want))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("table1 catalog depends on the seed at %d", i)
+		}
+		if a[i].Label != want[i].Label || a[i].Hostname != want[i].Hostname ||
+			a[i].Profile != want[i].Profile {
+			t.Fatalf("table1 peer %d = %+v, want calibrated %+v", i, a[i], want[i])
+		}
+	}
+	if sc.Control.Hostname != "nozomi.lsi.upc.edu" {
+		t.Fatalf("control = %q", sc.Control.Hostname)
+	}
+}
+
+// TestSynthesisIsSeedDeterministic pins the scenario-layer determinism
+// contract: the same seed yields an identical catalog — labels, hostnames
+// and every profile field — no matter how many times (or from how many
+// workers) it is synthesized, while different seeds draw different worlds.
+func TestSynthesisIsSeedDeterministic(t *testing.T) {
+	for _, spec := range []string{"uniform:32", "heterogeneous:64"} {
+		sc, err := scenario.Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := sc.Catalog(2007), sc.Catalog(2007)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: same seed diverged at peer %d: %+v vs %+v", spec, i, a[i], b[i])
+			}
+		}
+		c := sc.Catalog(2008)
+		same := true
+		for i := range a {
+			if a[i].Profile != c[i].Profile {
+				same = false
+			}
+		}
+		if same {
+			t.Fatalf("%s: seeds 2007 and 2008 drew identical profiles", spec)
+		}
+	}
+}
+
+func TestHeterogeneousMixture(t *testing.T) {
+	sc := scenario.Heterogeneous(128)
+	cat := sc.Catalog(2007)
+	var loaded, healthy int
+	minBW, maxBW := cat[0].Profile.Bandwidth, cat[0].Profile.Bandwidth
+	for _, p := range cat {
+		if p.Profile.WakeLag > 0 {
+			loaded++
+		} else {
+			healthy++
+		}
+		if p.Profile.Bandwidth < minBW {
+			minBW = p.Profile.Bandwidth
+		}
+		if p.Profile.Bandwidth > maxBW {
+			maxBW = p.Profile.Bandwidth
+		}
+		if p.Profile.Bandwidth <= 0 || p.Profile.CPUScore <= 0 || p.Profile.MTBF <= 0 {
+			t.Fatalf("peer %s has an invalid profile: %+v", p.Label, p.Profile)
+		}
+	}
+	// ~50% of peers are healthy and ~50% loaded/pathological; require both
+	// classes to be well represented at this seed.
+	if healthy < 32 || loaded < 32 {
+		t.Fatalf("mixture collapsed: %d healthy, %d loaded of 128", healthy, loaded)
+	}
+	// The bandwidth spread must cover the heterogeneity the paper measured:
+	// the best link several times the worst.
+	if maxBW < 2*minBW {
+		t.Fatalf("bandwidth spread too narrow: [%.0f, %.0f]", minBW, maxBW)
+	}
+}
+
+func TestUniformIsNarrow(t *testing.T) {
+	cat := scenario.Uniform(64).Catalog(2007)
+	for _, p := range cat {
+		if p.Profile.WakeLag != 0 {
+			t.Fatalf("uniform peer %s has wake lag %v", p.Label, p.Profile.WakeLag)
+		}
+		if p.Profile.Bandwidth < 1.0e6 || p.Profile.Bandwidth > 1.4e6 {
+			t.Fatalf("uniform peer %s bandwidth %.0f outside band", p.Label, p.Profile.Bandwidth)
+		}
+	}
+}
+
+func TestDeploy(t *testing.T) {
+	sc := scenario.Heterogeneous(12)
+	sl, err := scenario.Deploy(sc, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl.Control == nil || sl.Control.Name() != sc.Control.Hostname {
+		t.Fatalf("control = %v", sl.Control)
+	}
+	if len(sl.Peers) != 12 || len(sl.Catalog) != 12 {
+		t.Fatalf("deployed %d/%d peers, want 12", len(sl.Peers), len(sl.Catalog))
+	}
+	for _, p := range sl.Catalog {
+		node := sl.Peers[p.Label]
+		if node == nil || node.Name() != p.Hostname {
+			t.Fatalf("peer %s not deployed as %s", p.Label, p.Hostname)
+		}
+		if sl.Host(p.Label) != p.Hostname {
+			t.Fatalf("Host(%s) = %q", p.Label, sl.Host(p.Label))
+		}
+	}
+	if _, err := scenario.Deploy(scenario.Scenario{}, 1); err == nil {
+		t.Fatal("Deploy of zero scenario accepted")
+	}
+}
+
+func TestFig6HintsAreInCatalog(t *testing.T) {
+	for _, spec := range []string{"table1", "uniform:3", "heterogeneous:128"} {
+		sc, err := scenario.Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inLabels := func(l string) bool {
+			for _, have := range sc.Labels {
+				if have == l {
+					return true
+				}
+			}
+			return false
+		}
+		if len(sc.Remembered) == 0 || len(sc.Blemished) == 0 {
+			t.Fatalf("%s: missing fig6 hints", spec)
+		}
+		for _, l := range append(append([]string{}, sc.Remembered...), sc.Blemished...) {
+			if !inLabels(l) {
+				t.Fatalf("%s: hint %q not a measured label", spec, l)
+			}
+		}
+	}
+}
+
+func TestRegisteredNames(t *testing.T) {
+	if names := scenario.Registered(); !strings.Contains(strings.Join(names, ","), "table1") {
+		t.Fatalf("registered = %v, want table1 present", names)
+	}
+}
+
+// Synthetic profiles must carry the substrate models the figures depend on
+// (degradation behind Figure 5, engaged windows behind Figure 2).
+func TestSyntheticProfilesCarrySubstrateModels(t *testing.T) {
+	for _, p := range scenario.Heterogeneous(16).Catalog(3) {
+		if p.Profile.DegradeRefBytes <= 0 || p.Profile.DegradeExp <= 0 {
+			t.Fatalf("%s missing degradation model", p.Label)
+		}
+		if p.Profile.WakeLag > 0 && p.Profile.EngagedWindow != 30*time.Second {
+			t.Fatalf("%s wake lag without engaged window", p.Label)
+		}
+	}
+}

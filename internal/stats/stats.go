@@ -448,3 +448,57 @@ func (r *Registry) ResetSession() {
 		r.Peer(n).ResetSession()
 	}
 }
+
+// Union presents several shard Registries as one whole-network view — the
+// cross-shard aggregation path of a sharded broker. Per-peer access routes
+// to the owning shard via pick; whole-network reads (Names, Snapshots)
+// merge every shard and restore the sorted order a single Registry would
+// return, so consumers cannot tell one shard from many.
+type Union struct {
+	regs []*Registry
+	pick func(peer string) *Registry
+}
+
+// NewUnion builds a union over regs; pick maps a peer name to its owning
+// registry and may be nil when there is exactly one shard.
+func NewUnion(regs []*Registry, pick func(peer string) *Registry) *Union {
+	if pick == nil {
+		if len(regs) != 1 {
+			panic("stats: NewUnion without pick needs exactly one registry")
+		}
+		only := regs[0]
+		pick = func(string) *Registry { return only }
+	}
+	return &Union{regs: regs, pick: pick}
+}
+
+// Peer returns the stats for a peer from its owning shard, creating them on
+// first use.
+func (u *Union) Peer(name string) *PeerStats { return u.pick(name).Peer(name) }
+
+// Names returns all known peer names across shards, sorted.
+func (u *Union) Names() []string {
+	var names []string
+	for _, r := range u.regs {
+		names = append(names, r.Names()...)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshots returns a snapshot per known peer across shards, sorted by name.
+func (u *Union) Snapshots() []Snapshot {
+	names := u.Names()
+	out := make([]Snapshot, 0, len(names))
+	for _, n := range names {
+		out = append(out, u.Peer(n).Snapshot())
+	}
+	return out
+}
+
+// ResetSession starts a new session on every peer of every shard.
+func (u *Union) ResetSession() {
+	for _, r := range u.regs {
+		r.ResetSession()
+	}
+}

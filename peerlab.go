@@ -26,6 +26,7 @@ import (
 	"peerlab/internal/metrics"
 	"peerlab/internal/overlay"
 	"peerlab/internal/planetlab"
+	"peerlab/internal/scenario"
 	"peerlab/internal/simnet"
 	"peerlab/internal/stats"
 	"peerlab/internal/task"
@@ -90,7 +91,21 @@ type FigureSuite = experiments.Suite
 // so the suite is bit-identical for a given seed at any worker count. reps
 // is the repetitions averaged per data point (0 = the paper's 5).
 func ReproduceFigures(seed int64, reps, workers int) (*FigureSuite, error) {
-	return experiments.FigureSuite(experiments.Config{Seed: seed, Reps: reps, Workers: workers})
+	return ReproduceScenario(ScenarioTable1, seed, reps, workers)
+}
+
+// ReproduceScenario is ReproduceFigures on an arbitrary scenario spec —
+// ScenarioTable1, "uniform:N" or "heterogeneous:N" — so the same harness
+// that regenerates the paper's 8-peer figures measures slices of hundreds
+// of peers.
+func ReproduceScenario(spec string, seed int64, reps, workers int) (*FigureSuite, error) {
+	sc, err := scenario.Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	return experiments.FigureSuite(experiments.Config{
+		Seed: seed, Reps: reps, Workers: workers, Scenario: sc,
+	})
 }
 
 // PeerConfig describes one peer node in a deployment.
@@ -102,16 +117,26 @@ type PeerConfig struct {
 	Profile simnet.Profile
 }
 
+// ScenarioTable1 is the paper's calibrated Table-1 scenario name. Synthetic
+// scenarios are specified as "uniform:N" or "heterogeneous:N" with N peers.
+const ScenarioTable1 = "table1"
+
 // Config describes a deployment.
 type Config struct {
 	// Seed drives all randomness (jitter, wake lags, failures). Runs with
-	// the same seed are identical.
+	// the same seed are identical. Synthetic scenarios also draw their
+	// per-peer profiles from it.
 	Seed int64
-	// Peers lists the client nodes. Leave empty and set UsePlanetLab to
-	// deploy the paper's calibrated SC1..SC8 slice instead.
+	// Scenario deploys a named slice scenario — ScenarioTable1 for the
+	// paper's calibrated SC1..SC8 world, or "uniform:N"/"heterogeneous:N"
+	// for synthesized slices of N peers. When set, Peers is ignored.
+	Scenario string
+	// Peers lists the client nodes explicitly. Leave empty and set
+	// Scenario to deploy a scenario instead.
 	Peers []PeerConfig
-	// UsePlanetLab deploys the paper's eight calibrated SimpleClient peers
-	// (and ignores Peers).
+	// UsePlanetLab is a shorthand for Scenario: ScenarioTable1.
+	//
+	// Deprecated: set Scenario instead.
 	UsePlanetLab bool
 }
 
@@ -136,13 +161,20 @@ func Deploy(cfg Config) (*Deployment, error) {
 		ctlNode *simnet.Node
 		peers   []PeerConfig
 	)
-	if cfg.UsePlanetLab {
-		slice, err := planetlab.DeploySC(cfg.Seed)
+	if cfg.Scenario == "" && cfg.UsePlanetLab {
+		cfg.Scenario = ScenarioTable1
+	}
+	if cfg.Scenario != "" {
+		sc, err := scenario.Parse(cfg.Scenario)
+		if err != nil {
+			return nil, err
+		}
+		slice, err := scenario.Deploy(sc, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
 		net, ctlNode = slice.Net, slice.Control
-		for _, p := range planetlab.SCPeers() {
+		for _, p := range slice.Catalog {
 			peers = append(peers, PeerConfig{Name: p.Hostname, Profile: p.Profile})
 		}
 	} else {

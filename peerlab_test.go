@@ -68,6 +68,51 @@ func TestPlanetLabDeployment(t *testing.T) {
 	}
 }
 
+func TestScenarioDeployment(t *testing.T) {
+	d, err := Deploy(Config{Seed: 9, Scenario: "heterogeneous:24"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := d.Peers()
+	if len(peers) != 24 {
+		t.Fatalf("peers = %d, want 24", len(peers))
+	}
+	err = d.Run(func(s *Session) error {
+		if _, err := s.SendFile(peers[0], NewVirtualFile("f", Mb, 1), 4); err != nil {
+			return err
+		}
+		picked, err := s.SelectPeers(ModelEconomic,
+			SelectionRequest{Kind: KindFileTransfer, SizeBytes: Mb}, 3, nil)
+		if err != nil {
+			return err
+		}
+		if len(picked) != 3 {
+			t.Errorf("selection returned %d peers", len(picked))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Deploy(Config{Scenario: "nope:raw"}); err == nil {
+		t.Fatal("bad scenario spec accepted")
+	}
+}
+
+func TestReproduceScenarioSmoke(t *testing.T) {
+	suite, err := ReproduceScenario("uniform:3", 5, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := suite.Figure("fig2")
+	if fig == nil || len(fig.Labels) != 3 {
+		t.Fatalf("fig2 = %+v", fig)
+	}
+	if _, err := ReproduceScenario("bogus", 1, 1, 1); err == nil {
+		t.Fatal("bogus scenario accepted")
+	}
+}
+
 func TestSelectionThroughFacade(t *testing.T) {
 	d, err := Deploy(Config{Seed: 7, UsePlanetLab: true})
 	if err != nil {
