@@ -7,10 +7,17 @@
 // per-cell seed derivation keeps the output bit-identical for a given seed
 // at any worker count.
 //
+// A run regenerates the paper's figures (controller-fanout traffic), or —
+// with -workload — executes a flow workload over the scenario: swarm:N and
+// allpairs:N drive peer↔peer transfers in which each source peer calls the
+// broker's selection service itself before transmitting. Workload output is
+// bit-identical for a given seed at any -parallel or -shards value.
+//
 // Usage:
 //
 //	p2pbench [-experiment all|table1|fig2|fig3|fig4|fig5|fig6|fig7]
 //	         [-scenario table1|uniform:N|heterogeneous:N]
+//	         [-workload controller-fanout|swarm:N|allpairs:N]
 //	         [-seed N] [-reps N] [-parallel N] [-shards N]
 //	         [-format markdown|bars|csv|json]
 package main
@@ -26,23 +33,28 @@ import (
 	"peerlab/internal/experiments"
 	"peerlab/internal/metrics"
 	"peerlab/internal/scenario"
+	"peerlab/internal/workload"
 )
 
 // result is the machine-readable run record emitted by -format json.
 type result struct {
-	Scenario string                    `json:"scenario"`
-	Seed     int64                     `json:"seed"`
-	Reps     int                       `json:"reps"`
-	Workers  int                       `json:"workers"`
-	Shards   int                       `json:"shards"`
-	Table1   *metrics.Table            `json:"table1,omitempty"`
-	Figures  []experiments.SuiteFigure `json:"figures,omitempty"`
+	Scenario string                       `json:"scenario"`
+	Workload string                       `json:"workload,omitempty"`
+	Seed     int64                        `json:"seed"`
+	Reps     int                          `json:"reps"`
+	Workers  int                          `json:"workers"`
+	Shards   int                          `json:"shards"`
+	Table1   *metrics.Table               `json:"table1,omitempty"`
+	Figures  []experiments.SuiteFigure    `json:"figures,omitempty"`
+	Flows    []experiments.FlowRecord     `json:"flows,omitempty"`
+	Summary  *experiments.WorkloadSummary `json:"summary,omitempty"`
 }
 
 func main() {
 	var (
 		exp      = flag.String("experiment", "all", "which exhibit to regenerate (all, table1, fig2..fig7)")
 		scen     = flag.String("scenario", "table1", "slice scenario: table1 (the paper's calibrated world), uniform:N, heterogeneous:N")
+		wl       = flag.String("workload", "", "run a flow workload instead of the figures: controller-fanout, swarm:N, allpairs:N")
 		seed     = flag.Int64("seed", 2007, "simulation seed (runs with equal seeds are identical)")
 		reps     = flag.Int("reps", 5, "repetitions per data point (the paper used 5)")
 		parallel = flag.Int("parallel", 0, "experiment cells run concurrently (0 = GOMAXPROCS, 1 = serial)")
@@ -68,6 +80,28 @@ func main() {
 	out := result{Scenario: sc.Name, Seed: *seed, Reps: *reps, Workers: *parallel, Shards: *shards}
 	if out.Workers <= 0 {
 		out.Workers = runtime.GOMAXPROCS(0)
+	}
+
+	if *wl != "" {
+		w, err := workload.Parse(*wl)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p2pbench: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Workload = w
+		report, err := experiments.RunWorkload(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p2pbench: %v\n", err)
+			os.Exit(1)
+		}
+		out.Workload = report.Workload
+		out.Flows = report.Flows
+		out.Summary = &report.Summary
+		if err := render(out, *format); err != nil {
+			fmt.Fprintf(os.Stderr, "p2pbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *exp == "all" {
@@ -120,6 +154,9 @@ func render(out result, format string) error {
 		enc.SetIndent("", "  ")
 		return enc.Encode(out)
 	}
+	if out.Workload != "" {
+		return renderWorkload(out, format)
+	}
 	if out.Table1 != nil {
 		fmt.Println(out.Table1.Markdown())
 	}
@@ -133,5 +170,37 @@ func render(out result, format string) error {
 			fmt.Println(sf.Figure.Markdown())
 		}
 	}
+	return nil
+}
+
+// renderWorkload prints a workload report's flows as CSV or a markdown
+// table, followed by the summary line (on stderr in CSV mode, so stdout
+// stays machine-parseable).
+func renderWorkload(out result, format string) error {
+	summaryTo := os.Stdout
+	if format == "csv" {
+		summaryTo = os.Stderr
+		fmt.Println("rep,index,source,sink,model,bytes,parts,attempts,petition_seconds,transmission_seconds")
+		for _, f := range out.Flows {
+			fmt.Printf("%d,%d,%s,%s,%s,%d,%d,%d,%.6f,%.6f\n",
+				f.Rep, f.Index, f.Source, f.Sink, f.Model, f.Bytes, f.Parts,
+				f.Attempts, f.PetitionSeconds, f.TransmissionSeconds)
+		}
+	} else {
+		t := &metrics.Table{
+			Title:   fmt.Sprintf("Workload %s on %s", out.Workload, out.Scenario),
+			Columns: []string{"rep", "flow", "source", "sink", "model", "Mb", "parts", "attempts", "xmit s"},
+		}
+		for _, f := range out.Flows {
+			t.AddRow(fmt.Sprint(f.Rep), fmt.Sprint(f.Index), f.Source, f.Sink, f.Model,
+				fmt.Sprintf("%.0f", float64(f.Bytes)/1e6), fmt.Sprint(f.Parts),
+				fmt.Sprint(f.Attempts), fmt.Sprintf("%.3f", f.TransmissionSeconds))
+		}
+		fmt.Println(t.Markdown())
+	}
+	s := out.Summary
+	fmt.Fprintf(summaryTo, "flows=%d total=%.0fMb relaunched=%d max-attempts=%d mean-xmit=%.3fs max-xmit=%.3fs\n",
+		s.Flows, float64(s.TotalBytes)/1e6, s.Relaunched, s.MaxAttempts,
+		s.MeanTransmissionSeconds, s.MaxTransmissionSeconds)
 	return nil
 }

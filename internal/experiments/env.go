@@ -20,6 +20,7 @@ import (
 	"peerlab/internal/overlay"
 	"peerlab/internal/planetlab"
 	"peerlab/internal/scenario"
+	"peerlab/internal/workload"
 )
 
 // Config controls an experiment run.
@@ -46,6 +47,11 @@ type Config struct {
 	// aggregate across shards in canonical order, so figures are identical
 	// at any shard count.
 	Shards int
+	// Workload is the flow set RunWorkload executes — who sends to whom.
+	// The zero value resolves to the scenario's workload hint, and failing
+	// that to controller-fanout (the paper's traffic shape). Figures always
+	// measure controller-fanout traffic regardless of this field.
+	Workload workload.Workload
 
 	// pool, when set, is shared across figures so a whole-suite run is
 	// bounded by one worker budget (see FigureSuite).
@@ -90,7 +96,11 @@ type Env struct {
 	Slice      *scenario.Slice
 	Broker     *overlay.Broker
 	Controller *overlay.Client
-	hostOf     map[string]string // peer label -> hostname
+	// Clients maps peer label to the running client for every peer the
+	// current RunPeers call started (set for the duration of fn).
+	Clients map[string]*overlay.Client
+	hostOf  map[string]string // peer label -> hostname
+	labelOf map[string]string // hostname -> peer label
 }
 
 // NewEnv deploys the configured scenario and builds (but does not yet
@@ -110,15 +120,24 @@ func NewEnv(cfg Config) (*Env, error) {
 	if err != nil {
 		return nil, err
 	}
-	env := &Env{Slice: s, Broker: broker, hostOf: make(map[string]string, len(s.Catalog))}
+	env := &Env{
+		Slice:   s,
+		Broker:  broker,
+		hostOf:  make(map[string]string, len(s.Catalog)),
+		labelOf: make(map[string]string, len(s.Catalog)),
+	}
 	for _, p := range s.Catalog {
 		env.hostOf[p.Label] = p.Hostname
+		env.labelOf[p.Hostname] = p.Label
 	}
 	return env, nil
 }
 
 // Host returns the hostname behind a peer label.
 func (e *Env) Host(label string) string { return e.hostOf[label] }
+
+// Label returns the peer label behind a hostname (the inverse of Host).
+func (e *Env) Label(host string) string { return e.labelOf[host] }
 
 // Run executes fn as the experiment driver process with every catalog peer
 // started; see RunPeers.
@@ -163,6 +182,7 @@ func (e *Env) RunPeers(labels []string, fn func(ctl *overlay.Client, sc map[stri
 			}
 			clients[p.Label] = c
 		}
+		e.Clients = clients
 		runErr = fn(ctl, clients)
 	})
 	return runErr

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 
@@ -11,6 +10,7 @@ import (
 	"peerlab/internal/planetlab"
 	"peerlab/internal/task"
 	"peerlab/internal/transfer"
+	"peerlab/internal/workload"
 )
 
 // Table1 reproduces the paper's Table 1: the nodes added to the PlanetLab
@@ -108,41 +108,28 @@ type transferSample struct {
 	lastMbSecs float64
 }
 
-// transferAttempts bounds how many times a cell relaunches a transmission
-// the pipe layer abandoned outright.
-const transferAttempts = 4
-
 // transferCell runs one (peer, rep) transfer in its own environment.
 //
 // A whole-file transmission to a pathological sliver can die even after the
 // pipe's retries: every retransmission of a 100 Mb message re-rolls the
 // receiver's restart model. On the paper's 8-peer slice that is vanishingly
 // rare; on a 100+ peer slice with an SC7-class population it is routine, and
-// the operator's answer is the paper's own — relaunch the transmission. The
+// the operator's answer is the paper's own — relaunch the transmission
+// (workload.SendRelaunched, the flow layer's shared relaunch budget). The
 // figure measures the completed transmission (the cost of whole-file
 // fragility is Figure 5's finding, carried by the surviving attempt's
 // stretched time, not by aborting the experiment).
 func transferCell(cellCfg Config, label string, rep, size, parts int) (transferSample, error) {
 	return envCell(cellCfg, []string{label}, func(env *Env, ctl *overlay.Client) (transferSample, error) {
-		var lastErr error
-		for attempt := 0; attempt < transferAttempts; attempt++ {
-			env.Slice.Control.Sleep(cellCfg.IdleGap)
-			m, err := ctl.SendFile(env.Host(label),
-				transfer.NewVirtualFile("payload", size, int64(rep)), parts)
-			if err == nil {
-				return transferSample{
-					minutes:    m.TransmissionTime().Minutes(),
-					lastMbSecs: m.LastMbTime().Seconds(),
-				}, nil
-			}
-			if !errors.Is(err, transfer.ErrFailed) {
-				// Rejection or resolution errors are not transient.
-				return transferSample{}, fmt.Errorf("transfer to %s rep %d: %w", label, rep, err)
-			}
-			lastErr = err
+		m, err := workload.SendRelaunched(env.Slice.Control.Sleep, cellCfg.IdleGap, ctl,
+			env.Host(label), transfer.NewVirtualFile("payload", size, int64(rep)), parts)
+		if err != nil {
+			return transferSample{}, fmt.Errorf("transfer to %s rep %d: %w", label, rep, err)
 		}
-		return transferSample{}, fmt.Errorf("transfer to %s rep %d: gave up after %d attempts: %w",
-			label, rep, transferAttempts, lastErr)
+		return transferSample{
+			minutes:    m.TransmissionTime().Minutes(),
+			lastMbSecs: m.LastMbTime().Seconds(),
+		}, nil
 	})
 }
 

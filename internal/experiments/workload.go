@@ -1,0 +1,176 @@
+// Workload runner: executes a flow set over a scenario on the parallel cell
+// runner. Where the figure generators decompose into (scenario, peer, rep)
+// cells with the control node as the sole traffic source, the workload
+// runner's cells are (scenario, workload, rep): each repetition deploys its
+// own slice and runs every flow of the workload as a concurrent simulation
+// process — peer↔peer sources included, each calling the broker's selection
+// service itself when its flow says so. Cell seeds and per-flow payload
+// seeds derive via SplitMix64, so a report is bit-identical for a given seed
+// at any worker or broker-shard count.
+package experiments
+
+import (
+	"fmt"
+
+	"peerlab/internal/metrics"
+	"peerlab/internal/overlay"
+	"peerlab/internal/workload"
+)
+
+// FlowRecord is the machine-readable result of one executed flow in one
+// repetition.
+type FlowRecord struct {
+	Rep    int    `json:"rep"`
+	Index  int    `json:"index"`
+	Source string `json:"source"`
+	Sink   string `json:"sink"`
+	Model  string `json:"model,omitempty"`
+	Bytes  int    `json:"bytes"`
+	Parts  int    `json:"parts"`
+	// Attempts counts transmission launches (>1 means the pipe layer
+	// abandoned earlier launches and the flow was relaunched).
+	Attempts            int     `json:"attempts"`
+	PetitionSeconds     float64 `json:"petition_seconds"`
+	TransmissionSeconds float64 `json:"transmission_seconds"`
+}
+
+// WorkloadSummary aggregates a report's flows.
+type WorkloadSummary struct {
+	Flows                   int     `json:"flows"`
+	TotalBytes              int64   `json:"total_bytes"`
+	Relaunched              int     `json:"relaunched"`
+	MaxAttempts             int     `json:"max_attempts"`
+	MeanTransmissionSeconds float64 `json:"mean_transmission_seconds"`
+	MaxTransmissionSeconds  float64 `json:"max_transmission_seconds"`
+}
+
+// WorkloadReport is RunWorkload's result: every flow of every repetition in
+// (rep, flow-index) order, plus a summary.
+type WorkloadReport struct {
+	Workload string          `json:"workload"`
+	Scenario string          `json:"scenario"`
+	Reps     int             `json:"reps"`
+	Flows    []FlowRecord    `json:"flows"`
+	Summary  WorkloadSummary `json:"summary"`
+}
+
+// resolveWorkload picks the configured workload, the scenario's hint, or the
+// controller-fanout default, in that order.
+func resolveWorkload(cfg Config) (workload.Workload, error) {
+	if !cfg.Workload.IsZero() {
+		return cfg.Workload, nil
+	}
+	if cfg.Scenario.Workload != "" {
+		return workload.Parse(cfg.Scenario.Workload)
+	}
+	return workload.ControllerFanout(), nil
+}
+
+// participants returns the peer labels a flow set touches, or nil (= boot
+// the whole slice) when any flow resolves its sink through the selection
+// service and therefore needs the full candidate set registered.
+func participants(flows []workload.Flow) []string {
+	seen := make(map[string]bool)
+	var labels []string
+	add := func(l string) {
+		if l != "" && !seen[l] {
+			seen[l] = true
+			labels = append(labels, l)
+		}
+	}
+	for _, f := range flows {
+		if f.Sink == "" {
+			return nil
+		}
+		add(f.Source)
+		add(f.Sink)
+	}
+	return labels
+}
+
+// RunWorkload executes cfg's workload over cfg's scenario, one cell per
+// repetition, and returns the per-flow records in (rep, flow-index) order.
+func RunWorkload(cfg Config) (*WorkloadReport, error) {
+	cfg = cfg.withDefaults()
+	w, err := resolveWorkload(cfg)
+	if err != nil {
+		return nil, err
+	}
+	recs, err := runCells(cfg, "workload:"+w.Name, cfg.Reps,
+		func(rep int, cellCfg Config) ([]FlowRecord, error) {
+			return workloadCell(cellCfg, w, rep)
+		})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: workload %s: %w", w.Name, err)
+	}
+	report := &WorkloadReport{Workload: w.Name, Scenario: cfg.Scenario.Name, Reps: cfg.Reps}
+	for _, cell := range recs {
+		report.Flows = append(report.Flows, cell...)
+	}
+	report.Summary = summarize(report.Flows)
+	return report, nil
+}
+
+// workloadCell deploys one repetition's slice and runs every flow of the
+// workload as a concurrent simulation process.
+func workloadCell(cellCfg Config, w workload.Workload, rep int) ([]FlowRecord, error) {
+	flows := w.Flows(cellCfg.Scenario.Labels, cellCfg.Seed)
+	if len(flows) == 0 {
+		return nil, fmt.Errorf("workload %s produced no flows", w.Name)
+	}
+	return envCell(cellCfg, participants(flows), func(env *Env, ctl *overlay.Client) ([]FlowRecord, error) {
+		results, err := workload.Execute(workload.Env{
+			Host:         env.Slice.Control,
+			Control:      ctl,
+			Clients:      env.Clients,
+			HostOf:       env.Host,
+			LabelOf:      env.Label,
+			ExcludeSinks: []string{env.Slice.Control.Name()},
+			IdleGap:      cellCfg.IdleGap,
+		}, flows, cellCfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		recs := make([]FlowRecord, len(results))
+		for i, r := range results {
+			source := r.Flow.Source
+			if source == "" {
+				source = "control"
+			}
+			recs[i] = FlowRecord{
+				Rep:                 rep,
+				Index:               r.Flow.Index,
+				Source:              source,
+				Sink:                r.Sink,
+				Model:               r.Flow.Model,
+				Bytes:               r.Flow.SizeBytes,
+				Parts:               r.Flow.Parts,
+				Attempts:            r.Metrics.Attempts,
+				PetitionSeconds:     r.Metrics.PetitionDelay().Seconds(),
+				TransmissionSeconds: r.Metrics.TransmissionTime().Seconds(),
+			}
+		}
+		return recs, nil
+	})
+}
+
+func summarize(recs []FlowRecord) WorkloadSummary {
+	s := WorkloadSummary{Flows: len(recs)}
+	var xs []float64
+	for _, r := range recs {
+		s.TotalBytes += int64(r.Bytes)
+		if r.Attempts > 1 {
+			s.Relaunched++
+		}
+		if r.Attempts > s.MaxAttempts {
+			s.MaxAttempts = r.Attempts
+		}
+		xs = append(xs, r.TransmissionSeconds)
+	}
+	if len(xs) > 0 {
+		sum := metrics.Summarize(xs)
+		s.MeanTransmissionSeconds = sum.Mean
+		s.MaxTransmissionSeconds = sum.Max
+	}
+	return s
+}

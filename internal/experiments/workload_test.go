@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"peerlab/internal/scenario"
+	"peerlab/internal/workload"
+)
+
+// TestRunWorkloadDefaultsToControllerFanout pins the compatibility default:
+// with no workload configured, RunWorkload reproduces the paper's traffic
+// shape — every flow sourced at the control node, one per measured peer.
+func TestRunWorkloadDefaultsToControllerFanout(t *testing.T) {
+	report, err := RunWorkload(Config{Seed: 5, Reps: 2, Scenario: scenario.Uniform(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Workload != "controller-fanout" {
+		t.Fatalf("workload = %q", report.Workload)
+	}
+	if len(report.Flows) != 2*4 {
+		t.Fatalf("flows = %d, want reps*peers = 8", len(report.Flows))
+	}
+	for _, f := range report.Flows {
+		if f.Source != "control" {
+			t.Fatalf("flow %+v not controller-sourced", f)
+		}
+		if f.Attempts < 1 || f.TransmissionSeconds <= 0 {
+			t.Fatalf("flow %+v has no measurement", f)
+		}
+	}
+	if report.Summary.Flows != 8 || report.Summary.TotalBytes <= 0 {
+		t.Fatalf("summary = %+v", report.Summary)
+	}
+}
+
+// TestRunWorkloadScenarioHint pins the hint chain: a scenario may name the
+// workload that exercises it, and RunWorkload resolves it when the config
+// leaves the workload unset.
+func TestRunWorkloadScenarioHint(t *testing.T) {
+	sc := scenario.Uniform(3)
+	sc.Workload = "allpairs:2"
+	report, err := RunWorkload(Config{Seed: 5, Reps: 1, Scenario: sc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Workload != "allpairs:2" || len(report.Flows) != 2 {
+		t.Fatalf("report = %s with %d flows, want allpairs:2 with 2", report.Workload, len(report.Flows))
+	}
+	// An explicit config workload still wins over the hint.
+	report, err = RunWorkload(Config{Seed: 5, Reps: 1, Scenario: sc, Workload: workload.ControllerFanout()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Workload != "controller-fanout" {
+		t.Fatalf("explicit workload lost to the hint: %s", report.Workload)
+	}
+}
+
+// TestSwarmWorkloadWorkerAndShardInvariant pins the tentpole determinism
+// contract on the multi-source path: a swarm report — concurrent peer
+// sources, each calling the broker's selection service — is bit-identical at
+// any worker count and any broker shard count.
+func TestSwarmWorkloadWorkerAndShardInvariant(t *testing.T) {
+	base := Config{Seed: 91, Reps: 2, Scenario: scenario.Heterogeneous(10), Workload: workload.Swarm(8)}
+
+	serial, parallel, sharded := base, base, base
+	serial.Workers = 1
+	parallel.Workers = 4
+	sharded.Workers = 4
+	sharded.Shards = 4
+
+	a, err := RunWorkload(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunWorkload(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := RunWorkload(sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Flows, b.Flows) {
+		t.Fatalf("worker counts diverged:\n1: %+v\n4: %+v", a.Flows, b.Flows)
+	}
+	if !reflect.DeepEqual(a.Flows, c.Flows) {
+		t.Fatalf("shard counts diverged:\n1: %+v\n4: %+v", a.Flows, c.Flows)
+	}
+	if !reflect.DeepEqual(a.Summary, c.Summary) {
+		t.Fatalf("summaries diverged: %+v vs %+v", a.Summary, c.Summary)
+	}
+	// The swarm actually was multi-source with selected sinks.
+	for _, f := range a.Flows {
+		if f.Source == "control" {
+			t.Fatalf("swarm flow sourced at the control node: %+v", f)
+		}
+		if f.Model == "" || f.Sink == "" || f.Sink == f.Source {
+			t.Fatalf("swarm flow not model-selected peer↔peer: %+v", f)
+		}
+	}
+}
+
+// TestAllPairsParticipantScope pins participant-scoped booting: an
+// allpairs:3 workload on a 16-peer slice touches exactly the first three
+// labels.
+func TestAllPairsParticipantScope(t *testing.T) {
+	sc := scenario.Uniform(16)
+	report, err := RunWorkload(Config{Seed: 7, Reps: 1, Scenario: sc, Workload: workload.AllPairs(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Flows) != 6 {
+		t.Fatalf("flows = %d, want 6", len(report.Flows))
+	}
+	first := map[string]bool{sc.Labels[0]: true, sc.Labels[1]: true, sc.Labels[2]: true}
+	for _, f := range report.Flows {
+		if !first[f.Source] || !first[f.Sink] {
+			t.Fatalf("flow %+v outside the first three labels", f)
+		}
+	}
+}
+
+func TestParticipants(t *testing.T) {
+	fixed := []workload.Flow{
+		{Source: "a", Sink: "b"},
+		{Source: "", Sink: "c"},
+		{Source: "a", Sink: "c"},
+	}
+	got := participants(fixed)
+	if !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Fatalf("participants = %v", got)
+	}
+	if participants([]workload.Flow{{Source: "a"}}) != nil {
+		t.Fatal("model-selected flow must boot the whole slice")
+	}
+}

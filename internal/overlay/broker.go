@@ -340,6 +340,16 @@ func (b *Broker) handleReportTransfer(conn *pipe.Conn, d *wire.Decoder) {
 	if rep.PetitionDelay > 0 {
 		ps.ObservePetitionDelay(rep.PetitionDelay)
 	}
+	// Origin attribution: the originating peer's record (in its own shard)
+	// counts the transmission launch it sourced — launch-level, mirroring
+	// the sink-side RecordFileSent above. Under multi-source workloads the
+	// sink-side statistics no longer imply "from the controller"; this is
+	// the origin-side half of the picture. The source is taken from the
+	// reporting conn's remote address — authoritative, and free of wire
+	// format (hence timing) impact on the paper's figures.
+	if from := conn.Remote().Node(); from != "" {
+		b.shardOf(from).registry.Peer(from).RecordTransferOriginated(rep.OK, rep.Bytes)
+	}
 	conn.Send(ackBytes())
 }
 

@@ -32,6 +32,9 @@ type ClientConfig struct {
 	FailEvery int
 	// Pipe tunes reliable pipes.
 	Pipe pipe.Options
+	// Sender tunes the client's transfer sender (e.g. Pipelined). The zero
+	// value is the paper's stop-and-wait protocol.
+	Sender transfer.SenderOptions
 	// AcceptFile decides on inbound petitions; nil accepts all.
 	AcceptFile func(name string, size, parts int, from string) (bool, string)
 	// OnFile observes completed inbound transfers.
@@ -90,7 +93,7 @@ func (c *Client) Start() error {
 	}
 	c.ctlMux = pipe.NewMux(c.host, ctlEP, c.cfg.Pipe)
 	c.xferMux = pipe.NewMux(c.host, xferEP, c.cfg.Pipe)
-	c.sender = transfer.NewSender(c.host, c.xferMux, transfer.SenderOptions{})
+	c.sender = transfer.NewSender(c.host, c.xferMux, c.cfg.Sender)
 	c.receiver = transfer.NewReceiver(c.host, c.xferMux, transfer.ReceiverOptions{
 		Accept: c.cfg.AcceptFile,
 		OnFile: c.cfg.OnFile,
@@ -388,6 +391,13 @@ func (c *Client) SendInstant(peer, text string) error {
 // named model. Preferred carries the user's own ranking for the
 // user-preference/quick-peer model.
 func (c *Client) SelectPeers(model string, req core.Request, max int, preferred []string) ([]string, error) {
+	return c.SelectPeersFrom(model, req, max, preferred, nil)
+}
+
+// SelectPeersFrom is SelectPeers with extra peers removed from candidacy (the
+// requester itself is always excluded). Multi-source workloads use it to keep
+// the control node out of peer↔peer sink selection.
+func (c *Client) SelectPeersFrom(model string, req core.Request, max int, preferred, exclude []string) ([]string, error) {
 	sreq := selectReq{
 		Model:      model,
 		Kind:       byte(req.Kind),
@@ -395,7 +405,7 @@ func (c *Client) SelectPeers(model string, req core.Request, max int, preferred 
 		WorkUnits:  req.WorkUnits,
 		MaxResults: max,
 		Preferred:  preferred,
-		Exclude:    []string{c.host.Name()},
+		Exclude:    append([]string{c.host.Name()}, exclude...),
 	}
 	reply, err := c.call(c.broker, sreq.encode())
 	if err != nil {
@@ -414,6 +424,10 @@ func (c *Client) SelectPeers(model string, req core.Request, max int, preferred 
 	}
 	return res.Peers, nil
 }
+
+// Name returns the client's node name — how the broker and other peers know
+// it.
+func (c *Client) Name() string { return c.host.Name() }
 
 // Executor exposes the local task executor (for queue inspection).
 func (c *Client) Executor() *task.Executor { return c.exec }

@@ -171,7 +171,11 @@ func (m selectResult) encode() []byte {
 	return e.Detach()
 }
 
-// reportTransfer carries a sender's observations of one transfer.
+// reportTransfer carries a sender's observations of one transfer. Peer is
+// the sink the observations describe; the broker attributes the originating
+// peer from the reporting conn's remote address (no field on the wire), so a
+// multi-source workload's flows attribute to their true source instead of
+// all appearing to come from the control node.
 type reportTransfer struct {
 	Peer          string
 	OK            bool

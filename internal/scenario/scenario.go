@@ -54,6 +54,11 @@ type Scenario struct {
 	// left blemishes on (failed messages, a cancelled transfer) before
 	// Figure 6's selection runs.
 	Blemished []string
+	// Workload optionally names the workload spec (see internal/workload)
+	// that best exercises this scenario — a session hint alongside
+	// Remembered/Blemished. Empty defers to the harness default
+	// (controller-fanout, the paper's traffic shape).
+	Workload string
 }
 
 // IsZero reports whether the scenario is unset.

@@ -154,12 +154,15 @@ type PeerStats struct {
 	queueLen          int  // tasks currently queued on the peer
 	readyAt           time.Time
 
-	// Files.
+	// Files. fileSent/cancel describe the peer as a transfer sink;
+	// originated describes it as a source (multi-source workloads).
 	fileSentSession Ratio
 	fileSentTotal   Ratio
 	cancelSession   Ratio // Record(true) = a cancellation happened
 	cancelTotal     Ratio
 	pendingTransfer int
+	originated      Ratio
+	bytesOriginated int64
 
 	// Capabilities and link quality.
 	cpuScore      float64
@@ -257,6 +260,21 @@ func (p *PeerStats) RecordTransferOutcome(cancelled bool) {
 	p.touch()
 }
 
+// RecordTransferOriginated records a transmission launch this peer sourced —
+// the origin-side mirror of the sink-side RecordFileSent, with the same
+// launch-level granularity: a flow the workload layer relaunches counts one
+// record per launch on both sides. bytes is the payload size (counted only
+// for completed launches).
+func (p *PeerStats) RecordTransferOriginated(ok bool, bytes int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.originated.Record(ok)
+	if ok && bytes > 0 {
+		p.bytesOriginated += int64(bytes)
+	}
+	p.touch()
+}
+
 // AddPendingTransfers adjusts the pending-transfer count by delta.
 func (p *PeerStats) AddPendingTransfers(delta int) {
 	p.mu.Lock()
@@ -340,6 +358,13 @@ type Snapshot struct {
 	PctCancelTotal     float64
 	PendingTransfers   float64
 
+	// Origination (the peer as a transfer source, not sink). Counters are
+	// launch-level, mirroring PctFileSent*: a relaunched flow records one
+	// entry per transmission launch on both the sink and origin side.
+	TransfersOriginated    float64 // transmission launches this peer sourced
+	PctTransfersOriginated float64 // success percentage of those (default 100)
+	BytesOriginated        float64 // payload bytes of completed sourced launches
+
 	// Capabilities.
 	CPUScore      float64       // default 1
 	TransferRate  float64       // bytes/second; default 0 = unknown
@@ -381,6 +406,10 @@ func (p *PeerStats) SnapshotK(k int) Snapshot {
 		PctCancelSession:   p.cancelSession.PercentOr(0),
 		PctCancelTotal:     p.cancelTotal.PercentOr(0),
 		PendingTransfers:   float64(p.pendingTransfer),
+
+		TransfersOriginated:    float64(p.originated.Total),
+		PctTransfersOriginated: p.originated.PercentOr(100),
+		BytesOriginated:        float64(p.bytesOriginated),
 
 		CPUScore:      cpu,
 		TransferRate:  p.transferRate.Value(0),

@@ -24,6 +24,112 @@ func fixedClock(start time.Time) (func() time.Time, func(time.Duration)) {
 
 var t0 = time.Date(2007, 3, 1, 0, 0, 0, 0, time.UTC)
 
+// TestFlowOrigination covers the origin-side attribution counters.
+func TestFlowOrigination(t *testing.T) {
+	p := NewPeerStats("src", nil)
+	if s := p.Snapshot(); s.TransfersOriginated != 0 || s.PctTransfersOriginated != 100 || s.BytesOriginated != 0 {
+		t.Fatalf("empty origination = %+v", s)
+	}
+	p.RecordTransferOriginated(true, 1000)
+	p.RecordTransferOriginated(true, 500)
+	p.RecordTransferOriginated(false, 700) // failed flows carry no completed bytes
+	s := p.Snapshot()
+	if s.TransfersOriginated != 3 || s.BytesOriginated != 1500 {
+		t.Fatalf("origination = %+v, want 3 flows / 1500 bytes", s)
+	}
+	if s.PctTransfersOriginated < 66 || s.PctTransfersOriginated > 67 {
+		t.Fatalf("PctTransfersOriginated = %v, want ~66.7", s.PctTransfersOriginated)
+	}
+}
+
+// fnvPick mirrors the broker's shard-ownership rule for test unions.
+func fnvPick(regs []*Registry) func(string) *Registry {
+	return func(peer string) *Registry {
+		h := uint32(2166136261)
+		for i := 0; i < len(peer); i++ {
+			h ^= uint32(peer[i])
+			h *= 16777619
+		}
+		return regs[h%uint32(len(regs))]
+	}
+}
+
+// TestUnionConcurrentMultiSourceWriters hammers a sharded Union the way a
+// swarm workload does — many sources concurrently recording flow outcomes
+// for overlapping peers while readers take whole-network snapshots — and
+// checks no update is lost. Run with -race in CI; stats is the one layer of
+// the broker that concurrent writers genuinely share.
+func TestUnionConcurrentMultiSourceWriters(t *testing.T) {
+	const shards, writers, perWriter, peers = 4, 16, 200, 13
+	regs := make([]*Registry, shards)
+	for i := range regs {
+		regs[i] = NewRegistry(nil)
+	}
+	u := NewUnion(regs, fnvPick(regs))
+
+	names := make([]string, peers)
+	for i := range names {
+		names[i] = string(rune('a'+i)) + "-peer"
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				ps := u.Peer(names[(w+i)%peers])
+				ps.RecordTransferOriginated(i%3 != 0, 100)
+				ps.RecordFileSent(i%5 != 0)
+				ps.RecordMessage(true)
+				ps.SetQueues(i%4, i%2)
+			}
+		}()
+	}
+	// Concurrent whole-network readers.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if snaps := u.Snapshots(); len(snaps) > peers {
+					t.Errorf("snapshot grew beyond the peer set: %d", len(snaps))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	var flows, msgs float64
+	for _, sn := range u.Snapshots() {
+		flows += sn.TransfersOriginated
+		msgs += sn.PctMsgSession
+	}
+	if want := float64(writers * perWriter); flows != want {
+		t.Fatalf("flows recorded = %v, want %v (updates lost under concurrency)", flows, want)
+	}
+	if msgs != float64(peers*100) {
+		t.Fatalf("message percentages = %v, want all-100", msgs)
+	}
+	// Per-peer access through the union and through the owning shard agree.
+	for _, n := range names {
+		if u.Peer(n) != fnvPick(regs)(n).Peer(n) {
+			t.Fatalf("union routed %s to the wrong shard", n)
+		}
+	}
+}
+
 func TestRatioPercent(t *testing.T) {
 	var r Ratio
 	if got := r.PercentOr(42); got != 42 {

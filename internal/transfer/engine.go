@@ -45,6 +45,13 @@ type Metrics struct {
 	Parts            []PartTiming
 	Done             time.Time
 	Failed           bool
+
+	// Attempts counts the transmission launches this record is the survivor
+	// of: 1 for a first-launch success, up to the relaunch budget when the
+	// pipe layer abandoned earlier launches outright. Sender.Send always
+	// reports 1; the relaunch loop (internal/workload.SendRelaunched)
+	// overwrites it with the real count.
+	Attempts int
 }
 
 // PetitionDelay is the paper's Figure 2 quantity: how long the peer took to
@@ -108,6 +115,13 @@ type SenderOptions struct {
 	// PetitionTimeout bounds the wait for the petition ack. Default 5
 	// minutes (the petition itself is tiny; only wake lag delays it).
 	PetitionTimeout time.Duration
+	// Pipelined streams every part without waiting for its application-level
+	// confirmation before sending the next; confirmations are collected
+	// after the last part leaves. The default (false) is the paper's
+	// stop-and-wait protocol — each part confirmed before the next is sent —
+	// which every figure measures. Pipelined mode isolates the protocol cost
+	// the paper never did.
+	Pipelined bool
 }
 
 func (o SenderOptions) withDefaults() SenderOptions {
@@ -145,6 +159,7 @@ func (s *Sender) Send(remote transport.Addr, f File, parts int) (Metrics, error)
 		FileName:    f.Name,
 		TotalBytes:  f.Size,
 		Granularity: parts,
+		Attempts:    1,
 	}
 	split, err := Split(f, parts)
 	if err != nil {
@@ -195,6 +210,10 @@ func (s *Sender) Send(remote transport.Addr, f File, parts int) (Metrics, error)
 		return m, fmt.Errorf("%w: %s", ErrRejected, ack.Reason)
 	}
 
+	if s.opts.Pipelined {
+		return s.sendPipelined(conn, m, split)
+	}
+
 	// Parts, stop-and-wait at the application level.
 	for _, p := range split {
 		pt := PartTiming{Index: p.Index, Size: p.Size, Started: s.host.Now()}
@@ -236,6 +255,66 @@ func (s *Sender) Send(remote transport.Addr, f File, parts int) (Metrics, error)
 		pt.Delivered = pa.DeliveredAt
 		pt.Confirmed = s.host.Now()
 		m.Parts = append(m.Parts, pt)
+	}
+	m.Done = s.host.Now()
+	return m, nil
+}
+
+// sendPipelined streams the parts through concurrent sender processes (the
+// pipe's Send blocks until the peer's pipe-level acknowledgment, so filling
+// its window takes concurrency), while the calling process collects the
+// application-level confirmations as they come back, in whatever order the
+// parts landed. The receiver still acknowledges each part as it arrives —
+// the same receive loop serves both modes; only the sender stops paying a
+// confirmation round-trip per part.
+func (s *Sender) sendPipelined(conn *pipe.Conn, m Metrics, split []Part) (Metrics, error) {
+	m.Parts = make([]PartTiming, len(split))
+	sendErrs := s.host.NewQueue()
+	for _, p := range split {
+		p := p
+		s.host.Go(func() {
+			m.Parts[p.Index] = PartTiming{Index: p.Index, Size: p.Size, Started: s.host.Now()}
+			hdr := partHeader{
+				TransferID: m.TransferID,
+				Index:      p.Index,
+				Offset:     p.Offset,
+				Size:       p.Size,
+				Data:       p.Data,
+			}
+			if err := conn.SendSized(hdr.encode(), p.Size); err != nil {
+				sendErrs.Push(fmt.Errorf("%w: part %d: %v", ErrFailed, p.Index, err))
+			}
+		})
+	}
+	fail := func(err error) (Metrics, error) {
+		m.Failed = true
+		// A send failure is the likelier root cause than the ack silence
+		// that follows it; surface it when one has been reported.
+		if sendErrs.Len() > 0 {
+			if v, perr := sendErrs.Pop(); perr == nil {
+				return m, v.(error)
+			}
+		}
+		return m, err
+	}
+	for confirmed := 0; confirmed < len(split); confirmed++ {
+		reply, err := conn.RecvTimeout(s.opts.PartAckTimeout)
+		if err != nil {
+			return fail(fmt.Errorf("%w: waiting part acks (%d/%d): %v", ErrFailed, confirmed, len(split), err))
+		}
+		kind, d, err := decodeKind(reply.Payload)
+		if err != nil || kind != msgPartAck {
+			return fail(fmt.Errorf("%w: unexpected reply %d while awaiting part acks", ErrFailed, kind))
+		}
+		pa, err := decodePartAck(d)
+		if err != nil {
+			return fail(fmt.Errorf("%w: part ack: %v", ErrFailed, err))
+		}
+		if !pa.OK || pa.Index < 0 || pa.Index >= len(split) {
+			return fail(fmt.Errorf("%w: receiver rejected part %d: %s", ErrFailed, pa.Index, pa.Reason))
+		}
+		m.Parts[pa.Index].Delivered = pa.DeliveredAt
+		m.Parts[pa.Index].Confirmed = s.host.Now()
 	}
 	m.Done = s.host.Now()
 	return m, nil
@@ -337,8 +416,13 @@ func (r *Receiver) handle(conn *pipe.Conn) {
 	perPart := r.opts.PartTimeout +
 		time.Duration(10*float64(partSize)/assumedFloorRate*float64(time.Second))
 
+	// Parts are accepted in any index order: a stop-and-wait sender delivers
+	// them strictly in order, a pipelined sender's concurrent part streams
+	// may land interleaved. Each valid part is acknowledged as it arrives;
+	// an index outside the petition (or a repeat) rejects the transfer.
 	start := r.host.Now()
-	parts := make([]Part, 0, pet.Parts)
+	parts := make([]Part, pet.Parts)
+	got := make([]bool, pet.Parts)
 	for i := 0; i < pet.Parts; i++ {
 		msg, err := conn.RecvTimeout(perPart)
 		if err != nil {
@@ -353,9 +437,9 @@ func (r *Receiver) handle(conn *pipe.Conn) {
 			return
 		}
 		delivered := r.host.Now()
-		ok, why := ph.Index == i, ""
+		ok, why := ph.Index >= 0 && ph.Index < pet.Parts && !got[ph.Index], ""
 		if !ok {
-			why = fmt.Sprintf("expected part %d, got %d", i, ph.Index)
+			why = fmt.Sprintf("unexpected part %d of %d", ph.Index, pet.Parts)
 		}
 		pa := partAck{
 			TransferID:  pet.TransferID,
@@ -371,7 +455,8 @@ func (r *Receiver) handle(conn *pipe.Conn) {
 		if !ok {
 			return
 		}
-		parts = append(parts, Part{Index: ph.Index, Offset: ph.Offset, Size: ph.Size, Data: ph.Data})
+		parts[ph.Index] = Part{Index: ph.Index, Offset: ph.Offset, Size: ph.Size, Data: ph.Data}
+		got[ph.Index] = true
 	}
 
 	f, err := Join(pet.FileName, pet.TotalSize, parts)

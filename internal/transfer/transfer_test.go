@@ -166,6 +166,10 @@ type xferRig struct {
 }
 
 func newXferRig(t *testing.T, src, dst simnet.Profile, ropts ReceiverOptions) *xferRig {
+	return newXferRigOpts(t, src, dst, SenderOptions{}, ropts)
+}
+
+func newXferRigOpts(t *testing.T, src, dst simnet.Profile, sopts SenderOptions, ropts ReceiverOptions) *xferRig {
 	t.Helper()
 	n := simnet.New(11)
 	a := n.MustAddNode("src", src)
@@ -181,7 +185,7 @@ func newXferRig(t *testing.T, src, dst simnet.Profile, ropts ReceiverOptions) *x
 	rig := &xferRig{net: n}
 	muxA := pipe.NewMux(a, epA, pipe.Options{MaxRetries: 12})
 	muxB := pipe.NewMux(b, epB, pipe.Options{MaxRetries: 12})
-	rig.sender = NewSender(a, muxA, SenderOptions{})
+	rig.sender = NewSender(a, muxA, sopts)
 	userOnFile := ropts.OnFile
 	ropts.OnFile = func(rc Received) {
 		rig.received = append(rig.received, rc)
@@ -364,6 +368,88 @@ func TestSendToDeadPeerFails(t *testing.T) {
 	})
 	if !errors.Is(err, ErrFailed) {
 		t.Fatalf("err = %v, want ErrFailed", err)
+	}
+}
+
+// pipelinedRun measures one 8-part transfer on a high-latency path in the
+// given sender mode and returns its metrics and the received files.
+func pipelinedRun(t *testing.T, pipelined bool) (Metrics, []Received) {
+	t.Helper()
+	src, dst := fastProfile(), fastProfile()
+	src.LatencyOneWay = 150 * time.Millisecond
+	dst.LatencyOneWay = 150 * time.Millisecond
+	rig := newXferRigOpts(t, src, dst, SenderOptions{Pipelined: pipelined}, ReceiverOptions{})
+	var m Metrics
+	var err error
+	rig.net.Run(func() {
+		m, err = rig.sender.Send("dst/xfer", NewVirtualFile("stream.bin", 4*Mb, 7), 8)
+	})
+	if err != nil {
+		t.Fatalf("pipelined=%v: %v", pipelined, err)
+	}
+	return m, rig.received
+}
+
+// TestPipelinedIsolatesConfirmationCost quantifies what the paper never
+// isolated: the application-level stop-and-wait confirmation burns one
+// round-trip per part, which a pipelined sender does not pay. The default
+// mode's results are untouched — TestGranularityWholeSlowerThanParts and the
+// experiment harness's Fig5 shape test pin the Figure-5 shape in the default
+// (stop-and-wait) protocol, and the acceptance run checks figure output is
+// byte-identical to the pre-pipelining engine.
+func TestPipelinedIsolatesConfirmationCost(t *testing.T) {
+	stopWait, recvSW := pipelinedRun(t, false)
+	piped, recvP := pipelinedRun(t, true)
+	if len(recvSW) != 1 || !recvSW[0].Verified || len(recvP) != 1 || !recvP[0].Verified {
+		t.Fatalf("files not delivered intact: %d/%d", len(recvSW), len(recvP))
+	}
+	// 8 parts at 300ms RTT: stop-and-wait pays ~7 extra round-trips.
+	saved := stopWait.TransmissionTime() - piped.TransmissionTime()
+	if saved < time.Second {
+		t.Fatalf("pipelining saved only %v (stop-and-wait %v, pipelined %v); expected >=1s of confirmation RTTs",
+			saved, stopWait.TransmissionTime(), piped.TransmissionTime())
+	}
+	// Pipelined metrics are still complete: every part delivered, confirmed,
+	// in order, and counted as one attempt.
+	if piped.Attempts != 1 || stopWait.Attempts != 1 {
+		t.Fatalf("attempts = %d/%d, want 1", piped.Attempts, stopWait.Attempts)
+	}
+	if len(piped.Parts) != 8 {
+		t.Fatalf("pipelined parts = %d", len(piped.Parts))
+	}
+	for i, pt := range piped.Parts {
+		if pt.Delivered.IsZero() || pt.Confirmed.Before(pt.Started) {
+			t.Fatalf("pipelined part %d timing incomplete: %+v", i, pt)
+		}
+	}
+	if piped.Done.IsZero() || piped.Failed {
+		t.Fatalf("pipelined metrics = %+v", piped)
+	}
+}
+
+// TestDefaultModeDeterministicRegression pins the default (stop-and-wait)
+// path across the pipelining refactor: identical seeds produce bit-identical
+// metrics, the shape Figure 5 is built from.
+func TestDefaultModeDeterministicRegression(t *testing.T) {
+	run := func() Metrics {
+		rig := newXferRig(t, fastProfile(), fastProfile(), ReceiverOptions{})
+		var m Metrics
+		var err error
+		rig.net.Run(func() {
+			m, err = rig.sender.Send("dst/xfer", NewVirtualFile("f", 5*Mb, 3), 4)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := run(), run()
+	if a.TransmissionTime() != b.TransmissionTime() || a.PetitionDelay() != b.PetitionDelay() {
+		t.Fatalf("default mode diverged across identical runs: %v vs %v",
+			a.TransmissionTime(), b.TransmissionTime())
+	}
+	if a.Attempts != 1 {
+		t.Fatalf("Attempts = %d, want 1 for a first-launch success", a.Attempts)
 	}
 }
 

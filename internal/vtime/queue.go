@@ -23,7 +23,8 @@ type Queue struct {
 
 type qwaiter struct {
 	ch       chan any
-	deadline *timerEntry // non-nil if a Pop timeout is armed
+	grant    chan struct{} // execution grant set at wake time (see admitLocked)
+	deadline *timerEntry   // non-nil if a Pop timeout is armed
 }
 
 // NewQueue returns an empty queue bound to the scheduler.
@@ -50,6 +51,7 @@ func (q *Queue) pushLocked(v any) error {
 		q.waits = q.waits[1:]
 		q.s.cancelLocked(w.deadline)
 		q.s.running++
+		w.grant = q.s.admitLocked()
 		w.ch <- v
 		return nil
 	}
@@ -96,15 +98,19 @@ func (q *Queue) pop(timeout time.Duration) (any, error) {
 				}
 			}
 			q.s.running++
+			w.grant = q.s.admitLocked()
 			w.ch <- errTimeoutMarker{}
 		})
 	}
 	q.waits = append(q.waits, w)
 	q.s.running--
-	q.s.advanceLocked()
+	q.s.yieldLocked()
 	q.s.mu.Unlock()
 
 	v := <-w.ch
+	if w.grant != nil {
+		<-w.grant
+	}
 	switch v.(type) {
 	case errTimeoutMarker:
 		return nil, ErrTimeout
@@ -149,6 +155,7 @@ func (q *Queue) Close() {
 	for _, w := range q.waits {
 		q.s.cancelLocked(w.deadline)
 		q.s.running++
+		w.grant = q.s.admitLocked()
 		w.ch <- errClosedMarker{}
 	}
 	q.waits = nil

@@ -8,6 +8,16 @@
 // in discrete, deterministic jumps, and a simulated minute costs no wall
 // time.
 //
+// Execution is serialized and deterministic: at most one process runs at a
+// time, and processes that become runnable at the same virtual instant
+// execute in the order they were woken (timer schedule order) — never in
+// whatever order the Go runtime happens to schedule their goroutines. This
+// is what makes simulations with many concurrent processes (a swarm of
+// peers transferring simultaneously) bit-reproducible for a given seed:
+// same-instant contention for a link, a broker, or a queue always resolves
+// the same way. A single-driver simulation pays nothing for the gate; it
+// was never parallel to begin with.
+//
 // The package underpins internal/simnet: network links schedule message
 // deliveries as timers, and protocol code written against the transport
 // interfaces blocks in Queue.Pop exactly as it would block in a socket read.
@@ -37,6 +47,13 @@ type Scheduler struct {
 	quiet   *sync.Cond    // signalled when the system quiesces
 	halted  bool
 
+	// Serialized dispatch (see the package comment): active marks the one
+	// process currently executing; ready holds the grant channels of
+	// processes that are runnable but waiting their deterministic turn, in
+	// wake order.
+	active bool
+	ready  []chan struct{}
+
 	// OnDeadlock, if non-nil, is invoked instead of panicking when every
 	// process is parked on a queue and no timers are pending while a Sleep
 	// could never complete. It exists for tests of the detector itself.
@@ -64,15 +81,52 @@ func (s *Scheduler) Elapsed() time.Duration {
 	return s.now
 }
 
+// admitLocked registers a newly runnable process with the serialized
+// dispatcher. It returns nil when the process may execute immediately
+// (nothing else holds the execution slot), or a grant channel its goroutine
+// must receive from before running any code. Caller holds s.mu and has
+// already incremented s.running. Invariant throughout:
+// running == (active ? 1 : 0) + len(ready).
+func (s *Scheduler) admitLocked() chan struct{} {
+	if !s.active {
+		s.active = true
+		return nil
+	}
+	g := make(chan struct{})
+	s.ready = append(s.ready, g)
+	return g
+}
+
+// yieldLocked releases the execution slot when the active process parks or
+// exits: the oldest waiting process is granted the slot, or — when none is
+// runnable — the clock advances to the next timer instant. Caller holds
+// s.mu and has already decremented s.running.
+func (s *Scheduler) yieldLocked() {
+	s.active = false
+	if len(s.ready) > 0 {
+		g := s.ready[0]
+		s.ready = s.ready[1:]
+		s.active = true
+		close(g)
+		return
+	}
+	s.advanceLocked()
+}
+
 // Go starts fn as a scheduler process. The process counts as runnable until
 // it returns or parks in a scheduler primitive. Processes may spawn further
-// processes.
+// processes; a spawned process executes after its spawner parks, in spawn
+// order.
 func (s *Scheduler) Go(fn func()) {
 	s.mu.Lock()
 	s.running++
 	s.started++
+	g := s.admitLocked()
 	s.mu.Unlock()
 	go func() {
+		if g != nil {
+			<-g
+		}
 		defer s.exit()
 		fn()
 	}()
@@ -81,7 +135,7 @@ func (s *Scheduler) Go(fn func()) {
 func (s *Scheduler) exit() {
 	s.mu.Lock()
 	s.running--
-	s.advanceLocked()
+	s.yieldLocked()
 	s.mu.Unlock()
 }
 
@@ -93,15 +147,20 @@ func (s *Scheduler) Sleep(d time.Duration) {
 		return
 	}
 	ch := make(chan struct{})
+	var g chan struct{}
 	s.mu.Lock()
 	s.scheduleLocked(s.now+d, func() {
 		s.running++
+		g = s.admitLocked() // written under s.mu before close; read after <-ch
 		close(ch)
 	})
 	s.running--
-	s.advanceLocked()
+	s.yieldLocked()
 	s.mu.Unlock()
 	<-ch
+	if g != nil {
+		<-g
+	}
 }
 
 // Timer is a cancellable virtual-time timer created by AfterFunc.
@@ -135,7 +194,11 @@ func (s *Scheduler) AfterFunc(d time.Duration, fn func()) *Timer {
 	entry := s.scheduleLocked(s.now+d, func() {
 		s.running++
 		s.started++
+		g := s.admitLocked()
 		go func() {
+			if g != nil {
+				<-g
+			}
 			defer s.exit()
 			fn()
 		}()

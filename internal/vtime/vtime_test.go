@@ -1,6 +1,7 @@
 package vtime
 
 import (
+	"reflect"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -594,5 +595,85 @@ func TestDoubleCloseQueueIsSafe(t *testing.T) {
 	q.Close() // must not panic or deadlock
 	if err := q.Push(1); err != ErrClosed {
 		t.Fatalf("Push = %v", err)
+	}
+}
+
+// TestSerializedDeterministicDispatch pins the scheduler's execution model:
+// at most one process runs at a time, and processes woken at the same
+// virtual instant run in wake (timer schedule) order, not in whatever order
+// the Go runtime schedules their goroutines. Concurrent-workload
+// reproducibility rests on this.
+func TestSerializedDeterministicDispatch(t *testing.T) {
+	run := func() []int {
+		s := NewScheduler()
+		var order []int
+		var active, maxActive int
+		var mu sync.Mutex
+		// enter/leave bracket non-parking execution regions: with serialized
+		// dispatch they can never overlap.
+		enter := func() {
+			mu.Lock()
+			active++
+			if active > maxActive {
+				maxActive = active
+			}
+			mu.Unlock()
+		}
+		leave := func() {
+			mu.Lock()
+			active--
+			mu.Unlock()
+		}
+		s.Go(func() {
+			for i := 0; i < 8; i++ {
+				i := i
+				s.Go(func() {
+					enter()
+					leave()
+					// All eight wake at the same instant.
+					s.Sleep(time.Second)
+					enter()
+					order = append(order, i)
+					leave()
+				})
+			}
+		})
+		s.Wait()
+		if maxActive != 1 {
+			t.Fatalf("processes overlapped: max %d active", maxActive)
+		}
+		return order
+	}
+	first := run()
+	if len(first) != 8 {
+		t.Fatalf("order = %v", first)
+	}
+	for i, v := range first {
+		if v != i {
+			t.Fatalf("same-instant wake order %v, want spawn order", first)
+		}
+	}
+	for n := 0; n < 3; n++ {
+		if got := run(); !reflect.DeepEqual(got, first) {
+			t.Fatalf("dispatch order diverged across runs: %v vs %v", got, first)
+		}
+	}
+}
+
+// TestSpawnedProcessRunsAfterSpawnerParks pins the gate's spawn semantics:
+// Go from inside a process defers the child until the parent parks.
+func TestSpawnedProcessRunsAfterSpawnerParks(t *testing.T) {
+	s := NewScheduler()
+	var trace []string
+	s.Go(func() {
+		s.Go(func() { trace = append(trace, "child") })
+		trace = append(trace, "parent")
+		s.Sleep(time.Millisecond)
+		trace = append(trace, "parent-after-sleep")
+	})
+	s.Wait()
+	want := []string{"parent", "child", "parent-after-sleep"}
+	if !reflect.DeepEqual(trace, want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
 	}
 }

@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"peerlab/internal/core"
+	"peerlab/internal/overlay"
+	"peerlab/internal/transfer"
+	"peerlab/internal/transport"
+)
+
+// Attempts bounds how many times a flow relaunches a transmission the pipe
+// layer abandoned outright — the operator's behavior on the real platform.
+const Attempts = 4
+
+// Env is the harness-supplied execution environment for a flow set: who the
+// clients are, how labels map to hostnames, and where flow processes run.
+type Env struct {
+	// Host is the driver node; flow processes attach to its scheduler.
+	Host transport.Host
+	// Control is the control node's client — the source of flows whose
+	// Source label is empty.
+	Control *overlay.Client
+	// Clients maps a peer label to its running client. Every label that
+	// appears as a flow source must be present.
+	Clients map[string]*overlay.Client
+	// HostOf maps a peer label to its hostname; nil means labels are
+	// hostnames. LabelOf is the inverse, used to attribute model-selected
+	// sinks; nil likewise means identity.
+	HostOf  func(label string) string
+	LabelOf func(host string) string
+	// ExcludeSinks lists hostnames never eligible as model-selected sinks
+	// (the control node: swarm flows are peer↔peer).
+	ExcludeSinks []string
+	// IdleGap is slept before each transmission attempt, long enough for
+	// the sink to fall idle again (wake lag re-applies, as in the paper's
+	// measurements). Zero skips the gap.
+	IdleGap time.Duration
+}
+
+func (e Env) hostOf(label string) string {
+	if e.HostOf == nil {
+		return label
+	}
+	return e.HostOf(label)
+}
+
+func (e Env) labelOf(host string) string {
+	if e.LabelOf == nil {
+		return host
+	}
+	return e.LabelOf(host)
+}
+
+// Result is one executed flow's record.
+type Result struct {
+	// Flow is the flow as specified.
+	Flow Flow
+	// Sink is the resolved sink label — the fixed sink, or the peer the
+	// source's selection call picked.
+	Sink string
+	// Metrics is the surviving attempt's full timing record; its Attempts
+	// field counts the relaunches spent.
+	Metrics transfer.Metrics
+}
+
+// Execute runs every flow as its own concurrent simulation process and
+// returns results in flow-index order. Flow payload seeds derive from
+// (seed, index) via FlowSeed, and results are collected positionally, so
+// the output is deterministic for a given seed regardless of completion
+// order. On failure the error of the lowest-index failing flow is returned.
+func Execute(env Env, flows []Flow, seed int64) ([]Result, error) {
+	out := make([]Result, len(flows))
+	errs := make([]error, len(flows))
+	join := env.Host.NewQueue()
+	for i, f := range flows {
+		i, f := i, f
+		env.Host.Go(func() {
+			out[i], errs[i] = runFlow(env, f, seed)
+			join.Push(i)
+		})
+	}
+	for range flows {
+		if _, err := join.Pop(); err != nil {
+			return nil, fmt.Errorf("workload: join queue: %w", err)
+		}
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("workload: flow %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// runFlow executes one flow: resolve the source client, resolve the sink
+// (fixed, or via the source's own selection call), then transmit with the
+// standard relaunch budget.
+func runFlow(env Env, f Flow, seed int64) (Result, error) {
+	src := env.Control
+	if f.Source != "" {
+		src = env.Clients[f.Source]
+		if src == nil {
+			return Result{}, fmt.Errorf("no client for source %q", f.Source)
+		}
+	}
+	if src == nil {
+		return Result{}, errors.New("no control client for controller-sourced flow")
+	}
+
+	sinkHost, sinkLabel := "", ""
+	if f.Sink != "" {
+		sinkHost, sinkLabel = env.hostOf(f.Sink), f.Sink
+	} else {
+		req := core.Request{Kind: core.KindFileTransfer, SizeBytes: f.SizeBytes}
+		peers, err := src.SelectPeersFrom(f.Model, req, 1, nil, env.ExcludeSinks)
+		if err != nil {
+			return Result{}, fmt.Errorf("select %s: %w", f.Model, err)
+		}
+		if len(peers) == 0 {
+			return Result{}, fmt.Errorf("select %s: empty result", f.Model)
+		}
+		sinkHost, sinkLabel = peers[0], env.labelOf(peers[0])
+	}
+
+	file := transfer.NewVirtualFile(f.FileName, f.SizeBytes, FlowSeed(seed, f.Index))
+	m, err := SendRelaunched(env.Host.Sleep, env.IdleGap, src, sinkHost, file, f.Parts)
+	if err != nil {
+		return Result{}, fmt.Errorf("%s -> %s: %w", src.Name(), sinkLabel, err)
+	}
+	return Result{Flow: f, Sink: sinkLabel, Metrics: m}, nil
+}
+
+// SendRelaunched transmits f to host, relaunching a transmission the pipe
+// layer abandoned outright up to Attempts times; sleep(gap) runs before each
+// attempt so the sink falls idle again. The returned metrics carry the
+// attempt count. A whole-file transmission to a pathological sliver can die
+// even after the pipe's retries — every retransmission of a large message
+// re-rolls the receiver's restart model — and the operator's answer on the
+// real platform is the paper's own: relaunch the transmission. Exhausting
+// the budget is logged; it is an operator-visible event, not a silent
+// failure.
+func SendRelaunched(sleep func(time.Duration), gap time.Duration, src *overlay.Client,
+	host string, f transfer.File, parts int) (transfer.Metrics, error) {
+	var lastErr error
+	for attempt := 0; attempt < Attempts; attempt++ {
+		if gap > 0 {
+			sleep(gap)
+		}
+		m, err := src.SendFile(host, f, parts)
+		m.Attempts = attempt + 1
+		if err == nil {
+			return m, nil
+		}
+		if !errors.Is(err, transfer.ErrFailed) {
+			// Rejection or resolution errors are not transient.
+			return m, err
+		}
+		lastErr = err
+	}
+	log.Printf("workload: WARNING: transfer %s -> %s (%s, %d bytes) abandoned after exhausting %d attempts: %v",
+		src.Name(), host, f.Name, f.Size, Attempts, lastErr)
+	return transfer.Metrics{Attempts: Attempts},
+		fmt.Errorf("gave up after %d attempts: %w", Attempts, lastErr)
+}

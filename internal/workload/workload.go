@@ -1,0 +1,189 @@
+// Package workload lifts the traffic model into a first-class layer: a Flow
+// names one (source, sink, payload, selection-model) transfer, and a
+// Workload is a deterministic, seed-derived set of flows that an experiment
+// cell — or an interactive session — executes over a deployed slice.
+//
+// The paper only ever measures controller→peer flows; the hard-wired
+// assumption that the control node is the sole traffic source was baked into
+// the transfer harness, the experiment cells and the public Session. The
+// workload layer removes it: "controller-fanout" reproduces the paper's
+// traffic shape, while "swarm:N" and "allpairs:N" drive peer↔peer transfers
+// in which each source client calls the broker's selection service itself
+// before transmitting — the multi-source regime BitTorrent-style studies
+// (Rao et al., Legout et al.) require.
+//
+// Purity rule: a Workload's Flows function must be a pure function of
+// (labels, seed). The experiment runner materializes the flow set once per
+// cell from the cell's derived seed, and per-flow payload seeds derive via
+// SplitMix64 (FlowSeed), so workload output is bit-identical at any worker
+// or broker-shard count.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"peerlab/internal/scenario"
+	"peerlab/internal/transfer"
+)
+
+// Flow names one transfer: who sends, to whom (fixed sink or a selection
+// model the source consults at run time), and what payload.
+type Flow struct {
+	// Index is the flow's position in its workload; payload seeds and
+	// result ordering key off it.
+	Index int `json:"index"`
+	// Source is the originating peer's label; "" names the control node.
+	Source string `json:"source,omitempty"`
+	// Sink is the fixed destination label. Empty means the source asks the
+	// broker's selection service to pick one, using Model.
+	Sink string `json:"sink,omitempty"`
+	// Model is the selection model the source invokes when Sink is empty
+	// ("economic", "same-priority", ...).
+	Model string `json:"model,omitempty"`
+	// FileName labels the payload.
+	FileName string `json:"file"`
+	// SizeBytes is the payload size.
+	SizeBytes int `json:"bytes"`
+	// Parts is the transmission granularity (1 = whole file).
+	Parts int `json:"parts"`
+}
+
+// Workload is a named, deterministic flow-set generator.
+type Workload struct {
+	// Name identifies the workload ("controller-fanout", "swarm:64", ...).
+	Name string
+	// Flows returns the flow set for a slice's measured-peer labels and a
+	// seed. It must be a pure function of (labels, seed): the experiment
+	// runner calls it once per cell and relies on identical output at any
+	// worker count.
+	Flows func(labels []string, seed int64) []Flow
+}
+
+// IsZero reports whether the workload is unset.
+func (w Workload) IsZero() bool { return w.Flows == nil }
+
+// FlowSeed derives flow index i's payload seed from a cell seed via
+// SplitMix64 — the same derivation primitive the experiment stack uses for
+// cell seeds, shared so the layers cannot drift apart.
+func FlowSeed(seed int64, i int) int64 {
+	return int64(scenario.Mix64(scenario.Mix64(uint64(seed)) ^ uint64(i+1)))
+}
+
+// flowRand returns flow i's deterministic draw stream.
+func flowRand(seed int64, i int) *rand.Rand {
+	return rand.New(rand.NewSource(FlowSeed(seed, i)))
+}
+
+// ControllerFanout is the paper's traffic shape as data: the control node
+// originates one transfer to every measured peer.
+func ControllerFanout() Workload {
+	return Workload{
+		Name: "controller-fanout",
+		Flows: func(labels []string, seed int64) []Flow {
+			flows := make([]Flow, len(labels))
+			for i, l := range labels {
+				flows[i] = Flow{
+					Index:     i,
+					Sink:      l,
+					FileName:  fmt.Sprintf("fanout-%04d", i),
+					SizeBytes: transfer.Mb,
+					Parts:     4,
+				}
+			}
+			return flows
+		},
+	}
+}
+
+// swarmModels is the selection lineup swarm sources rotate through; both are
+// broker-registered deterministic rankers.
+var swarmModels = []string{"economic", "same-priority"}
+
+// Swarm drives n peer↔peer flows: each flow's source is a seed-drawn peer
+// that calls the broker's selection service itself — concurrently with every
+// other source — to pick its sink before transmitting. This is the workload
+// that exercises the sharded selection path under concurrent selectors.
+func Swarm(n int) Workload {
+	return Workload{
+		Name: fmt.Sprintf("swarm:%d", n),
+		Flows: func(labels []string, seed int64) []Flow {
+			flows := make([]Flow, n)
+			for i := range flows {
+				r := flowRand(seed, i)
+				flows[i] = Flow{
+					Index:     i,
+					Source:    labels[r.Intn(len(labels))],
+					Model:     swarmModels[i%len(swarmModels)],
+					FileName:  fmt.Sprintf("swarm-%04d", i),
+					SizeBytes: (1 + r.Intn(4)) * transfer.Mb,
+					Parts:     4,
+				}
+			}
+			return flows
+		},
+	}
+}
+
+// AllPairs drives one flow for every ordered pair among the first n measured
+// peers — the densest peer↔peer pattern, with fixed sinks (no selection).
+func AllPairs(n int) Workload {
+	return Workload{
+		Name: fmt.Sprintf("allpairs:%d", n),
+		Flows: func(labels []string, seed int64) []Flow {
+			if n < len(labels) {
+				labels = labels[:n]
+			}
+			var flows []Flow
+			for _, src := range labels {
+				for _, dst := range labels {
+					if src == dst {
+						continue
+					}
+					i := len(flows)
+					flows = append(flows, Flow{
+						Index:     i,
+						Source:    src,
+						Sink:      dst,
+						FileName:  fmt.Sprintf("pair-%04d", i),
+						SizeBytes: transfer.Mb,
+						Parts:     4,
+					})
+				}
+			}
+			return flows
+		},
+	}
+}
+
+// Registered returns the workload specs Parse accepts.
+func Registered() []string {
+	return []string{"controller-fanout", "swarm:N", "allpairs:N"}
+}
+
+// Parse resolves a workload spec: "controller-fanout", "swarm:N" or
+// "allpairs:N" with N flows / N peers.
+func Parse(spec string) (Workload, error) {
+	if kind, arg, ok := strings.Cut(spec, ":"); ok {
+		n, err := strconv.Atoi(arg)
+		if err != nil || n < 1 {
+			return Workload{}, fmt.Errorf("workload: %q: count must be a positive integer", spec)
+		}
+		switch kind {
+		case "swarm":
+			return Swarm(n), nil
+		case "allpairs":
+			return AllPairs(n), nil
+		default:
+			return Workload{}, fmt.Errorf("workload: unknown generator %q (want %s)",
+				kind, strings.Join(Registered(), ", "))
+		}
+	}
+	if spec == "controller-fanout" {
+		return ControllerFanout(), nil
+	}
+	return Workload{}, fmt.Errorf("workload: unknown workload %q (want %s)",
+		spec, strings.Join(Registered(), ", "))
+}

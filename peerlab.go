@@ -32,6 +32,7 @@ import (
 	"peerlab/internal/task"
 	"peerlab/internal/transfer"
 	"peerlab/internal/vtime"
+	"peerlab/internal/workload"
 )
 
 // Mb is the paper's file-size unit (10^6 bytes).
@@ -51,6 +52,12 @@ type (
 	Snapshot = stats.Snapshot
 	// SelectionRequest describes work a peer must be selected for.
 	SelectionRequest = core.Request
+	// Flow names one workload transfer: source, sink (fixed or
+	// model-selected), payload and granularity.
+	Flow = workload.Flow
+	// FlowResult is one executed workload flow: the flow, its resolved
+	// sink, and the surviving attempt's transfer metrics.
+	FlowResult = workload.Result
 )
 
 // Selection request kinds.
@@ -134,6 +141,11 @@ type Config struct {
 	// Peers lists the client nodes explicitly. Leave empty and set
 	// Scenario to deploy a scenario instead.
 	Peers []PeerConfig
+	// Workload names the deployment's default flow set for
+	// Session.RunWorkload — "controller-fanout" (the paper's shape, the
+	// default), "swarm:N" or "allpairs:N" for peer↔peer traffic where each
+	// source peer consults the broker's selection service itself.
+	Workload string
 	// UsePlanetLab is a shorthand for Scenario: ScenarioTable1.
 	//
 	// Deprecated: set Scenario instead.
@@ -141,12 +153,17 @@ type Config struct {
 }
 
 // Deployment is a running simulated overlay: one broker ("governor"), one
-// controller client that the application drives, and a set of peer clients.
+// controller client that the application drives, and a set of peer clients —
+// each of which can originate transfers of its own (see Session.RunWorkload).
 type Deployment struct {
 	net      *simnet.Network
 	broker   *overlay.Broker
 	ctl      *overlay.Client
+	ctlNode  *simnet.Node
 	peers    []string
+	clients  map[string]*overlay.Client
+	seed     int64
+	workload workload.Workload
 	starters []starter
 }
 
@@ -190,11 +207,27 @@ func Deploy(cfg Config) (*Deployment, error) {
 		peers = cfg.Peers
 	}
 
+	wlSpec := cfg.Workload
+	if wlSpec == "" {
+		wlSpec = "controller-fanout"
+	}
+	wl, err := workload.Parse(wlSpec)
+	if err != nil {
+		return nil, err
+	}
+
 	broker, err := overlay.NewBroker(ctlNode, overlay.BrokerConfig{AdvTTL: 30 * 24 * time.Hour})
 	if err != nil {
 		return nil, err
 	}
-	d := &Deployment{net: net, broker: broker}
+	d := &Deployment{
+		net:      net,
+		broker:   broker,
+		ctlNode:  ctlNode,
+		clients:  make(map[string]*overlay.Client),
+		seed:     cfg.Seed,
+		workload: wl,
+	}
 	d.ctl = overlay.NewClient(ctlNode, broker.Addr(), overlay.ClientConfig{CPUScore: 2})
 
 	for _, p := range peers {
@@ -213,6 +246,7 @@ func Deploy(cfg Config) (*Deployment, error) {
 		client := overlay.NewClient(node, broker.Addr(), overlay.ClientConfig{CPUScore: prof.CPUScore})
 		name := p.Name
 		d.peers = append(d.peers, name)
+		d.clients[name] = client
 		// Start inside the simulation; stash the starter.
 		d.starters = append(d.starters, func() error {
 			if err := client.Start(); err != nil {
@@ -289,6 +323,32 @@ func (s *Session) SubmitTask(peer string, t Task) (TaskResult, error) {
 // SendInstant delivers an instant message to the named peer.
 func (s *Session) SendInstant(peer, text string) error {
 	return s.d.ctl.SendInstant(peer, text)
+}
+
+// RunWorkload executes a flow workload over the deployment: every flow runs
+// as its own concurrent simulation process, peer-sourced flows originate at
+// their peer's client, and flows without a fixed sink have their source call
+// the broker's selection service itself before transmitting. spec names the
+// workload ("controller-fanout", "swarm:N", "allpairs:N"); "" runs the
+// deployment's configured workload (Config.Workload, default
+// controller-fanout). Results come back in flow-index order,
+// deterministically for the deployment's seed.
+func (s *Session) RunWorkload(spec string) ([]FlowResult, error) {
+	d := s.d
+	wl := d.workload
+	if spec != "" {
+		var err error
+		if wl, err = workload.Parse(spec); err != nil {
+			return nil, err
+		}
+	}
+	flows := wl.Flows(d.peers, d.seed)
+	return workload.Execute(workload.Env{
+		Host:         d.ctlNode,
+		Control:      d.ctl,
+		Clients:      d.clients,
+		ExcludeSinks: []string{d.ctl.Name()},
+	}, flows, d.seed)
 }
 
 // SelectPeers asks the broker to rank peers with the named model (see the

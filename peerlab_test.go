@@ -205,6 +205,58 @@ func TestDeterministicAcrossDeployments(t *testing.T) {
 	}
 }
 
+func TestSessionRunWorkload(t *testing.T) {
+	d, err := Deploy(Config{
+		Seed:     21,
+		Peers:    []PeerConfig{{Name: "w1"}, {Name: "w2"}, {Name: "w3"}},
+		Workload: "allpairs:3",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pairs, swarm []FlowResult
+	err = d.Run(func(s *Session) error {
+		var err error
+		if pairs, err = s.RunWorkload(""); err != nil {
+			return err
+		}
+		swarm, err = s.RunWorkload("swarm:4")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 6 {
+		t.Fatalf("allpairs:3 ran %d flows, want 6", len(pairs))
+	}
+	for i, r := range pairs {
+		if r.Flow.Index != i || r.Flow.Source == "" || r.Sink == r.Flow.Source {
+			t.Fatalf("pair flow %d = %+v", i, r)
+		}
+		if r.Metrics.TransmissionTime() <= 0 || r.Metrics.Attempts != 1 {
+			t.Fatalf("pair flow %d unmeasured: %+v", i, r.Metrics)
+		}
+	}
+	for _, r := range swarm {
+		if r.Sink == "controller" || r.Sink == r.Flow.Source || r.Flow.Model == "" {
+			t.Fatalf("swarm flow picked a bad sink: %+v", r)
+		}
+	}
+	// Flow attribution: peer sources show up in the broker's statistics.
+	originated := 0.0
+	for _, sn := range d.Snapshots() {
+		if sn.Peer == "w1" || sn.Peer == "w2" || sn.Peer == "w3" {
+			originated += sn.TransfersOriginated
+		}
+	}
+	if originated != float64(len(pairs)+len(swarm)) {
+		t.Fatalf("peers originated %v flows in the stats, want %d", originated, len(pairs)+len(swarm))
+	}
+	if _, err := Deploy(Config{Peers: []PeerConfig{{Name: "x"}}, Workload: "bogus"}); err == nil {
+		t.Fatal("bad workload spec accepted")
+	}
+}
+
 func TestGroupRunsProcessesConcurrently(t *testing.T) {
 	d, err := Deploy(Config{Seed: 5, Peers: []PeerConfig{{Name: "w1"}, {Name: "w2"}}})
 	if err != nil {
