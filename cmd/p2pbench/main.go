@@ -13,10 +13,18 @@
 // broker's selection service itself before transmitting. Workload output is
 // bit-identical for a given seed at any -parallel or -shards value.
 //
+// A churning scenario (churn:N) runs the workload over live membership:
+// peers join, leave and rejoin on the scenario's seed-derived schedule,
+// the broker ages departed peers out via short advertisement leases, and
+// the summary gains peers_departed / selections_lagged / selections_stale
+// counters (stale — a selection of a peer whose lease had certainly
+// expired — must always be zero). Figures ignore churn schedules; workloads
+// are the churn-aware path.
+//
 // Usage:
 //
 //	p2pbench [-experiment all|table1|fig2|fig3|fig4|fig5|fig6|fig7]
-//	         [-scenario table1|uniform:N|heterogeneous:N]
+//	         [-scenario table1|uniform:N|heterogeneous:N|zipf:N|churn:N]
 //	         [-workload controller-fanout|swarm:N|allpairs:N]
 //	         [-seed N] [-reps N] [-parallel N] [-shards N]
 //	         [-format markdown|bars|csv|json]
@@ -53,7 +61,7 @@ type result struct {
 func main() {
 	var (
 		exp      = flag.String("experiment", "all", "which exhibit to regenerate (all, table1, fig2..fig7)")
-		scen     = flag.String("scenario", "table1", "slice scenario: table1 (the paper's calibrated world), uniform:N, heterogeneous:N")
+		scen     = flag.String("scenario", "table1", "slice scenario: table1 (the paper's calibrated world), uniform:N, heterogeneous:N, zipf:N, churn:N")
 		wl       = flag.String("workload", "", "run a flow workload instead of the figures: controller-fanout, swarm:N, allpairs:N")
 		seed     = flag.Int64("seed", 2007, "simulation seed (runs with equal seeds are identical)")
 		reps     = flag.Int("reps", 5, "repetitions per data point (the paper used 5)")
@@ -199,8 +207,15 @@ func renderWorkload(out result, format string) error {
 		fmt.Println(t.Markdown())
 	}
 	s := out.Summary
-	fmt.Fprintf(summaryTo, "flows=%d total=%.0fMb relaunched=%d max-attempts=%d mean-xmit=%.3fs max-xmit=%.3fs\n",
+	fmt.Fprintf(summaryTo, "flows=%d total=%.0fMb relaunched=%d max-attempts=%d mean-xmit=%.3fs max-xmit=%.3fs",
 		s.Flows, float64(s.TotalBytes)/1e6, s.Relaunched, s.MaxAttempts,
 		s.MeanTransmissionSeconds, s.MaxTransmissionSeconds)
+	if s.PeersDeparted > 0 || s.FailedFlows > 0 {
+		// Churn counters, printed only when a schedule ran so static
+		// summary lines keep their exact historical shape.
+		fmt.Fprintf(summaryTo, " failed=%d departed=%d lagged=%d stale=%d",
+			s.FailedFlows, s.PeersDeparted, s.SelectionsLagged, s.SelectionsStale)
+	}
+	fmt.Fprintln(summaryTo)
 	return nil
 }

@@ -1,0 +1,38 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4) on a simulated slice, and runs flow workloads — including
+// churn-realistic ones — on the same harness.
+//
+// Each experiment deploys a scenario (by default the calibrated Table 1
+// world: control node + SC1..SC8), starts the JXTA-Overlay broker and
+// SimpleClients, and drives the same workloads the paper describes:
+// petitions, 50 Mb and 100 Mb transfers at different granularities,
+// selection-model-driven transfers, and transmission+execution runs.
+// Results come back as metrics.Figure / metrics.Table values whose shape
+// tests compare against the paper's qualitative findings. Synthetic
+// scenarios (uniform:N, heterogeneous:N, zipf:N, churn:N) run the identical
+// harness on slices of arbitrary size, and RunWorkload executes a
+// (scenario, workload, repetition) grid whose per-flow records land in
+// machine-readable reports.
+//
+// # Ownership rules
+//
+// The cell is the unit of everything: one (scenario, peer|workload,
+// repetition) measurement with its own freshly deployed slice and its own
+// virtual-time scheduler. Cells never share state — not a network, not a
+// broker, not a statistics registry — which is what lets runCells fan them
+// out across a worker pool. A cell's only inputs are its Config copy and
+// its derived seed (deriveSeed folds (root seed, figure, cell index)
+// through SplitMix64), so figure and workload output is bit-identical for a
+// given seed at any Workers or Shards value, including 1. Code inside a
+// cell must draw randomness only from the cell's seed (via the scenario's
+// and workload's pure generators) and from its own slice's deterministic
+// scheduler — never from the wall clock, package-level state, or another
+// cell.
+//
+// Churning scenarios keep the same contract: the membership schedule is
+// pure (scenario.Churn(seed)), its execution is the cell's own Conductor,
+// and the stale/lagged selection audit compares broker behavior against the
+// schedule — PeersDeparted, SelectionsLagged and SelectionsStale aggregate
+// per-cell results, and SelectionsStale must be zero (the broker never
+// hands out an expired lease).
+package experiments

@@ -1,15 +1,3 @@
-// Package experiments regenerates every table and figure of the paper's
-// evaluation (§4) on a simulated slice.
-//
-// Each experiment deploys a scenario (by default the calibrated Table 1
-// world: control node + SC1..SC8), starts the JXTA-Overlay broker and
-// SimpleClients, and drives the same workloads the paper describes:
-// petitions, 50 Mb and 100 Mb transfers at different granularities,
-// selection-model-driven transfers, and transmission+execution runs.
-// Results come back as metrics.Figure / metrics.Table values whose shape
-// tests compare against the paper's qualitative findings. Synthetic
-// scenarios (uniform:N, heterogeneous:N) run the identical harness on
-// slices of arbitrary size.
 package experiments
 
 import (
@@ -59,6 +47,12 @@ type Config struct {
 	// fig50, when set, shares the 50 Mb transfer cells between Figures 3
 	// and 4 within one suite run (see fig50mbResults).
 	fig50 *fig50Cache
+	// scenarioLeases, when set, applies the scenario's AdvTTL/LeaseSweep
+	// hints to the deployed broker. Only churn workload cells set it —
+	// they run the renewal heartbeat that keeps live peers leased; figure
+	// cells always deploy with the static TTL (figures ignore churn
+	// schedules).
+	scenarioLeases bool
 }
 
 func (c Config) withDefaults() Config {
@@ -111,12 +105,19 @@ func NewEnv(cfg Config) (*Env, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Experiments span many virtual hours of idle gaps; leases must outlive
-	// the whole run (the paper's slice membership was static).
-	broker, err := overlay.NewBroker(s.Control, overlay.BrokerConfig{
-		AdvTTL: 30 * 24 * time.Hour,
-		Shards: cfg.Shards,
-	})
+	// Leases must outlive the whole run by default — experiments span many
+	// virtual hours of idle gaps and figure cells never renew. Only the
+	// churn workload cells opt into the scenario's short TTL and eager
+	// sweep (cfg.scenarioLeases): they run the renewal heartbeat that
+	// keeps live peers leased. Figure experiments on a churning scenario
+	// measure its catalog with static membership — a short TTL there would
+	// just expire every candidate across the idle gaps.
+	bcfg := overlay.BrokerConfig{AdvTTL: scenario.DefaultAdvTTL, Shards: cfg.Shards}
+	if cfg.scenarioLeases {
+		bcfg.AdvTTL = cfg.Scenario.EffectiveAdvTTL()
+		bcfg.LeaseSweep = cfg.Scenario.LeaseSweep
+	}
+	broker, err := overlay.NewBroker(s.Control, bcfg)
 	if err != nil {
 		return nil, err
 	}

@@ -122,7 +122,8 @@ type transferSample struct {
 func transferCell(cellCfg Config, label string, rep, size, parts int) (transferSample, error) {
 	return envCell(cellCfg, []string{label}, func(env *Env, ctl *overlay.Client) (transferSample, error) {
 		m, err := workload.SendRelaunched(env.Slice.Control.Sleep, cellCfg.IdleGap, ctl,
-			env.Host(label), transfer.NewVirtualFile("payload", size, int64(rep)), parts)
+			env.Host(label), transfer.NewVirtualFile("payload", size, int64(rep)), parts,
+			fmt.Sprintf("figure cell (control -> %s, rep %d)", label, rep))
 		if err != nil {
 			return transferSample{}, fmt.Errorf("transfer to %s rep %d: %w", label, rep, err)
 		}

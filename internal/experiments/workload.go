@@ -11,6 +11,7 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"peerlab/internal/metrics"
 	"peerlab/internal/overlay"
@@ -32,9 +33,16 @@ type FlowRecord struct {
 	Attempts            int     `json:"attempts"`
 	PetitionSeconds     float64 `json:"petition_seconds"`
 	TransmissionSeconds float64 `json:"transmission_seconds"`
+	// Failed marks a flow a churning scenario recorded as failed (source
+	// departed, sink gone mid-transfer, selection came up empty); Error
+	// carries the cause. Static scenarios never set either — a failing
+	// flow there aborts the run.
+	Failed bool   `json:"failed,omitempty"`
+	Error  string `json:"error,omitempty"`
 }
 
-// WorkloadSummary aggregates a report's flows.
+// WorkloadSummary aggregates a report's flows. The churn counters are zero
+// (and omitted from JSON) on static scenarios.
 type WorkloadSummary struct {
 	Flows                   int     `json:"flows"`
 	TotalBytes              int64   `json:"total_bytes"`
@@ -42,6 +50,22 @@ type WorkloadSummary struct {
 	MaxAttempts             int     `json:"max_attempts"`
 	MeanTransmissionSeconds float64 `json:"mean_transmission_seconds"`
 	MaxTransmissionSeconds  float64 `json:"max_transmission_seconds"`
+	// FailedFlows counts flows recorded as failed under churn.
+	FailedFlows int `json:"failed_flows,omitempty"`
+	// PeersDeparted counts the schedule's up→down transitions across all
+	// repetitions.
+	PeersDeparted int `json:"peers_departed,omitempty"`
+	// SelectionsStale counts model-selected sinks that were departed AND
+	// whose advertisement lease had certainly expired at selection time
+	// (down throughout the whole TTL window before the selection). The
+	// broker filters expired leases from every candidate set, so this must
+	// be zero — it is the lease machinery's audit, not a workload metric.
+	SelectionsStale int `json:"selections_stale,omitempty"`
+	// SelectionsLagged counts model-selected sinks that were departed at
+	// selection time but still inside their lease window — the inherent
+	// staleness a TTL'd directory admits, the figure churn studies care
+	// about.
+	SelectionsLagged int `json:"selections_lagged,omitempty"`
 }
 
 // WorkloadReport is RunWorkload's result: every flow of every repetition in
@@ -88,6 +112,14 @@ func participants(flows []workload.Flow) []string {
 	return labels
 }
 
+// workloadCellResult is one repetition's records plus its churn counters.
+type workloadCellResult struct {
+	recs     []FlowRecord
+	departed int
+	stale    int
+	lagged   int
+}
+
 // RunWorkload executes cfg's workload over cfg's scenario, one cell per
 // repetition, and returns the per-flow records in (rep, flow-index) order.
 func RunWorkload(cfg Config) (*WorkloadReport, error) {
@@ -96,29 +128,38 @@ func RunWorkload(cfg Config) (*WorkloadReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	recs, err := runCells(cfg, "workload:"+w.Name, cfg.Reps,
-		func(rep int, cellCfg Config) ([]FlowRecord, error) {
+	cells, err := runCells(cfg, "workload:"+w.Name, cfg.Reps,
+		func(rep int, cellCfg Config) (workloadCellResult, error) {
 			return workloadCell(cellCfg, w, rep)
 		})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: workload %s: %w", w.Name, err)
 	}
 	report := &WorkloadReport{Workload: w.Name, Scenario: cfg.Scenario.Name, Reps: cfg.Reps}
-	for _, cell := range recs {
-		report.Flows = append(report.Flows, cell...)
+	for _, cell := range cells {
+		report.Flows = append(report.Flows, cell.recs...)
 	}
 	report.Summary = summarize(report.Flows)
+	for _, cell := range cells {
+		report.Summary.PeersDeparted += cell.departed
+		report.Summary.SelectionsStale += cell.stale
+		report.Summary.SelectionsLagged += cell.lagged
+	}
 	return report, nil
 }
 
 // workloadCell deploys one repetition's slice and runs every flow of the
-// workload as a concurrent simulation process.
-func workloadCell(cellCfg Config, w workload.Workload, rep int) ([]FlowRecord, error) {
+// workload as a concurrent simulation process. Churning scenarios route to
+// churnWorkloadCell.
+func workloadCell(cellCfg Config, w workload.Workload, rep int) (workloadCellResult, error) {
 	flows := w.Flows(cellCfg.Scenario.Labels, cellCfg.Seed)
 	if len(flows) == 0 {
-		return nil, fmt.Errorf("workload %s produced no flows", w.Name)
+		return workloadCellResult{}, fmt.Errorf("workload %s produced no flows", w.Name)
 	}
-	return envCell(cellCfg, participants(flows), func(env *Env, ctl *overlay.Client) ([]FlowRecord, error) {
+	if cellCfg.Scenario.Churn != nil {
+		return churnWorkloadCell(cellCfg, flows, rep)
+	}
+	recs, err := envCell(cellCfg, participants(flows), func(env *Env, ctl *overlay.Client) ([]FlowRecord, error) {
 		results, err := workload.Execute(workload.Env{
 			Host:         env.Slice.Control,
 			Control:      ctl,
@@ -131,40 +172,164 @@ func workloadCell(cellCfg Config, w workload.Workload, rep int) ([]FlowRecord, e
 		if err != nil {
 			return nil, err
 		}
-		recs := make([]FlowRecord, len(results))
-		for i, r := range results {
-			source := r.Flow.Source
-			if source == "" {
-				source = "control"
+		return flowRecords(results, rep), nil
+	})
+	return workloadCellResult{recs: recs}, err
+}
+
+// staleSlack absorbs the gap between a schedule's leave offset and the last
+// renewal the broker could still have processed for the departing peer (a
+// stats report in flight when the client stopped lands a network delay
+// later). A selection is counted stale only when the sink was down
+// throughout [selection−TTL−slack, selection] — beyond any such in-flight
+// renewal, so the lease was certainly expired.
+const staleSlack = 10 * time.Second
+
+// selectFlight bounds how long a selection request is in flight before the
+// broker builds its candidate set: a sink that rejoined (fresh lease)
+// within this window after the request instant may legitimately be handed
+// out, so the staleness audit extends its down-throughout window past the
+// request by this much.
+const selectFlight = 5 * time.Second
+
+// churnWorkloadCell is workloadCell on a churning scenario: membership is
+// driven by the scenario's schedule through a workload.Conductor (initial
+// population booted before traffic, joins and leaves executed as a
+// virtual-time process), flow launches are staggered across the horizon,
+// per-flow failures are recorded instead of aborting, and every
+// model-selected sink is audited against the schedule — departed-but-leased
+// sinks count as lagged, departed-and-expired sinks as stale (always zero:
+// the broker never hands out a dead lease).
+func churnWorkloadCell(cellCfg Config, flows []workload.Flow, rep int) (workloadCellResult, error) {
+	sc := cellCfg.Scenario
+	schedule := workload.NewSchedule(sc.Churn(cellCfg.Seed))
+	stagger := workload.Stagger(cellCfg.Seed, sc.Horizon)
+	// The TTL the broker actually runs with (scenarioLeases makes NewEnv
+	// apply the same value): the heartbeat and the staleness audit must
+	// both reason about it — a zero here would disable renewals and flag
+	// every briefly-down sink as a (false) stale selection.
+	advTTL := sc.EffectiveAdvTTL()
+	cellCfg.scenarioLeases = true
+
+	// The non-nil empty peer list is load-bearing: RunPeers boots every
+	// catalog peer for nil, and *no* static peer for an empty slice —
+	// membership here belongs exclusively to the conductor.
+	var cond *workload.Conductor
+	res, err := envCell(cellCfg, noStaticPeers, func(env *Env, ctl *overlay.Client) (workloadCellResult, error) {
+		res := workloadCellResult{departed: schedule.Departures()}
+		cpuOf := make(map[string]float64, len(env.Slice.Catalog))
+		for _, p := range env.Slice.Catalog {
+			cpuOf[p.Label] = p.Profile.CPUScore
+		}
+		cond = workload.NewConductor(env.Slice.Control, schedule, workload.RenewalInterval(advTTL), sc.Horizon, func(label string) (*overlay.Client, error) {
+			node := env.Slice.Peers[label]
+			if node == nil {
+				return nil, fmt.Errorf("churn schedule names unknown peer %q", label)
 			}
-			recs[i] = FlowRecord{
-				Rep:                 rep,
-				Index:               r.Flow.Index,
-				Source:              source,
-				Sink:                r.Sink,
-				Model:               r.Flow.Model,
-				Bytes:               r.Flow.SizeBytes,
-				Parts:               r.Flow.Parts,
-				Attempts:            r.Metrics.Attempts,
-				PetitionSeconds:     r.Metrics.PetitionDelay().Seconds(),
-				TransmissionSeconds: r.Metrics.TransmissionTime().Seconds(),
+			return overlay.BootPeer(node, env.Broker.Addr(), cpuOf[label])
+		})
+		if err := cond.BootInitial(); err != nil {
+			return res, err
+		}
+		cond.Start()
+		// BootInitial consumed virtual time before the flows launch;
+		// ChurnLaunch rebases the schedule-relative stagger offsets and
+		// re-resolves sources at each flow's actual launch instant.
+		flows, startOf := workload.ChurnLaunch(flows, schedule, sc.Labels, stagger,
+			env.Slice.Control.Now().Sub(cond.StartedAt()))
+		results, err := workload.Execute(workload.Env{
+			Host:           env.Slice.Control,
+			Control:        ctl,
+			ClientOf:       cond.ClientOf,
+			HostOf:         env.Host,
+			LabelOf:        env.Label,
+			ExcludeSinks:   []string{env.Slice.Control.Name()},
+			StartOf:        startOf,
+			RecordFailures: true,
+		}, flows, cellCfg.Seed)
+		if err != nil {
+			return res, err
+		}
+		res.recs = flowRecords(results, rep)
+		for _, r := range results {
+			if r.Flow.Model == "" || r.Sink == "" || r.SelectedAt.IsZero() {
+				continue
+			}
+			at := r.SelectedAt.Sub(cond.StartedAt())
+			if schedule.LiveAt(r.Sink, at) {
+				continue
+			}
+			// The window extends selectFlight past the request instant:
+			// the broker decides one request leg later, and a rejoin
+			// registering inside that flight legitimately puts the sink
+			// back in the candidate set.
+			if schedule.DownThroughout(r.Sink, at-advTTL-staleSlack, at+selectFlight) {
+				res.stale++
+			} else {
+				res.lagged++
 			}
 		}
-		return recs, nil
+		return res, nil
 	})
+	// envCell returns at quiescence — the schedule has fully drained, so
+	// even a join failure after the flows finished is captured.
+	if err == nil && cond != nil {
+		err = cond.Err()
+	}
+	return res, err
+}
+
+// noStaticPeers is RunPeers' "boot no catalog peer" argument (non-nil and
+// empty; nil would boot all). Named so the distinction cannot be refactored
+// away silently.
+var noStaticPeers = []string{}
+
+// flowRecords maps executed flow results into records for one repetition.
+func flowRecords(results []workload.Result, rep int) []FlowRecord {
+	recs := make([]FlowRecord, len(results))
+	for i, r := range results {
+		source := r.Flow.Source
+		if source == "" {
+			source = "control"
+		}
+		recs[i] = FlowRecord{
+			Rep:                 rep,
+			Index:               r.Flow.Index,
+			Source:              source,
+			Sink:                r.Sink,
+			Model:               r.Flow.Model,
+			Bytes:               r.Flow.SizeBytes,
+			Parts:               r.Flow.Parts,
+			Attempts:            r.Metrics.Attempts,
+			PetitionSeconds:     r.Metrics.PetitionDelay().Seconds(),
+			TransmissionSeconds: r.Metrics.TransmissionTime().Seconds(),
+			Failed:              r.Err != "",
+			Error:               r.Err,
+		}
+	}
+	return recs
 }
 
 func summarize(recs []FlowRecord) WorkloadSummary {
 	s := WorkloadSummary{Flows: len(recs)}
 	var xs []float64
 	for _, r := range recs {
-		s.TotalBytes += int64(r.Bytes)
+		// Attempt accounting covers every flow — a failed flow that burned
+		// the whole relaunch budget is exactly the one Relaunched and
+		// MaxAttempts exist to surface.
 		if r.Attempts > 1 {
 			s.Relaunched++
 		}
 		if r.Attempts > s.MaxAttempts {
 			s.MaxAttempts = r.Attempts
 		}
+		if r.Failed {
+			// Failed flows moved no payload and have no surviving timing;
+			// counting their bytes or zeros would skew the totals.
+			s.FailedFlows++
+			continue
+		}
+		s.TotalBytes += int64(r.Bytes)
 		xs = append(xs, r.TransmissionSeconds)
 	}
 	if len(xs) > 0 {

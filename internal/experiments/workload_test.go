@@ -137,3 +137,88 @@ func TestParticipants(t *testing.T) {
 		t.Fatal("model-selected flow must boot the whole slice")
 	}
 }
+
+// TestChurnWorkloadInvariants pins the churn tentpole end to end: a swarm
+// over a churning scenario (a) is bit-identical at any worker and shard
+// count, (b) counts real departures, (c) never records a stale selection —
+// the broker must not hand out a peer whose lease had certainly expired —
+// and (d) records failures instead of aborting when flows hit departed
+// peers.
+func TestChurnWorkloadInvariants(t *testing.T) {
+	sc, err := scenario.Parse("churn:16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{Seed: 2007, Reps: 2, Scenario: sc, Workload: workload.Swarm(16)}
+
+	serial, parallel, sharded := base, base, base
+	serial.Workers = 1
+	parallel.Workers = 4
+	sharded.Workers = 4
+	sharded.Shards = 3
+
+	a, err := RunWorkload(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunWorkload(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := RunWorkload(sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Flows, b.Flows) || !reflect.DeepEqual(a.Summary, b.Summary) {
+		t.Fatalf("worker counts diverged under churn:\n1: %+v\n4: %+v", a.Summary, b.Summary)
+	}
+	if !reflect.DeepEqual(a.Flows, c.Flows) || !reflect.DeepEqual(a.Summary, c.Summary) {
+		t.Fatalf("shard counts diverged under churn:\n1: %+v\n3: %+v", a.Summary, c.Summary)
+	}
+
+	s := a.Summary
+	if s.SelectionsStale != 0 {
+		t.Fatalf("%d stale selections handed out after lease expiry", s.SelectionsStale)
+	}
+	if s.PeersDeparted == 0 {
+		t.Fatal("churn scenario produced no departures")
+	}
+	completed := 0
+	for _, f := range a.Flows {
+		if f.Failed {
+			if f.Error == "" {
+				t.Fatalf("failed flow without cause: %+v", f)
+			}
+			continue
+		}
+		completed++
+		if f.TransmissionSeconds <= 0 {
+			t.Fatalf("completed flow without measurement: %+v", f)
+		}
+	}
+	if completed == 0 {
+		t.Fatal("no flow completed under churn")
+	}
+	if s.FailedFlows != len(a.Flows)-completed {
+		t.Fatalf("summary counts %d failed, records show %d", s.FailedFlows, len(a.Flows)-completed)
+	}
+}
+
+// TestStaticScenarioHasNoChurnCounters pins the static compatibility
+// surface: without a churn schedule the new summary counters stay zero and
+// no flow is ever marked failed (a failure aborts the run instead).
+func TestStaticScenarioHasNoChurnCounters(t *testing.T) {
+	report, err := RunWorkload(Config{Seed: 5, Reps: 1, Scenario: scenario.Uniform(4), Workload: workload.Swarm(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := report.Summary
+	if s.PeersDeparted != 0 || s.SelectionsStale != 0 || s.SelectionsLagged != 0 || s.FailedFlows != 0 {
+		t.Fatalf("static run grew churn counters: %+v", s)
+	}
+	for _, f := range report.Flows {
+		if f.Failed || f.Error != "" {
+			t.Fatalf("static flow marked failed: %+v", f)
+		}
+	}
+}

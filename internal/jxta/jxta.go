@@ -262,6 +262,35 @@ func SortAdvertisements(advs []Advertisement) {
 	})
 }
 
+// NextExpiry returns the earliest expiry instant among cached
+// advertisements, and whether the cache holds any. Lease sweepers use it to
+// schedule the next eager eviction instead of polling on a period.
+func (c *Cache) NextExpiry() (time.Time, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var earliest time.Time
+	found := false
+	for _, a := range c.byID {
+		if !found || a.Expires.Before(earliest) {
+			earliest, found = a.Expires, true
+		}
+	}
+	return earliest, found
+}
+
+// Sweep eagerly evicts every advertisement expired at now and reports how
+// many were dropped. Lookups and queries already filter expired entries
+// (lazy expiry); Sweep additionally reclaims their memory without waiting
+// for the next Publish, so a broker under churn does not accumulate dead
+// leases between registrations.
+func (c *Cache) Sweep(now time.Time) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	before := len(c.byID)
+	c.gcLocked(now)
+	return before - len(c.byID)
+}
+
 // Remove deletes an advertisement by ID.
 func (c *Cache) Remove(id ID) {
 	c.mu.Lock()

@@ -274,3 +274,76 @@ func TestPropertyAdvertisementRoundtrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestNextExpiry(t *testing.T) {
+	now, _ := clockAt(base)
+	c := NewCache(0, now)
+	if _, ok := c.NextExpiry(); ok {
+		t.Fatal("empty cache reported an expiry")
+	}
+	a := sampleAdv()
+	a.Expires = base.Add(time.Hour)
+	c.Publish(a)
+	b := sampleAdv()
+	b.ID = NewID("peer", "earlier")
+	b.Name = "earlier"
+	b.Expires = base.Add(10 * time.Minute)
+	c.Publish(b)
+	e, ok := c.NextExpiry()
+	if !ok || !e.Equal(base.Add(10*time.Minute)) {
+		t.Fatalf("NextExpiry = %v, %v; want the earlier lease", e, ok)
+	}
+}
+
+func TestSweepEvictsExpiredOnly(t *testing.T) {
+	now, cur := clockAt(base)
+	c := NewCache(0, now)
+	short := sampleAdv()
+	short.ID = NewID("peer", "short")
+	short.Name = "short"
+	short.Expires = base.Add(time.Minute)
+	long := sampleAdv()
+	long.ID = NewID("peer", "long")
+	long.Name = "long"
+	long.Expires = base.Add(time.Hour)
+	c.Publish(short)
+	c.Publish(long)
+
+	if n := c.Sweep(*cur); n != 0 {
+		t.Fatalf("premature sweep evicted %d", n)
+	}
+	*cur = base.Add(time.Minute) // lease boundary: expired exactly now
+	if n := c.Sweep(*cur); n != 1 {
+		t.Fatalf("sweep evicted %d, want 1", n)
+	}
+	if _, ok := c.Lookup(short.ID); ok {
+		t.Fatal("swept lease still resolvable")
+	}
+	if _, ok := c.Lookup(long.ID); !ok {
+		t.Fatal("live lease was swept")
+	}
+	e, ok := c.NextExpiry()
+	if !ok || !e.Equal(long.Expires) {
+		t.Fatalf("NextExpiry after sweep = %v, %v", e, ok)
+	}
+}
+
+func TestExpiredLeaseNeverServed(t *testing.T) {
+	// Lazy expiry alone (no Sweep calls) must already keep every read
+	// path dead-lease free: lookups, queries and Len filter on the clock.
+	now, cur := clockAt(base)
+	c := NewCache(0, now)
+	a := sampleAdv()
+	a.Expires = base.Add(time.Minute)
+	c.Publish(a)
+	*cur = base.Add(2 * time.Minute)
+	if _, ok := c.Lookup(a.ID); ok {
+		t.Fatal("Lookup served an expired lease")
+	}
+	if got := c.Query(a.Kind, ""); len(got) != 0 {
+		t.Fatalf("Query served %d expired leases", len(got))
+	}
+	if c.Len() != 0 {
+		t.Fatal("Len counted an expired lease")
+	}
+}

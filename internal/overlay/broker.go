@@ -3,6 +3,7 @@ package overlay
 import (
 	"fmt"
 	"strconv"
+	"sync"
 	"time"
 
 	"peerlab/internal/core"
@@ -30,6 +31,15 @@ type BrokerConfig struct {
 	// selection, Snapshots) aggregate across shards in canonical order, so
 	// results are identical at any shard count.
 	Shards int
+	// LeaseSweep, when positive, enables eager lease eviction: a broker
+	// process sleeps until the earliest advertisement expiry (never waking
+	// more often than every LeaseSweep) and sweeps expired entries from
+	// every shard. Zero (the default) keeps expiry purely lazy — lookups
+	// and queries filter dead leases, but their memory is reclaimed only on
+	// the next Publish. Static deployments leave it zero so the sweep adds
+	// no virtual-time events; churning deployments set it so departed
+	// peers' leases are reclaimed even while no one re-registers.
+	LeaseSweep time.Duration
 	// Pipe tunes the broker's reliable pipes.
 	Pipe pipe.Options
 }
@@ -67,6 +77,14 @@ type Broker struct {
 	shards    []*shard
 	registry  *stats.Union
 	selectors map[string]core.Selector
+
+	// Eager lease sweeping (see BrokerConfig.LeaseSweep). At most one
+	// sweep timer is pending; lastSweep rate-limits re-arming to once per
+	// LeaseSweep.
+	sweepMu    sync.Mutex
+	sweepTimer transport.Timer
+	lastSweep  time.Time
+	closed     bool
 }
 
 // NewBroker binds the broker service on host and starts serving.
@@ -165,7 +183,74 @@ func (b *Broker) Peers() []string {
 }
 
 // Close shuts the broker down.
-func (b *Broker) Close() { b.mux.Close() }
+func (b *Broker) Close() {
+	b.sweepMu.Lock()
+	b.closed = true
+	if b.sweepTimer != nil {
+		b.sweepTimer.Stop()
+		b.sweepTimer = nil
+	}
+	b.sweepMu.Unlock()
+	b.mux.Close()
+}
+
+// armSweep schedules the eager lease sweep at the earliest advertisement
+// expiry across shards, never earlier than lastSweep+LeaseSweep (the sweep's
+// rate limit under many staggered expiries). No-op when eager sweeping is
+// disabled, the broker is closed, the directory is empty, or a sweep is
+// already pending — a pending sweep is always soon enough, because every
+// publish sets the maximal possible expiry (now+AdvTTL), so no later event
+// can create an expiry earlier than the pending target. That makes the
+// per-report hot path O(1): the shard scan runs only when arming from
+// scratch. A static deployment with eager sweeping off schedules no timer
+// at all and its virtual-time event stream is untouched.
+func (b *Broker) armSweep() {
+	if b.cfg.LeaseSweep <= 0 {
+		return
+	}
+	b.sweepMu.Lock()
+	if b.closed || b.sweepTimer != nil {
+		b.sweepMu.Unlock()
+		return
+	}
+	b.sweepMu.Unlock()
+	var earliest time.Time
+	any := false
+	for _, sh := range b.shards {
+		if e, ok := sh.cache.NextExpiry(); ok && (!any || e.Before(earliest)) {
+			earliest, any = e, true
+		}
+	}
+	if !any {
+		return
+	}
+	b.sweepMu.Lock()
+	defer b.sweepMu.Unlock()
+	if b.closed || b.sweepTimer != nil {
+		return
+	}
+	target := earliest
+	if floor := b.lastSweep.Add(b.cfg.LeaseSweep); target.Before(floor) {
+		target = floor
+	}
+	b.sweepTimer = b.host.AfterFunc(target.Sub(b.host.Now()), b.sweep)
+}
+
+// sweep evicts every expired lease from every shard, then re-arms for the
+// next expiry if any leases remain. Eviction order is shard-index order and
+// the expired set is a pure function of the clock, so sweeping is identical
+// at any shard count.
+func (b *Broker) sweep() {
+	now := b.host.Now()
+	b.sweepMu.Lock()
+	b.sweepTimer = nil
+	b.lastSweep = now
+	b.sweepMu.Unlock()
+	for _, sh := range b.shards {
+		sh.cache.Sweep(now)
+	}
+	b.armSweep()
+}
 
 func (b *Broker) acceptLoop() {
 	for {
@@ -220,6 +305,7 @@ func (b *Broker) handleRegister(conn *pipe.Conn, d *wire.Decoder) {
 	if cpu, err := strconv.ParseFloat(adv.Attr(jxta.AttrCPUScore), 64); err == nil && cpu > 0 {
 		ps.SetCPUScore(cpu)
 	}
+	b.armSweep()
 	ack := registerAck{OK: true, Broker: b.host.Name(), KnownPeers: len(b.Peers())}
 	conn.Send(ack.encode())
 }
@@ -237,11 +323,28 @@ func (b *Broker) handleStatsReport(conn *pipe.Conn, d *wire.Decoder) {
 	if rep.CPUScore > 0 {
 		ps.SetCPUScore(rep.CPUScore)
 	}
-	// A live report also renews the peer's advertisement lease.
-	if adv, ok := sh.cache.Lookup(jxta.NewID("peer", rep.Peer)); ok {
-		adv.Expires = b.host.Now().Add(b.cfg.AdvTTL)
-		sh.cache.Publish(adv)
+	// A live report also renews the peer's advertisement lease. A reporting
+	// peer whose lease already lapsed (a heartbeat delayed past the TTL
+	// under churn) is resurrected, not dropped forever: the advertisement
+	// is rebuilt exactly as registration builds it — name, content-derived
+	// ID, transfer address from the reporting conn — so a live peer's
+	// directory entry survives one late renewal. Static deployments never
+	// hit this branch (their leases outlive the run).
+	adv, ok := sh.cache.Lookup(jxta.NewID("peer", rep.Peer))
+	if !ok {
+		adv = jxta.Advertisement{
+			Kind: jxta.AdvPeer,
+			ID:   jxta.NewID("peer", rep.Peer),
+			Name: rep.Peer,
+			Addr: string(transport.MakeAddr(conn.Remote().Node(), ServiceTransfer)),
+		}
+		if rep.CPUScore > 0 {
+			adv = adv.WithAttr(jxta.AttrCPUScore, strconv.FormatFloat(rep.CPUScore, 'f', -1, 64))
+		}
 	}
+	adv.Expires = b.host.Now().Add(b.cfg.AdvTTL)
+	sh.cache.Publish(adv)
+	b.armSweep()
 	conn.Send(ackBytes())
 }
 

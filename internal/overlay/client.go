@@ -80,6 +80,41 @@ func NewClient(host transport.Host, broker transport.Addr, cfg ClientConfig) *Cl
 	return &Client{host: host, broker: broker, cfg: cfg.withDefaults()}
 }
 
+// FreshConnIDs returns pipe options whose conn-id space is unique to this
+// boot instant. A client that reboots on the same node (churn rejoin) must
+// not reuse its previous incarnation's conn ids: long-lived remote muxes —
+// the broker's above all — tombstone every conn they have torn down, so a
+// reused id's first message is silently dropped as a stale retransmit and
+// the rebooted client can never register. Conn ids are varint-encoded;
+// first-boot clients keep the default zero-based space so static
+// deployments' frames stay byte-identical.
+func FreshConnIDs(host transport.Host) pipe.Options {
+	return pipe.Options{FirstID: uint64(host.Now().UnixNano())}
+}
+
+// BootPeer runs the full (re)boot protocol of a churn peer's client: a
+// fresh conn-id space, service binding and registration, and the initial
+// stats report that seeds the broker's view. Both the experiment harness
+// and the public facade boot joining peers through it, so the rejoin
+// protocol cannot drift between them.
+func BootPeer(host transport.Host, broker transport.Addr, cpuScore float64) (*Client, error) {
+	c := NewClient(host, broker, ClientConfig{
+		CPUScore: cpuScore,
+		Pipe:     FreshConnIDs(host),
+	})
+	if err := c.Start(); err != nil {
+		return nil, err
+	}
+	if err := c.ReportStats(); err != nil {
+		// Never hand back a half-booted client: it is already registered
+		// and serving, and a caller that drops it on error would leak a
+		// live incarnation holding the node's service endpoints.
+		c.Stop()
+		return nil, err
+	}
+	return c, nil
+}
+
 // Start binds the client's services, starts its executor and receiver, and
 // registers with the broker.
 func (c *Client) Start() error {

@@ -422,3 +422,89 @@ func TestTaskSubmissionRefreshesBrokerQueueView(t *testing.T) {
 			readyDuring, brokerNow)
 	}
 }
+
+// TestLeaseExpiryHidesDepartedPeer pins the lease contract on a single
+// shard: a departed client (stopped, no further reports) vanishes from
+// discovery and selection one TTL after its last report, even without an
+// eager sweep, while a renewing client stays.
+func TestLeaseExpiryHidesDepartedPeer(t *testing.T) {
+	n := simnet.New(7)
+	bhost := n.MustAddNode("broker0", simnet.DefaultProfile())
+	broker, err := NewBroker(bhost, BrokerConfig{AdvTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stay := NewClient(n.MustAddNode("stay", clientProfile()), broker.Addr(), ClientConfig{})
+	leave := NewClient(n.MustAddNode("leave", clientProfile()), broker.Addr(), ClientConfig{})
+	probe := NewClient(n.MustAddNode("probe", clientProfile()), broker.Addr(), ClientConfig{})
+	n.Run(func() {
+		for name, c := range map[string]*Client{"stay": stay, "leave": leave, "probe": probe} {
+			if err := c.Start(); err != nil {
+				t.Errorf("start %s: %v", name, err)
+			}
+		}
+		leave.Stop()
+		for i := 0; i < 4; i++ {
+			bhost.Sleep(30 * time.Second)
+			for name, c := range map[string]*Client{"stay": stay, "probe": probe} {
+				if err := c.ReportStats(); err != nil {
+					t.Errorf("renew %s: %v", name, err)
+				}
+			}
+		}
+		// Two minutes in: leave's lease (last report at registration) is
+		// long expired; stay and probe renewed twice inside every TTL
+		// window.
+		peers := broker.Peers()
+		if len(peers) != 2 || peers[0] != "probe" || peers[1] != "stay" {
+			t.Errorf("directory after expiry = %v, want [probe stay]", peers)
+		}
+		got, serr := probe.SelectPeers("blind", core.Request{Kind: core.KindFileTransfer}, 0, nil)
+		if serr != nil {
+			t.Errorf("select: %v", serr)
+		}
+		for _, p := range got {
+			if p == "leave" {
+				t.Error("selection handed out a dead lease")
+			}
+		}
+	})
+}
+
+// TestEagerLeaseSweep pins the eager eviction path: with LeaseSweep set,
+// the broker evicts an expired lease from the shard cache on its own —
+// no lookup, publish or query needed — and the sweep timer chain ends
+// (the network quiesces) once the directory is empty.
+func TestEagerLeaseSweep(t *testing.T) {
+	n := simnet.New(9)
+	bhost := n.MustAddNode("broker0", simnet.DefaultProfile())
+	broker, err := NewBroker(bhost, BrokerConfig{
+		AdvTTL:     time.Minute,
+		LeaseSweep: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(n.MustAddNode("sc1", clientProfile()), broker.Addr(), ClientConfig{})
+	n.Run(func() {
+		if err := c.Start(); err != nil {
+			t.Errorf("start: %v", err)
+		}
+		c.Stop()
+	})
+	// The registration armed a sweep at the lease expiry; Run returned only
+	// after the scheduler drained every timer, so the sweep has fired and
+	// the shard cache is empty without any read having triggered gc.
+	if got := n.Scheduler().Elapsed(); got < time.Minute {
+		t.Fatalf("network quiesced at %v, before the lease could expire", got)
+	}
+	if pending := n.Scheduler().Pending(); pending != 0 {
+		t.Fatalf("%d timers still pending after sweep", pending)
+	}
+	if l := broker.shards[0].cache.Len(); l != 0 {
+		t.Fatalf("shard cache holds %d entries after eager sweep", l)
+	}
+	if peers := broker.Peers(); len(peers) != 0 {
+		t.Fatalf("directory = %v after expiry", peers)
+	}
+}

@@ -72,6 +72,16 @@ type Options struct {
 	// MaxRTO caps a single attempt's timeout (default 30 minutes — a whole
 	// 100 Mb message on a degraded PlanetLab path is legitimately slow).
 	MaxRTO time.Duration
+	// FirstID offsets the mux's locally allocated conn-id space (ids start
+	// at FirstID+1; default 0). A long-lived remote mux tombstones the
+	// (addr, id) key of every conn it has torn down so late retransmits
+	// cannot resurrect phantom conns — which means a node that restarts
+	// its mux must not reuse its previous incarnation's ids, or its first
+	// messages are silently dropped as stale. Rebooted clients derive
+	// FirstID from the boot instant (see overlay.FreshConnIDs); conn ids
+	// are varint-encoded, so the default 0 keeps static deployments'
+	// frames byte-identical.
+	FirstID uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -130,6 +140,7 @@ func NewMux(h transport.Host, ep transport.Endpoint, opts Options) *Mux {
 		opts:    opts.withDefaults(),
 		conns:   make(map[connKey]*Conn),
 		dead:    make(map[connKey]bool),
+		nextID:  opts.FirstID,
 		accepts: h.NewQueue(),
 	}
 	h.Go(m.readLoop)

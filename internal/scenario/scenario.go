@@ -1,20 +1,9 @@
-// Package scenario lifts the experiment world into a first-class layer: a
-// Scenario describes a slice — the control node, the peers, and how each
-// peer's simnet.Profile is drawn — and synthesizes catalogs of arbitrary
-// size deterministically from a seed.
-//
-// The paper's evaluation stops at 8 SimpleClient peers on the Table 1
-// slice; the calibrated "table1" scenario (registered by internal/planetlab)
-// reproduces exactly that world, while the synthetic generators (Uniform,
-// Heterogeneous) scale the same experiment harness to slices of hundreds of
-// peers per machine. Profile draws for synthetic scenarios come from the
-// seed alone — same seed, same catalog, at any worker count — so the
-// parallel experiment runner stays bit-reproducible on top of them.
 package scenario
 
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"strconv"
@@ -26,11 +15,64 @@ import (
 )
 
 // Peer is one catalog entry: a label (the figure axis name), the hostname
-// the node is deployed under, and the node's link/load profile.
+// the node is deployed under, the node's link/load profile, and optionally
+// the site (hosting institution) the node lives at — peers of one site fail
+// together under correlated churn.
 type Peer struct {
 	Label    string
 	Hostname string
+	Site     string
 	Profile  simnet.Profile
+}
+
+// ChurnEventKind distinguishes membership transitions.
+type ChurnEventKind byte
+
+// Churn event kinds.
+const (
+	// ChurnJoin boots (or re-boots) the peer's client at the event time.
+	ChurnJoin ChurnEventKind = iota + 1
+	// ChurnLeave stops the peer's client at the event time — an abrupt
+	// departure, as on PlanetLab: no goodbye, the broker only learns of it
+	// when the peer's advertisement lease expires.
+	ChurnLeave
+)
+
+// String names the kind.
+func (k ChurnEventKind) String() string {
+	switch k {
+	case ChurnJoin:
+		return "join"
+	case ChurnLeave:
+		return "leave"
+	default:
+		return fmt.Sprintf("churnkind(%d)", byte(k))
+	}
+}
+
+// ChurnEvent is one membership transition of a churn schedule: at offset At
+// from session start the named peer joins or leaves the overlay.
+type ChurnEvent struct {
+	At    time.Duration
+	Label string
+	Kind  ChurnEventKind
+}
+
+// SortChurnEvents orders a schedule canonically: by time, then label, with
+// a leave preceding a join at the same (time, label) so a coinciding pair
+// reads as a restart. Schedule generators return this order and executors
+// rely on it.
+func SortChurnEvents(events []ChurnEvent) {
+	sort.Slice(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Label != b.Label {
+			return a.Label < b.Label
+		}
+		return a.Kind == ChurnLeave && b.Kind == ChurnJoin
+	})
 }
 
 // Scenario describes a slice. The zero value is invalid; obtain scenarios
@@ -59,10 +101,45 @@ type Scenario struct {
 	// Remembered/Blemished. Empty defers to the harness default
 	// (controller-fanout, the paper's traffic shape).
 	Workload string
+	// Churn, when non-nil, returns the slice's membership schedule for a
+	// seed. Like Synthesize it must be a pure function of the seed. A peer
+	// is absent until its first ChurnJoin; nil means static membership
+	// (every peer up for the whole session, the paper's assumption).
+	Churn func(seed int64) []ChurnEvent
+	// Horizon is the churn schedule's session length: no event lies at or
+	// beyond it, and executors spread traffic across it. Zero for static
+	// scenarios.
+	Horizon time.Duration
+	// AdvTTL is the broker advertisement-lease TTL this scenario wants.
+	// Churning scenarios set it short so departed peers age out of the
+	// directory on a timescale the session can observe; zero defers to the
+	// harness default (effectively unbounded for static scenarios).
+	AdvTTL time.Duration
+	// LeaseSweep, when positive, asks the broker for eager lease eviction
+	// at this minimum interval (overlay.BrokerConfig.LeaseSweep). Zero
+	// keeps expiry lazy — the static-scenario default, which schedules no
+	// extra virtual-time events.
+	LeaseSweep time.Duration
 }
 
 // IsZero reports whether the scenario is unset.
 func (s Scenario) IsZero() bool { return s.Synthesize == nil }
+
+// DefaultAdvTTL is the broker lease TTL of scenarios that do not set their
+// own: effectively unbounded, because a static slice's membership never
+// changes and experiment runs span many virtual hours of idle gaps.
+const DefaultAdvTTL = 30 * 24 * time.Hour
+
+// EffectiveAdvTTL returns the broker lease TTL the scenario runs with —
+// its own AdvTTL, or DefaultAdvTTL. Lease-renewal heartbeats and staleness
+// audits must reason about this exact value (the one the broker was
+// actually configured with), so the defaulting lives here, once.
+func (s Scenario) EffectiveAdvTTL() time.Duration {
+	if s.AdvTTL > 0 {
+		return s.AdvTTL
+	}
+	return DefaultAdvTTL
+}
 
 // Catalog synthesizes the peer catalog for a seed.
 func (s Scenario) Catalog(seed int64) []Peer { return s.Synthesize(seed) }
@@ -147,7 +224,8 @@ func Registered() []string {
 }
 
 // Parse resolves a scenario spec: a registered name ("table1"), or a
-// generator spec "uniform:N" / "heterogeneous:N" with N peers.
+// generator spec "uniform:N" / "heterogeneous:N" / "zipf:N" / "churn:N"
+// with N peers.
 func Parse(spec string) (Scenario, error) {
 	if kind, arg, ok := strings.Cut(spec, ":"); ok {
 		n, err := strconv.Atoi(arg)
@@ -159,15 +237,19 @@ func Parse(spec string) (Scenario, error) {
 			return Uniform(n), nil
 		case "heterogeneous":
 			return Heterogeneous(n), nil
+		case "zipf":
+			return Zipf(n), nil
+		case "churn":
+			return Churn(n), nil
 		default:
-			return Scenario{}, fmt.Errorf("scenario: unknown generator %q (want uniform:N or heterogeneous:N)", kind)
+			return Scenario{}, fmt.Errorf("scenario: unknown generator %q (want uniform:N, heterogeneous:N, zipf:N or churn:N)", kind)
 		}
 	}
 	regMu.Lock()
 	fn := registry[spec]
 	regMu.Unlock()
 	if fn == nil {
-		return Scenario{}, fmt.Errorf("scenario: unknown scenario %q (want %s, uniform:N or heterogeneous:N)",
+		return Scenario{}, fmt.Errorf("scenario: unknown scenario %q (want %s, uniform:N, heterogeneous:N, zipf:N or churn:N)",
 			spec, strings.Join(Registered(), ", "))
 	}
 	return fn(), nil
@@ -332,4 +414,164 @@ func Heterogeneous(n int) Scenario {
 		Remembered: remembered,
 		Blemished:  blemished,
 	}
+}
+
+// Zipf describes a slice of n peers whose bandwidths follow a Zipf-like
+// distribution: peer i's access link scales as 1/rank^zipfExp, so a handful
+// of well-provisioned peers coexist with a long tail of thin ones — the
+// capacity skew measured in BitTorrent-style populations (Rao et al.,
+// arXiv:1006.4490), which uniform and three-class mixtures both miss.
+// Ranks follow catalog order (p001 is the fattest peer), so the X axis of a
+// per-peer figure doubles as the capacity rank; the seed draws only the
+// per-peer wobble around the rank curve.
+func Zipf(n int) Scenario {
+	labels := syntheticLabels(n)
+	remembered, blemished := fig6Hints(labels)
+	return Scenario{
+		Name:    fmt.Sprintf("zipf:%d", n),
+		Control: syntheticControl(),
+		Labels:  labels,
+		Synthesize: func(seed int64) []Peer {
+			peers := make([]Peer, n)
+			for i := range peers {
+				r := peerRand(seed, i)
+				p := baseProfile()
+				bw := zipfBaseBandwidth / math.Pow(float64(i+1), zipfExp)
+				if bw < zipfMinBandwidth {
+					bw = zipfMinBandwidth
+				}
+				p.Bandwidth = bw * uniformIn(r, 0.9, 1.1)
+				p.LatencyOneWay = time.Duration(uniformIn(r, 15, 40) * float64(time.Millisecond))
+				p.CPUScore = uniformIn(r, 0.8, 1.2)
+				p.MTBF = 150 * time.Minute
+				peers[i] = Peer{
+					Label:    labels[i],
+					Hostname: labels[i] + ".zipf.slice.peerlab",
+					Profile:  p,
+				}
+			}
+			return peers
+		},
+		Remembered: remembered,
+		Blemished:  blemished,
+	}
+}
+
+// Zipf bandwidth curve: the head peer gets ~8 MB/s and rank r decays as
+// r^-0.9, floored so tail peers stay usable (a transfer that can never
+// finish measures nothing).
+const (
+	zipfBaseBandwidth = 8e6
+	zipfExp           = 0.9
+	zipfMinBandwidth  = 0.15e6
+)
+
+// Churn-schedule timescales. Lease TTL and sweep interval are much shorter
+// than a static deployment's (where leases effectively never expire): under
+// churn the broker must notice departures on a timescale the session can
+// observe, and the sweep keeps dead leases from lingering between
+// registrations.
+const (
+	churnHorizon    = 10 * time.Minute
+	churnAdvTTL     = 90 * time.Second
+	churnLeaseSweep = 15 * time.Second
+	churnSiteSize   = 8
+)
+
+// Churn describes a PlanetLab-like slice of n peers (the Heterogeneous
+// three-class mixture) whose membership churns: peers join staggered, leave
+// abruptly mid-session and rejoin after a downtime, and whole sites fail
+// together. The schedule is drawn per peer from its own SplitMix64 stream —
+// a pure function of the seed, like the catalog itself. The scenario also
+// carries the short lease timescales (AdvTTL, LeaseSweep) that make the
+// broker's directory track membership instead of assuming it.
+func Churn(n int) Scenario {
+	labels := syntheticLabels(n)
+	remembered, blemished := fig6Hints(labels)
+	het := Heterogeneous(n)
+	return Scenario{
+		Name:    fmt.Sprintf("churn:%d", n),
+		Control: syntheticControl(),
+		Labels:  labels,
+		Synthesize: func(seed int64) []Peer {
+			peers := het.Synthesize(seed)
+			for i := range peers {
+				peers[i].Hostname = labels[i] + ".churn.slice.peerlab"
+				peers[i].Site = churnSite(i)
+			}
+			return peers
+		},
+		Remembered: remembered,
+		Blemished:  blemished,
+		Workload:   fmt.Sprintf("swarm:%d", n),
+		Churn:      func(seed int64) []ChurnEvent { return churnSchedule(labels, seed) },
+		Horizon:    churnHorizon,
+		AdvTTL:     churnAdvTTL,
+		LeaseSweep: churnLeaseSweep,
+	}
+}
+
+// churnSite groups catalog peers into sites of churnSiteSize consecutive
+// entries — the hosting institutions whose outages take all co-located
+// slivers down at once.
+func churnSite(i int) string { return fmt.Sprintf("site%02d", i/churnSiteSize) }
+
+// churnRand returns peer i's churn-schedule draw stream; the tag decorrelates
+// it from the same peer's profile stream (peerRand).
+func churnRand(seed int64, i int) *rand.Rand {
+	return rand.New(rand.NewSource(int64(Mix64(Mix64(uint64(seed)^0xc452) ^ uint64(i+1)))))
+}
+
+// siteRand returns site s's outage draw stream.
+func siteRand(seed int64, s int) *rand.Rand {
+	return rand.New(rand.NewSource(int64(Mix64(Mix64(uint64(seed)^0x517e) ^ uint64(s+1)))))
+}
+
+// churnSchedule draws the (join, leave, rejoin) schedule for every peer plus
+// correlated per-site outages, in canonical order. Three quarters of the
+// peers are present at session start; the rest arrive during the first half
+// of the horizon. Sessions and downtimes are uniform draws sized so most
+// peers cycle once or twice per horizon. A site outage (30% of sites) emits
+// a leave for every member — redundant transitions are fine, executors are
+// idempotent — and a rejoin when the outage ends inside the horizon.
+func churnSchedule(labels []string, seed int64) []ChurnEvent {
+	var events []ChurnEvent
+	h := float64(churnHorizon)
+	for i, l := range labels {
+		r := churnRand(seed, i)
+		t := time.Duration(0)
+		if r.Float64() >= 0.75 {
+			t = time.Duration(uniformIn(r, 0, h/2))
+		}
+		events = append(events, ChurnEvent{At: t, Label: l, Kind: ChurnJoin})
+		for {
+			t += time.Duration(uniformIn(r, float64(2*time.Minute), float64(8*time.Minute)))
+			if t >= churnHorizon {
+				break
+			}
+			events = append(events, ChurnEvent{At: t, Label: l, Kind: ChurnLeave})
+			t += time.Duration(uniformIn(r, float64(time.Minute), float64(3*time.Minute)))
+			if t >= churnHorizon {
+				break
+			}
+			events = append(events, ChurnEvent{At: t, Label: l, Kind: ChurnJoin})
+		}
+	}
+	sites := (len(labels) + churnSiteSize - 1) / churnSiteSize
+	for s := 0; s < sites; s++ {
+		r := siteRand(seed, s)
+		if r.Float64() >= 0.3 {
+			continue
+		}
+		at := time.Duration(uniformIn(r, h/4, 3*h/4))
+		end := at + time.Duration(uniformIn(r, float64(45*time.Second), float64(2*time.Minute)))
+		for i := s * churnSiteSize; i < (s+1)*churnSiteSize && i < len(labels); i++ {
+			events = append(events, ChurnEvent{At: at, Label: labels[i], Kind: ChurnLeave})
+			if end < churnHorizon {
+				events = append(events, ChurnEvent{At: end, Label: labels[i], Kind: ChurnJoin})
+			}
+		}
+	}
+	SortChurnEvents(events)
+	return events
 }

@@ -1,6 +1,7 @@
 package scenario_test
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -27,7 +28,7 @@ func TestParseGenerators(t *testing.T) {
 	if len(sc.Catalog(7)) != 128 {
 		t.Fatal("heterogeneous:128 did not synthesize 128 peers")
 	}
-	for _, bad := range []string{"uniform:0", "uniform:-3", "uniform:x", "zipf:9", "bogus"} {
+	for _, bad := range []string{"uniform:0", "uniform:-3", "uniform:x", "pareto:9", "bogus"} {
 		if _, err := scenario.Parse(bad); err == nil {
 			t.Fatalf("Parse(%q) accepted", bad)
 		}
@@ -207,5 +208,87 @@ func TestSyntheticProfilesCarrySubstrateModels(t *testing.T) {
 		if p.Profile.WakeLag > 0 && p.Profile.EngagedWindow != 30*time.Second {
 			t.Fatalf("%s wake lag without engaged window", p.Label)
 		}
+	}
+}
+
+func TestZipfBandwidthSkew(t *testing.T) {
+	sc, err := scenario.Parse("zipf:32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := sc.Catalog(3)
+	if len(cat) != 32 {
+		t.Fatalf("catalog has %d peers", len(cat))
+	}
+	head, tail := cat[0].Profile.Bandwidth, cat[31].Profile.Bandwidth
+	if head < 4*tail {
+		t.Fatalf("no Zipf skew: head %.0f vs tail %.0f", head, tail)
+	}
+	// Identical seeds must redraw the identical catalog (purity), and the
+	// wobble must keep the curve monotone-ish only in expectation — but
+	// the head must always beat the deep tail.
+	if !reflect.DeepEqual(cat, sc.Catalog(3)) {
+		t.Fatal("zipf catalog is not a pure function of the seed")
+	}
+}
+
+func TestChurnScheduleIsSeedDeterministic(t *testing.T) {
+	sc, err := scenario.Parse("churn:24")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Churn == nil || sc.Horizon <= 0 || sc.AdvTTL <= 0 || sc.LeaseSweep <= 0 {
+		t.Fatal("churn scenario lacks schedule or lease hints")
+	}
+	a, b := sc.Churn(11), sc.Churn(11)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("schedule is not a pure function of the seed")
+	}
+	if reflect.DeepEqual(a, sc.Churn(12)) {
+		t.Fatal("different seeds drew identical schedules")
+	}
+	for i, e := range a {
+		if e.At < 0 || e.At >= sc.Horizon {
+			t.Fatalf("event %d at %v outside [0, horizon)", i, e.At)
+		}
+	}
+	sorted := append([]scenario.ChurnEvent(nil), a...)
+	scenario.SortChurnEvents(sorted)
+	if !reflect.DeepEqual(a, sorted) {
+		t.Fatal("schedule not returned in canonical order")
+	}
+	// Every peer joins at least once, and some churn actually happens.
+	joined := map[string]bool{}
+	leaves := 0
+	for _, e := range a {
+		if e.Kind == scenario.ChurnJoin {
+			joined[e.Label] = true
+		} else {
+			leaves++
+		}
+	}
+	if len(joined) != 24 {
+		t.Fatalf("only %d of 24 peers ever join", len(joined))
+	}
+	if leaves == 0 {
+		t.Fatal("schedule has no departures")
+	}
+}
+
+func TestChurnCatalogCarriesSites(t *testing.T) {
+	sc, err := scenario.Parse("churn:20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := sc.Catalog(5)
+	sites := map[string]int{}
+	for _, p := range cat {
+		if p.Site == "" {
+			t.Fatalf("peer %s has no site", p.Label)
+		}
+		sites[p.Site]++
+	}
+	if len(sites) < 2 {
+		t.Fatalf("only %d sites across 20 peers", len(sites))
 	}
 }

@@ -1,0 +1,39 @@
+// Package workload lifts the traffic model into a first-class layer: a Flow
+// names one (source, sink, payload, selection-model) transfer, and a
+// Workload is a deterministic, seed-derived set of flows that an experiment
+// cell — or an interactive session — executes over a deployed slice.
+//
+// The paper only ever measures controller→peer flows; the hard-wired
+// assumption that the control node is the sole traffic source was baked into
+// the transfer harness, the experiment cells and the public Session. The
+// workload layer removes it: "controller-fanout" reproduces the paper's
+// traffic shape, while "swarm:N" and "allpairs:N" drive peer↔peer transfers
+// in which each source client calls the broker's selection service itself
+// before transmitting — the multi-source regime BitTorrent-style studies
+// (Rao et al., Legout et al.) require.
+//
+// # Ownership rules
+//
+// Purity rule: a Workload's Flows function must be a pure function of
+// (labels, seed). The experiment runner materializes the flow set once per
+// cell from the cell's derived seed, and per-flow payload seeds derive via
+// SplitMix64 (FlowSeed), so workload output is bit-identical at any worker
+// or broker-shard count. Anything time-, order- or environment-dependent
+// belongs in execution (Execute), never in flow synthesis. The same split
+// governs churn: Schedule is the pure, queryable view of a scenario's
+// membership schedule (ResolveSources, staleness audits and tests consult
+// it freely), while the Conductor owns everything live — it alone boots and
+// stops clients, holds the live-client map executors read through
+// Env.ClientOf, and runs the lease-renewal heartbeat.
+//
+// Any client may originate transfers; the overlay never had a
+// controller-only restriction, only the old harness did. Execute runs every
+// flow as its own virtual-time process, resolving the source's client and —
+// when the flow says so — the source's own SelectPeersFrom call, with the
+// control node excluded from sink candidacy.
+//
+// SendRelaunched owns the shared ≤Attempts relaunch budget for
+// transmissions the pipe layer abandons outright; the figure cells delegate
+// to it so figures and workloads cannot drift, and exhausting the budget
+// logs an operator-visible warning naming the flow.
+package workload

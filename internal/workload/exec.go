@@ -27,6 +27,11 @@ type Env struct {
 	// Clients maps a peer label to its running client. Every label that
 	// appears as a flow source must be present.
 	Clients map[string]*overlay.Client
+	// ClientOf, when set, resolves a source label to its currently running
+	// client instead of the static Clients map — the live-membership hook
+	// for churning deployments. Returning nil means the peer is down right
+	// now and the flow fails (or is recorded failed, see RecordFailures).
+	ClientOf func(label string) *overlay.Client
 	// HostOf maps a peer label to its hostname; nil means labels are
 	// hostnames. LabelOf is the inverse, used to attribute model-selected
 	// sinks; nil likewise means identity.
@@ -39,6 +44,25 @@ type Env struct {
 	// the sink to fall idle again (wake lag re-applies, as in the paper's
 	// measurements). Zero skips the gap.
 	IdleGap time.Duration
+	// StartOf, when set, delays each flow's launch by the returned offset
+	// (workload.Stagger spreads launches across a churn horizon). nil
+	// launches every flow at once — the static default, byte-identical to
+	// the pre-churn executor.
+	StartOf func(f Flow) time.Duration
+	// RecordFailures, when true, records a failing flow in its Result (Err
+	// field set, zero metrics) instead of failing the whole Execute. Churn
+	// makes individual flow failure an expected measurement — a source
+	// departed mid-flow, a lease-lagged sink refused — not a harness bug.
+	RecordFailures bool
+}
+
+// clientOf resolves a source label through the live-membership hook when
+// present, the static map otherwise.
+func (e Env) clientOf(label string) *overlay.Client {
+	if e.ClientOf != nil {
+		return e.ClientOf(label)
+	}
+	return e.Clients[label]
 }
 
 func (e Env) hostOf(label string) string {
@@ -62,9 +86,17 @@ type Result struct {
 	// Sink is the resolved sink label — the fixed sink, or the peer the
 	// source's selection call picked.
 	Sink string
+	// SelectedAt is the virtual instant the sink was resolved (the
+	// selection reply for model-driven flows, flow launch for fixed
+	// sinks). Churn audits compare it against the membership schedule to
+	// classify lagged and stale selections.
+	SelectedAt time.Time
 	// Metrics is the surviving attempt's full timing record; its Attempts
 	// field counts the relaunches spent.
 	Metrics transfer.Metrics
+	// Err is the flow's failure when Env.RecordFailures kept it; "" on
+	// success.
+	Err string
 }
 
 // Execute runs every flow as its own concurrent simulation process and
@@ -79,7 +111,16 @@ func Execute(env Env, flows []Flow, seed int64) ([]Result, error) {
 	for i, f := range flows {
 		i, f := i, f
 		env.Host.Go(func() {
-			out[i], errs[i] = runFlow(env, f, seed)
+			res, err := runFlow(env, f, seed)
+			if err != nil && env.RecordFailures {
+				// Keep everything the failed flow did establish — the sink
+				// it selected, when, and the attempts it burned — and
+				// record only the cause on top.
+				res.Flow = f
+				res.Err = err.Error()
+				err = nil
+			}
+			out[i], errs[i] = res, err
 			join.Push(i)
 		})
 	}
@@ -96,21 +137,37 @@ func Execute(env Env, flows []Flow, seed int64) ([]Result, error) {
 	return out, nil
 }
 
-// runFlow executes one flow: resolve the source client, resolve the sink
+// runFlow executes one flow: wait out its start offset (churn staggering),
+// resolve the source client against live membership, resolve the sink
 // (fixed, or via the source's own selection call), then transmit with the
-// standard relaunch budget.
+// standard relaunch budget. A failure after sink resolution still reports
+// the sink and its resolution instant, so churn audits can classify the
+// selection even when the transfer died.
 func runFlow(env Env, f Flow, seed int64) (Result, error) {
+	if env.StartOf != nil {
+		if d := env.StartOf(f); d > 0 {
+			env.Host.Sleep(d)
+		}
+	}
+	srcLabel := f.Source
 	src := env.Control
 	if f.Source != "" {
-		src = env.Clients[f.Source]
+		src = env.clientOf(f.Source)
 		if src == nil {
-			return Result{}, fmt.Errorf("no client for source %q", f.Source)
+			return Result{}, fmt.Errorf("no client for source %q (departed?)", f.Source)
 		}
+	} else {
+		srcLabel = "control"
 	}
 	if src == nil {
 		return Result{}, errors.New("no control client for controller-sourced flow")
 	}
 
+	// SelectedAt is stamped when the request is issued, not when the reply
+	// lands: the reply leg can pay the source's wake lag, and churn audits
+	// need an instant at (or before) the broker's decision so "lease
+	// certainly expired by then" is sound.
+	selectedAt := env.Host.Now()
 	sinkHost, sinkLabel := "", ""
 	if f.Sink != "" {
 		sinkHost, sinkLabel = env.hostOf(f.Sink), f.Sink
@@ -118,33 +175,38 @@ func runFlow(env Env, f Flow, seed int64) (Result, error) {
 		req := core.Request{Kind: core.KindFileTransfer, SizeBytes: f.SizeBytes}
 		peers, err := src.SelectPeersFrom(f.Model, req, 1, nil, env.ExcludeSinks)
 		if err != nil {
-			return Result{}, fmt.Errorf("select %s: %w", f.Model, err)
+			return Result{SelectedAt: selectedAt}, fmt.Errorf("select %s: %w", f.Model, err)
 		}
 		if len(peers) == 0 {
-			return Result{}, fmt.Errorf("select %s: empty result", f.Model)
+			return Result{SelectedAt: selectedAt}, fmt.Errorf("select %s: empty result", f.Model)
 		}
 		sinkHost, sinkLabel = peers[0], env.labelOf(peers[0])
 	}
+	res := Result{Flow: f, Sink: sinkLabel, SelectedAt: selectedAt}
 
 	file := transfer.NewVirtualFile(f.FileName, f.SizeBytes, FlowSeed(seed, f.Index))
-	m, err := SendRelaunched(env.Host.Sleep, env.IdleGap, src, sinkHost, file, f.Parts)
+	flowID := fmt.Sprintf("flow %d (%s -> %s)", f.Index, srcLabel, sinkLabel)
+	m, err := SendRelaunched(env.Host.Sleep, env.IdleGap, src, sinkHost, file, f.Parts, flowID)
+	res.Metrics = m // even on failure: Attempts carries the relaunches spent
 	if err != nil {
-		return Result{}, fmt.Errorf("%s -> %s: %w", src.Name(), sinkLabel, err)
+		return res, fmt.Errorf("%s -> %s: %w", src.Name(), sinkLabel, err)
 	}
-	return Result{Flow: f, Sink: sinkLabel, Metrics: m}, nil
+	return res, nil
 }
 
 // SendRelaunched transmits f to host, relaunching a transmission the pipe
 // layer abandoned outright up to Attempts times; sleep(gap) runs before each
 // attempt so the sink falls idle again. The returned metrics carry the
-// attempt count. A whole-file transmission to a pathological sliver can die
-// even after the pipe's retries — every retransmission of a large message
-// re-rolls the receiver's restart model — and the operator's answer on the
-// real platform is the paper's own: relaunch the transmission. Exhausting
-// the budget is logged; it is an operator-visible event, not a silent
-// failure.
+// attempt count. flowID names the flow for the exhaustion warning — source
+// and sink labels included, so an operator reading the log can tell which
+// flow of which workload gave up, not just that one did. A whole-file
+// transmission to a pathological sliver can die even after the pipe's
+// retries — every retransmission of a large message re-rolls the receiver's
+// restart model — and the operator's answer on the real platform is the
+// paper's own: relaunch the transmission. Exhausting the budget is logged;
+// it is an operator-visible event, not a silent failure.
 func SendRelaunched(sleep func(time.Duration), gap time.Duration, src *overlay.Client,
-	host string, f transfer.File, parts int) (transfer.Metrics, error) {
+	host string, f transfer.File, parts int, flowID string) (transfer.Metrics, error) {
 	var lastErr error
 	for attempt := 0; attempt < Attempts; attempt++ {
 		if gap > 0 {
@@ -161,8 +223,8 @@ func SendRelaunched(sleep func(time.Duration), gap time.Duration, src *overlay.C
 		}
 		lastErr = err
 	}
-	log.Printf("workload: WARNING: transfer %s -> %s (%s, %d bytes) abandoned after exhausting %d attempts: %v",
-		src.Name(), host, f.Name, f.Size, Attempts, lastErr)
+	log.Printf("workload: WARNING: %s: transfer %s -> %s (%s, %d bytes) abandoned after exhausting %d attempts: %v",
+		flowID, src.Name(), host, f.Name, f.Size, Attempts, lastErr)
 	return transfer.Metrics{Attempts: Attempts},
 		fmt.Errorf("gave up after %d attempts: %w", Attempts, lastErr)
 }

@@ -1,22 +1,3 @@
-// Package workload lifts the traffic model into a first-class layer: a Flow
-// names one (source, sink, payload, selection-model) transfer, and a
-// Workload is a deterministic, seed-derived set of flows that an experiment
-// cell — or an interactive session — executes over a deployed slice.
-//
-// The paper only ever measures controller→peer flows; the hard-wired
-// assumption that the control node is the sole traffic source was baked into
-// the transfer harness, the experiment cells and the public Session. The
-// workload layer removes it: "controller-fanout" reproduces the paper's
-// traffic shape, while "swarm:N" and "allpairs:N" drive peer↔peer transfers
-// in which each source client calls the broker's selection service itself
-// before transmitting — the multi-source regime BitTorrent-style studies
-// (Rao et al., Legout et al.) require.
-//
-// Purity rule: a Workload's Flows function must be a pure function of
-// (labels, seed). The experiment runner materializes the flow set once per
-// cell from the cell's derived seed, and per-flow payload seeds derive via
-// SplitMix64 (FlowSeed), so workload output is bit-identical at any worker
-// or broker-shard count.
 package workload
 
 import (

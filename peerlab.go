@@ -1,19 +1,3 @@
-// Package peerlab is the public face of a reproduction of Xhafa, Barolli,
-// Fernández and Daradoumis, "An Experimental Study on Peer Selection in a
-// P2P Network over PlanetLab" (ICPP Workshops 2007).
-//
-// It assembles the repo's subsystems — a virtual-time network simulator
-// calibrated to the paper's PlanetLab measurements, a JXTA-Overlay-style
-// platform (broker, primitives, SimpleClients), the paper's three
-// peer-selection models plus a blind baseline, file transmission with
-// configurable granularity, and task execution — behind one deployment
-// type. The examples/ directory shows the intended usage; the experiment
-// harness in internal/experiments regenerates every table and figure of
-// the paper on top of the same API surface.
-//
-// A Deployment runs on simulated time: a scenario spanning hours of
-// transfers finishes in milliseconds of wall time, deterministically for a
-// given seed.
 package peerlab
 
 import (
@@ -155,6 +139,8 @@ type Config struct {
 // Deployment is a running simulated overlay: one broker ("governor"), one
 // controller client that the application drives, and a set of peer clients —
 // each of which can originate transfers of its own (see Session.RunWorkload).
+// On a churning scenario ("churn:N") the peer set is not static: clients
+// join, leave and rejoin on the scenario's schedule while the session runs.
 type Deployment struct {
 	net      *simnet.Network
 	broker   *overlay.Broker
@@ -165,6 +151,17 @@ type Deployment struct {
 	seed     int64
 	workload workload.Workload
 	starters []starter
+
+	// Churn state (nil/zero on static deployments). peers then holds
+	// catalog labels rather than hostnames, hostOf/labelOf translate, and
+	// the conductor owns the live-client map for the session's duration.
+	schedule  *workload.Schedule
+	conductor *workload.Conductor
+	horizon   time.Duration
+	advTTL    time.Duration
+	hostOf    map[string]string
+	labelOf   map[string]string
+	bootCPU   map[string]float64
 }
 
 // ErrNoPeers is returned when a deployment is configured without peers.
@@ -177,12 +174,15 @@ func Deploy(cfg Config) (*Deployment, error) {
 		net     *simnet.Network
 		ctlNode *simnet.Node
 		peers   []PeerConfig
+		sc      scenario.Scenario
+		catalog []scenario.Peer
 	)
 	if cfg.Scenario == "" && cfg.UsePlanetLab {
 		cfg.Scenario = ScenarioTable1
 	}
 	if cfg.Scenario != "" {
-		sc, err := scenario.Parse(cfg.Scenario)
+		var err error
+		sc, err = scenario.Parse(cfg.Scenario)
 		if err != nil {
 			return nil, err
 		}
@@ -191,8 +191,15 @@ func Deploy(cfg Config) (*Deployment, error) {
 			return nil, err
 		}
 		net, ctlNode = slice.Net, slice.Control
-		for _, p := range slice.Catalog {
-			peers = append(peers, PeerConfig{Name: p.Hostname, Profile: p.Profile})
+		catalog = slice.Catalog
+		if sc.Churn == nil {
+			// Static scenario: every catalog peer becomes a pre-started
+			// client. Churning scenarios skip this — their membership
+			// belongs to the conductor, which boots straight off the
+			// catalog maps below.
+			for _, p := range catalog {
+				peers = append(peers, PeerConfig{Name: p.Hostname, Profile: p.Profile})
+			}
 		}
 	} else {
 		if len(cfg.Peers) == 0 {
@@ -209,14 +216,26 @@ func Deploy(cfg Config) (*Deployment, error) {
 
 	wlSpec := cfg.Workload
 	if wlSpec == "" {
-		wlSpec = "controller-fanout"
+		if sc.Workload != "" {
+			wlSpec = sc.Workload
+		} else {
+			wlSpec = "controller-fanout"
+		}
 	}
 	wl, err := workload.Parse(wlSpec)
 	if err != nil {
 		return nil, err
 	}
 
-	broker, err := overlay.NewBroker(ctlNode, overlay.BrokerConfig{AdvTTL: 30 * 24 * time.Hour})
+	// Static deployments keep the effectively-unbounded default lease TTL;
+	// a churning scenario supplies its own short TTL and eager-sweep hint
+	// so departed peers age out of the directory mid-session. The facade's
+	// renewal heartbeat (Run) divides the same effective value.
+	advTTL := sc.EffectiveAdvTTL()
+	broker, err := overlay.NewBroker(ctlNode, overlay.BrokerConfig{
+		AdvTTL:     advTTL,
+		LeaseSweep: sc.LeaseSweep,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -227,8 +246,27 @@ func Deploy(cfg Config) (*Deployment, error) {
 		clients:  make(map[string]*overlay.Client),
 		seed:     cfg.Seed,
 		workload: wl,
+		advTTL:   advTTL,
 	}
 	d.ctl = overlay.NewClient(ctlNode, broker.Addr(), overlay.ClientConfig{CPUScore: 2})
+
+	if sc.Churn != nil {
+		// Membership belongs to the churn schedule: no static clients or
+		// starters. Peers are addressed by catalog label, and the conductor
+		// (created in Run) boots and stops their clients on schedule.
+		d.schedule = workload.NewSchedule(sc.Churn(cfg.Seed))
+		d.horizon = sc.Horizon
+		d.peers = append(d.peers, sc.Labels...)
+		d.hostOf = make(map[string]string, len(catalog))
+		d.labelOf = make(map[string]string, len(catalog))
+		d.bootCPU = make(map[string]float64, len(catalog))
+		for _, p := range catalog {
+			d.hostOf[p.Label] = p.Hostname
+			d.labelOf[p.Hostname] = p.Label
+			d.bootCPU[p.Label] = p.Profile.CPUScore
+		}
+		return d, nil
+	}
 
 	for _, p := range peers {
 		prof := p.Profile
@@ -258,6 +296,22 @@ func Deploy(cfg Config) (*Deployment, error) {
 	return d, nil
 }
 
+// bootPeer resolves one churn peer's node and boots its client through the
+// shared reboot protocol (overlay.BootPeer: fresh conn-id space so a
+// rebooted incarnation's messages are not mistaken for the previous one's
+// retransmits, registration, initial stats report).
+func (d *Deployment) bootPeer(label string) (*overlay.Client, error) {
+	node := d.net.Node(d.hostOf[label])
+	if node == nil {
+		return nil, fmt.Errorf("peerlab: churn schedule names unknown peer %q", label)
+	}
+	c, err := overlay.BootPeer(node, d.broker.Addr(), d.bootCPU[label])
+	if err != nil {
+		return nil, fmt.Errorf("peerlab: churn boot %s: %w", label, err)
+	}
+	return c, nil
+}
+
 // starters are run at the beginning of Run, inside the scheduler.
 type starter = func() error
 
@@ -269,13 +323,25 @@ type Session struct {
 
 // Run boots the overlay (broker is already serving; clients register) and
 // executes fn as the driver process. It returns fn's error after the
-// network quiesces. The elapsed virtual time is available via Elapsed.
+// network quiesces. On a churning deployment the initial population boots
+// first, then the schedule runs alongside fn: joins and leaves fire on
+// virtual time whether or not fn is watching. The elapsed virtual time is
+// available via Elapsed.
 func (d *Deployment) Run(fn func(s *Session) error) error {
 	var err error
 	d.net.Run(func() {
 		if serr := d.ctl.Start(); serr != nil {
 			err = fmt.Errorf("peerlab: controller: %w", serr)
 			return
+		}
+		if d.schedule != nil {
+			cond := workload.NewConductor(d.ctlNode, d.schedule, workload.RenewalInterval(d.advTTL), d.horizon, d.bootPeer)
+			if serr := cond.BootInitial(); serr != nil {
+				err = serr
+				return
+			}
+			cond.Start()
+			d.conductor = cond
 		}
 		for _, st := range d.starters {
 			if serr := st(); serr != nil {
@@ -285,6 +351,11 @@ func (d *Deployment) Run(fn func(s *Session) error) error {
 		}
 		err = fn(&Session{d: d})
 	})
+	// Only now has the schedule fully drained (Run returns at quiescence):
+	// a rejoin that failed after fn returned is still captured here.
+	if err == nil && d.conductor != nil {
+		err = d.conductor.Err()
+	}
 	return err
 }
 
@@ -306,23 +377,35 @@ func (d *Deployment) Snapshots() []Snapshot {
 // Now returns the current virtual time.
 func (s *Session) Now() time.Time { return s.d.net.Now() }
 
+// peerAddr resolves a Peers() value to the name the overlay addresses the
+// peer by. Static deployments already hand out hostnames; churn deployments
+// hand out catalog labels (the schedule's addressing unit), which direct
+// Session sends translate back to hostnames here.
+func (d *Deployment) peerAddr(peer string) string {
+	if host, ok := d.hostOf[peer]; ok {
+		return host
+	}
+	return peer
+}
+
 // Sleep advances virtual time for the driver.
 func (s *Session) Sleep(dur time.Duration) { s.d.net.Scheduler().Sleep(dur) }
 
-// SendFile transmits a file from the controller to the named peer, split
-// into parts (1 = whole), confirming each part as in the paper's protocol.
+// SendFile transmits a file from the controller to the named peer (a
+// Peers() value), split into parts (1 = whole), confirming each part as in
+// the paper's protocol.
 func (s *Session) SendFile(peer string, f File, parts int) (TransferMetrics, error) {
-	return s.d.ctl.SendFile(peer, f, parts)
+	return s.d.ctl.SendFile(s.d.peerAddr(peer), f, parts)
 }
 
 // SubmitTask runs a task on the named peer and waits for its result.
 func (s *Session) SubmitTask(peer string, t Task) (TaskResult, error) {
-	return s.d.ctl.SubmitTask(peer, t)
+	return s.d.ctl.SubmitTask(s.d.peerAddr(peer), t)
 }
 
 // SendInstant delivers an instant message to the named peer.
 func (s *Session) SendInstant(peer, text string) error {
-	return s.d.ctl.SendInstant(peer, text)
+	return s.d.ctl.SendInstant(s.d.peerAddr(peer), text)
 }
 
 // RunWorkload executes a flow workload over the deployment: every flow runs
@@ -343,19 +426,62 @@ func (s *Session) RunWorkload(spec string) ([]FlowResult, error) {
 		}
 	}
 	flows := wl.Flows(d.peers, d.seed)
-	return workload.Execute(workload.Env{
+	env := workload.Env{
 		Host:         d.ctlNode,
 		Control:      d.ctl,
 		Clients:      d.clients,
 		ExcludeSinks: []string{d.ctl.Name()},
-	}, flows, d.seed)
+	}
+	if d.conductor != nil {
+		// Churning deployment: resolve sources against live membership,
+		// spread launches across the horizon (ChurnLaunch rebases the
+		// schedule-relative offsets for a RunWorkload called mid-session),
+		// and record per-flow failures — a departed sink is a measurement,
+		// not a crash.
+		flows, env.StartOf = workload.ChurnLaunch(flows, d.schedule, d.peers,
+			workload.Stagger(d.seed, d.horizon), s.Now().Sub(d.conductor.StartedAt()))
+		env.ClientOf = d.conductor.ClientOf
+		env.HostOf = func(label string) string { return d.hostOf[label] }
+		env.LabelOf = func(host string) string { return d.labelOf[host] }
+		env.RecordFailures = true
+	}
+	return workload.Execute(env, flows, d.seed)
+}
+
+// PeersDeparted reports how many departures (up→down transitions) the
+// deployment's churn schedule contains; zero on static deployments.
+func (s *Session) PeersDeparted() int {
+	if s.d.schedule == nil {
+		return 0
+	}
+	return s.d.schedule.Departures()
 }
 
 // SelectPeers asks the broker to rank peers with the named model (see the
 // Model constants). For ModelQuickPeer, preferred carries the user's own
-// remembered ranking, fastest first.
+// remembered ranking, fastest first. Names — preferred entries in, ranked
+// peers out — are Peers() values: on a churn deployment they are catalog
+// labels and translate to/from the broker's hostnames here, like every
+// other Session method.
 func (s *Session) SelectPeers(model string, req SelectionRequest, max int, preferred []string) ([]string, error) {
-	return s.d.ctl.SelectPeers(model, req, max, preferred)
+	d := s.d
+	if d.conductor == nil {
+		return d.ctl.SelectPeers(model, req, max, preferred)
+	}
+	pref := make([]string, len(preferred))
+	for i, p := range preferred {
+		pref[i] = d.peerAddr(p)
+	}
+	ranked, err := d.ctl.SelectPeers(model, req, max, pref)
+	if err != nil {
+		return nil, err
+	}
+	for i, host := range ranked {
+		if label, ok := d.labelOf[host]; ok {
+			ranked[i] = label
+		}
+	}
+	return ranked, nil
 }
 
 // Snapshots returns the broker's statistics mid-run.

@@ -2,6 +2,7 @@ package peerlab
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 	"time"
 )
@@ -298,5 +299,100 @@ func TestGroupPropagatesError(t *testing.T) {
 	})
 	if err == nil {
 		t.Fatal("group swallowed the error")
+	}
+}
+
+// TestChurnDeploymentThroughFacade pins the public churn surface: a
+// Config.Scenario of churn:N runs the membership schedule inside Run, the
+// default workload is the scenario's swarm hint, flow failures against
+// departed peers are recorded (not fatal), and two identical deployments
+// produce identical results.
+func TestChurnDeploymentThroughFacade(t *testing.T) {
+	run := func() ([]FlowResult, int, error) {
+		d, err := Deploy(Config{Seed: 2007, Scenario: "churn:12"})
+		if err != nil {
+			return nil, 0, err
+		}
+		var results []FlowResult
+		departed := 0
+		err = d.Run(func(s *Session) error {
+			var rerr error
+			results, rerr = s.RunWorkload("")
+			departed = s.PeersDeparted()
+			if rerr != nil {
+				return rerr
+			}
+			// Direct Session sends must accept Peers() values (catalog
+			// labels) under churn too: at least one peer is still up and
+			// reachable by label.
+			sent := false
+			for _, p := range d.Peers() {
+				if _, err := s.SendFile(p, NewVirtualFile("probe", Mb, 1), 1); err == nil {
+					sent = true
+					break
+				}
+			}
+			if !sent {
+				t.Error("no Peers() label was sendable after the workload")
+			}
+			return nil
+		})
+		return results, departed, err
+	}
+	a, departed, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 12 {
+		t.Fatalf("got %d flows, want the swarm:12 hint", len(a))
+	}
+	if departed == 0 {
+		t.Fatal("PeersDeparted = 0 on a churn scenario")
+	}
+	completed := 0
+	for _, r := range a {
+		if r.Err == "" {
+			completed++
+			if r.Flow.Model == "" || r.Sink == "" {
+				t.Fatalf("flow %d not model-selected: %+v", r.Flow.Index, r.Flow)
+			}
+		}
+	}
+	if completed == 0 {
+		t.Fatal("no flow completed under churn")
+	}
+	b, _, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical churn deployments diverged")
+	}
+}
+
+// TestStaticSessionHasNoChurn pins the static default: no schedule, no
+// departures, RunWorkload failures stay fatal.
+func TestStaticSessionHasNoChurn(t *testing.T) {
+	d, err := Deploy(Config{Seed: 3, Scenario: "uniform:4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = d.Run(func(s *Session) error {
+		if s.PeersDeparted() != 0 {
+			t.Errorf("static deployment reports %d departures", s.PeersDeparted())
+		}
+		results, rerr := s.RunWorkload("")
+		if rerr != nil {
+			return rerr
+		}
+		for _, r := range results {
+			if r.Err != "" {
+				t.Errorf("static flow carries recorded failure %q", r.Err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }
