@@ -21,11 +21,24 @@
 // expired — must always be zero). Figures ignore churn schedules; workloads
 // are the churn-aware path.
 //
+// With -sweep the run is a generic grid over (scenario × workload × model ×
+// granularity × size × churn-rate), e.g.
+//
+//	p2pbench -sweep "scenario=table1,churn:64;model=all;rep=5" -format json
+//
+// Every grid point runs one workload repetition on its own slice; output is
+// per-cell records plus per-axis marginal summaries, bit-identical at any
+// -parallel or -shards value and for any axis ordering in the spec. The
+// churn axis ("churn=0.5,1,2,4") scales a churn:N scenario's membership
+// dynamics; -experiment figchurn renders the resulting selection-quality
+// figure (failed / lagged / stale flow percentages vs intensity) directly.
+//
 // Usage:
 //
-//	p2pbench [-experiment all|table1|fig2|fig3|fig4|fig5|fig6|fig7]
+//	p2pbench [-experiment all|table1|fig2|fig3|fig4|fig5|fig6|fig7|figchurn]
 //	         [-scenario table1|uniform:N|heterogeneous:N|zipf:N|churn:N]
 //	         [-workload controller-fanout|swarm:N|allpairs:N]
+//	         [-sweep "axis=v,v;..."]
 //	         [-seed N] [-reps N] [-parallel N] [-shards N]
 //	         [-format markdown|bars|csv|json]
 package main
@@ -36,6 +49,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"slices"
 	"strings"
 
 	"peerlab/internal/experiments"
@@ -60,9 +74,10 @@ type result struct {
 
 func main() {
 	var (
-		exp      = flag.String("experiment", "all", "which exhibit to regenerate (all, table1, fig2..fig7)")
+		exp      = flag.String("experiment", "all", "which exhibit to regenerate (all, table1, fig2..fig7, figchurn)")
 		scen     = flag.String("scenario", "table1", "slice scenario: table1 (the paper's calibrated world), uniform:N, heterogeneous:N, zipf:N, churn:N")
 		wl       = flag.String("workload", "", "run a flow workload instead of the figures: controller-fanout, swarm:N, allpairs:N")
+		sweep    = flag.String("sweep", "", `run a sweep grid instead: "scenario=table1,churn:64;model=all;rep=5" (axes: scenario, workload, model, granularity, size, churn, rep)`)
 		seed     = flag.Int64("seed", 2007, "simulation seed (runs with equal seeds are identical)")
 		reps     = flag.Int("reps", 5, "repetitions per data point (the paper used 5)")
 		parallel = flag.Int("parallel", 0, "experiment cells run concurrently (0 = GOMAXPROCS, 1 = serial)")
@@ -78,6 +93,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "p2pbench: unknown format %q (want markdown, bars, csv, json)\n", *format)
 		os.Exit(2)
 	}
+	expNames := strings.Split(*exp, ",")
+	for i := range expNames {
+		expNames[i] = strings.TrimSpace(expNames[i])
+	}
+	if !flagWasSet("scenario") && slices.Contains(expNames, "figchurn") {
+		if len(expNames) == 1 {
+			// figchurn cannot run the -scenario flag's static default; with
+			// no explicit choice, run the library's default churning
+			// scenario — rewritten here, before the run record is built, so
+			// the emitted scenario field names the world the figure
+			// actually measured.
+			*scen = experiments.DefaultChurnScenario
+		} else {
+			// A mixed list shares one scenario and one run record; failing
+			// up front beats burning the other figures' runs and aborting.
+			fmt.Fprintf(os.Stderr, "p2pbench: figchurn alongside other experiments needs an explicit -scenario churn:N\n")
+			os.Exit(2)
+		}
+	}
 	sc, err := scenario.Parse(*scen)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "p2pbench: %v\n", err)
@@ -91,12 +125,35 @@ func main() {
 	}
 
 	if *wl != "" {
+		// Parsed before the sweep branch: -workload fills the sweep's
+		// workload axis when the spec leaves it unset.
 		w, err := workload.Parse(*wl)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "p2pbench: %v\n", err)
 			os.Exit(2)
 		}
 		cfg.Workload = w
+	}
+
+	if *sweep != "" {
+		sw, err := experiments.ParseSweep(*sweep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p2pbench: %v\n", err)
+			os.Exit(2)
+		}
+		report, err := experiments.RunSweep(cfg, sw)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p2pbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := renderSweep(report, *format); err != nil {
+			fmt.Fprintf(os.Stderr, "p2pbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *wl != "" {
 		report, err := experiments.RunWorkload(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "p2pbench: %v\n", err)
@@ -124,15 +181,15 @@ func main() {
 		out.Figures = suite.Figures
 	} else {
 		figs := map[string]func(experiments.Config) (*metrics.Figure, error){
-			"fig2": experiments.Fig2PetitionTime,
-			"fig3": experiments.Fig3Transmission50Mb,
-			"fig4": experiments.Fig4LastMb,
-			"fig5": experiments.Fig5Granularity,
-			"fig6": experiments.Fig6SelectionModels,
-			"fig7": experiments.Fig7ExecVsTransferExec,
+			"fig2":     experiments.Fig2PetitionTime,
+			"fig3":     experiments.Fig3Transmission50Mb,
+			"fig4":     experiments.Fig4LastMb,
+			"fig5":     experiments.Fig5Granularity,
+			"fig6":     experiments.Fig6SelectionModels,
+			"fig7":     experiments.Fig7ExecVsTransferExec,
+			"figchurn": experiments.FigChurnQuality,
 		}
-		for _, name := range strings.Split(*exp, ",") {
-			name = strings.TrimSpace(name)
+		for _, name := range expNames {
 			switch {
 			case name == "table1":
 				out.Table1 = experiments.Table1()
@@ -144,7 +201,7 @@ func main() {
 				}
 				out.Figures = append(out.Figures, experiments.SuiteFigure{Name: name, Figure: fig})
 			default:
-				fmt.Fprintf(os.Stderr, "p2pbench: unknown experiment %q (want all, table1, fig2..fig7)\n", name)
+				fmt.Fprintf(os.Stderr, "p2pbench: unknown experiment %q (want all, table1, fig2..fig7, figchurn)\n", name)
 				os.Exit(2)
 			}
 		}
@@ -154,6 +211,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "p2pbench: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// flagWasSet reports whether the named flag was explicitly passed on the
+// command line (as opposed to holding its default).
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 func render(out result, format string) error {
@@ -179,6 +248,55 @@ func render(out result, format string) error {
 		}
 	}
 	return nil
+}
+
+// renderSweep prints a sweep report. JSON emits the report alone — no
+// outer run wrapper, so the bytes are identical at any -parallel/-shards
+// value (the CI smoke job diffs exactly this). CSV emits one row per cell;
+// markdown/bars render the cell table followed by the marginal summaries.
+func renderSweep(report *experiments.SweepReport, format string) error {
+	switch format {
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	case "csv":
+		fmt.Println("scenario,workload,model,parts,size_mb,churn_rate,rep,flows,failed,departed,lagged,stale,mean_xmit_seconds")
+		for _, c := range report.Cells {
+			s := c.Summary
+			fmt.Printf("%s,%s,%s,%d,%d,%g,%d,%d,%d,%d,%d,%d,%.6f\n",
+				c.Scenario, c.Workload, c.Model, c.Parts, c.SizeMb, c.ChurnRate, c.Rep,
+				s.Flows, s.FailedFlows, s.PeersDeparted, s.SelectionsLagged, s.SelectionsStale,
+				s.MeanTransmissionSeconds)
+		}
+		return nil
+	default:
+		t := &metrics.Table{
+			Title:   fmt.Sprintf("Sweep %s (seed %d)", report.Sweep, report.Seed),
+			Columns: []string{"scenario", "workload", "model", "parts", "Mb", "churn", "rep", "flows", "failed", "lagged", "stale", "mean xmit s"},
+		}
+		for _, c := range report.Cells {
+			s := c.Summary
+			t.AddRow(c.Scenario, c.Workload, c.Model, fmt.Sprint(c.Parts), fmt.Sprint(c.SizeMb),
+				fmt.Sprintf("%g", c.ChurnRate), fmt.Sprint(c.Rep), fmt.Sprint(s.Flows),
+				fmt.Sprint(s.FailedFlows), fmt.Sprint(s.SelectionsLagged), fmt.Sprint(s.SelectionsStale),
+				fmt.Sprintf("%.3f", s.MeanTransmissionSeconds))
+		}
+		fmt.Println(t.Markdown())
+		if len(report.Marginals) > 0 {
+			mt := &metrics.Table{
+				Title:   "Marginal summaries",
+				Columns: []string{"axis", "value", "cells", "flows", "failed %", "lagged %", "stale %", "mean xmit s"},
+			}
+			for _, m := range report.Marginals {
+				mt.AddRow(m.Axis, m.Value, fmt.Sprint(m.Cells), fmt.Sprint(m.Flows),
+					fmt.Sprintf("%.2f", m.FailedPct), fmt.Sprintf("%.2f", m.LaggedPct),
+					fmt.Sprintf("%.2f", m.StalePct), fmt.Sprintf("%.3f", m.MeanTransmissionSeconds))
+			}
+			fmt.Println(mt.Markdown())
+		}
+		return nil
+	}
 }
 
 // renderWorkload prints a workload report's flows as CSV or a markdown

@@ -109,6 +109,23 @@ func names(cands []Candidate) []string {
 	return out
 }
 
+// StandardModels lists the built-in selection model names a broker serves:
+// the registered rankers plus the per-request preference models. The one
+// source of truth for surfaces that must validate a model name before any
+// broker exists (the sweep grammar).
+func StandardModels() []string {
+	return []string{"blind", "economic", "same-priority", "quick-peer", "user-preference"}
+}
+
+// UsesPreferences reports whether the named model consumes the requester's
+// own peer ranking (Request.Preferred). Brokers build these per request via
+// NewUserPreference/NewQuickPeer; callers use this to decide which requests
+// must carry the ranking — the two sides share this predicate so they
+// cannot drift.
+func UsesPreferences(model string) bool {
+	return model == "quick-peer" || model == "user-preference"
+}
+
 // ---------------------------------------------------------------------------
 // Blind baseline
 

@@ -21,13 +21,17 @@
 // virtual-time scheduler. Cells never share state — not a network, not a
 // broker, not a statistics registry — which is what lets runCells fan them
 // out across a worker pool. A cell's only inputs are its Config copy and
-// its derived seed (deriveSeed folds (root seed, figure, cell index)
-// through SplitMix64), so figure and workload output is bit-identical for a
-// given seed at any Workers or Shards value, including 1. Code inside a
-// cell must draw randomness only from the cell's seed (via the scenario's
-// and workload's pure generators) and from its own slice's deterministic
-// scheduler — never from the wall clock, package-level state, or another
-// cell.
+// its derived seed, so figure, workload and sweep output is bit-identical
+// for a given seed at any Workers or Shards value, including 1. Two seed
+// layouts exist, both SplitMix64 folds: figure batches derive from (root
+// seed, figure tag, linear cell index) — the historical layout every
+// committed figure value depends on — while generic sweep cells derive
+// from (root seed, full axis coordinates), making a cell's world invariant
+// to axis ordering and to whatever else shares the grid (see DESIGN.md
+// "Sweep ownership"). Code inside a cell must draw randomness only from
+// the cell's seed (via the scenario's and workload's pure generators) and
+// from its own slice's deterministic scheduler — never from the wall
+// clock, package-level state, or another cell.
 //
 // Churning scenarios keep the same contract: the membership schedule is
 // pure (scenario.Churn(seed)), its execution is the cell's own Conductor,

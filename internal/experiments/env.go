@@ -40,6 +40,12 @@ type Config struct {
 	// that to controller-fanout (the paper's traffic shape). Figures always
 	// measure controller-fanout traffic regardless of this field.
 	Workload workload.Workload
+	// Logf receives operator-visible warnings from inside cells (relaunch
+	// budget exhaustion, see workload.SendRelaunched). nil falls back to the
+	// process default logger. Sweep runs install a per-cell collector here
+	// so warnings from concurrent cells land in the cell's own record
+	// instead of interleaving on stderr.
+	Logf func(format string, args ...any)
 
 	// pool, when set, is shared across figures so a whole-suite run is
 	// bounded by one worker budget (see FigureSuite).

@@ -33,8 +33,9 @@ func Table1() *metrics.Table {
 // Fig2PetitionTime reproduces Figure 2: the time each SC peer takes to
 // receive the petition for a file transmission, averaged over Reps
 // repetitions with idle gaps before each one (an engaged peer would not pay
-// its wake-up lag, and the paper's peers were idle when petitioned). Each
-// (peer, rep) pair is an independent cell on the parallel runner.
+// its wake-up lag, and the paper's peers were idle when petitioned). The
+// figure is a 1-D sweep over the peer axis — a (peer, rep) grid on the
+// sweep engine's cell-expansion primitive.
 func Fig2PetitionTime(cfg Config) (*metrics.Figure, error) {
 	cfg = cfg.withDefaults()
 	labels := cfg.labels()
@@ -43,9 +44,9 @@ func Fig2PetitionTime(cfg Config) (*metrics.Figure, error) {
 		Unit:   "seconds",
 		Labels: labels,
 	}
-	samples, err := runCells(cfg, "fig2", len(labels)*cfg.Reps,
-		func(i int, cellCfg Config) (float64, error) {
-			label, rep := labels[i/cfg.Reps], i%cfg.Reps
+	samples, err := runGrid(cfg, "fig2", axes{len(labels), cfg.Reps},
+		func(c []int, cellCfg Config) (float64, error) {
+			label, rep := labels[c[0]], c[1]
 			return envCell(cellCfg, []string{label}, func(env *Env, ctl *overlay.Client) (float64, error) {
 				env.Slice.Control.Sleep(cellCfg.IdleGap)
 				m, err := ctl.SendFile(env.Host(label), transfer.NewVirtualFile("petition-probe", transfer.Mb, int64(rep)), 1)
@@ -121,7 +122,7 @@ type transferSample struct {
 // stretched time, not by aborting the experiment).
 func transferCell(cellCfg Config, label string, rep, size, parts int) (transferSample, error) {
 	return envCell(cellCfg, []string{label}, func(env *Env, ctl *overlay.Client) (transferSample, error) {
-		m, err := workload.SendRelaunched(env.Slice.Control.Sleep, cellCfg.IdleGap, ctl,
+		m, err := workload.SendRelaunched(cellCfg.Logf, env.Slice.Control.Sleep, cellCfg.IdleGap, ctl,
 			env.Host(label), transfer.NewVirtualFile("payload", size, int64(rep)), parts,
 			fmt.Sprintf("figure cell (control -> %s, rep %d)", label, rep))
 		if err != nil {
@@ -160,14 +161,14 @@ func fig50mbResults(cfg Config) (minutes, lastMb []float64, err error) {
 }
 
 // transferPerPeer sends a file of the given size/granularity to every SC
-// peer Reps times — one runner cell per (peer, rep) — and returns mean
-// transmission minutes and mean last-Mb seconds per peer. figure tags the
-// cell seed derivation.
+// peer Reps times — a (peer, rep) grid on the sweep engine's cell-expansion
+// primitive — and returns mean transmission minutes and mean last-Mb seconds
+// per peer. figure tags the cell seed derivation.
 func transferPerPeer(cfg Config, figure string, size, parts int) (minutes, lastMb []float64, err error) {
 	labels := cfg.labels()
-	samples, err := runCells(cfg, figure, len(labels)*cfg.Reps,
-		func(i int, cellCfg Config) (transferSample, error) {
-			return transferCell(cellCfg, labels[i/cfg.Reps], i%cfg.Reps, size, parts)
+	samples, err := runGrid(cfg, figure, axes{len(labels), cfg.Reps},
+		func(c []int, cellCfg Config) (transferSample, error) {
+			return transferCell(cellCfg, labels[c[0]], c[1], size, parts)
 		})
 	if err != nil {
 		return nil, nil, err
@@ -198,8 +199,9 @@ var fig5Granularities = []struct {
 }
 
 // Fig5Granularity reproduces Figure 5: a 100 Mb file sent whole, in 4 parts
-// and in 16 parts, per peer, in minutes. All (granularity, peer, rep)
-// triples fan out as one cell batch.
+// and in 16 parts, per peer, in minutes — the paper's hand-rolled
+// granularity sweep, expressed as a (granularity, peer, rep) grid on the
+// sweep engine's cell-expansion primitive.
 func Fig5Granularity(cfg Config) (*metrics.Figure, error) {
 	cfg = cfg.withDefaults()
 	labels := cfg.labels()
@@ -209,12 +211,10 @@ func Fig5Granularity(cfg Config) (*metrics.Figure, error) {
 		Labels: labels,
 	}
 	perGran := len(labels) * cfg.Reps
-	samples, err := runCells(cfg, "fig5", len(fig5Granularities)*perGran,
-		func(i int, cellCfg Config) (transferSample, error) {
-			g := fig5Granularities[i/perGran]
-			rest := i % perGran
-			return transferCell(cellCfg, labels[rest/cfg.Reps], rest%cfg.Reps,
-				100*transfer.Mb, g.parts)
+	samples, err := runGrid(cfg, "fig5", axes{len(fig5Granularities), len(labels), cfg.Reps},
+		func(c []int, cellCfg Config) (transferSample, error) {
+			return transferCell(cellCfg, labels[c[1]], c[2],
+				100*transfer.Mb, fig5Granularities[c[0]].parts)
 		})
 	if err != nil {
 		return nil, fmt.Errorf("fig5: %w", err)
@@ -317,9 +317,10 @@ func Fig6SelectionModels(cfg Config) (*metrics.Figure, error) {
 		Unit:   "seconds",
 		Labels: Fig6Models,
 	}
-	means, err := runCells(cfg, "fig6", len(fig6Granularities)*len(Fig6Models),
-		func(i int, cellCfg Config) (float64, error) {
-			return fig6Cell(cellCfg, fig6Granularities[i/len(Fig6Models)], Fig6Models[i%len(Fig6Models)])
+	// The paper's model sweep: a (granularity, model) grid.
+	means, err := runGrid(cfg, "fig6", axes{len(fig6Granularities), len(Fig6Models)},
+		func(c []int, cellCfg Config) (float64, error) {
+			return fig6Cell(cellCfg, fig6Granularities[c[0]], Fig6Models[c[1]])
 		})
 	if err != nil {
 		return nil, err
@@ -355,9 +356,9 @@ func Fig7ExecVsTransferExec(cfg Config) (*metrics.Figure, error) {
 		Unit:   "minutes",
 		Labels: labels,
 	}
-	samples, err := runCells(cfg, "fig7", len(labels)*cfg.Reps,
-		func(i int, cellCfg Config) (fig7Sample, error) {
-			label, rep := labels[i/cfg.Reps], i%cfg.Reps
+	samples, err := runGrid(cfg, "fig7", axes{len(labels), cfg.Reps},
+		func(c []int, cellCfg Config) (fig7Sample, error) {
+			label, rep := labels[c[0]], c[1]
 			return envCell(cellCfg, []string{label}, func(env *Env, ctl *overlay.Client) (fig7Sample, error) {
 				host := env.Host(label)
 				env.Slice.Control.Sleep(cellCfg.IdleGap)

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+
+	"peerlab/internal/scenario"
+	"peerlab/internal/sweeptest"
+	"peerlab/internal/workload"
+)
+
+// goldenJSON renders a result the way the golden files store it.
+func goldenJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(b, '\n')
+}
+
+// TestGoldenFig2Table1 locks the figure engine's determinism claim into a
+// committed artifact: Figure 2 on the calibrated table1 scenario must
+// reproduce the golden JSON byte for byte — and re-running the identical
+// config at other worker and shard counts must reproduce the same bytes,
+// so "bit-identical at any parallelism" is a tier-1 test, not a
+// verification note. `go test -update` re-records after a deliberate
+// engine change.
+func TestGoldenFig2Table1(t *testing.T) {
+	base := Config{Seed: 2007, Reps: 2, Workers: 1, Shards: 1}
+	fig, err := Fig2PetitionTime(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := goldenJSON(t, fig)
+	sweeptest.Golden(t, "fig2-table1.golden.json", golden)
+
+	for _, alt := range []Config{
+		{Seed: 2007, Reps: 2, Workers: 4, Shards: 1},
+		{Seed: 2007, Reps: 2, Workers: 4, Shards: 3},
+	} {
+		fig, err := Fig2PetitionTime(alt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sweeptest.Diff(golden, goldenJSON(t, fig)); err != nil {
+			t.Fatalf("fig2 at workers=%d shards=%d diverged from golden: %v", alt.Workers, alt.Shards, err)
+		}
+	}
+}
+
+// TestGoldenChurnSwarm is the churn-path golden: a swarm:16 workload over
+// the churn:16 scenario — live membership, lease expiry, staggered
+// launches, per-flow failures — reproduces its committed report at
+// workers=1/4 and shards=1/3.
+func TestGoldenChurnSwarm(t *testing.T) {
+	sc, err := scenario.Parse("churn:16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{Seed: 2007, Reps: 1, Workers: 1, Shards: 1, Scenario: sc, Workload: workload.Swarm(16)}
+	report, err := RunWorkload(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := goldenJSON(t, report)
+	sweeptest.Golden(t, "churn16-swarm16.golden.json", golden)
+
+	for _, alt := range []Config{
+		{Seed: 2007, Reps: 1, Workers: 4, Shards: 1, Scenario: sc, Workload: workload.Swarm(16)},
+		{Seed: 2007, Reps: 1, Workers: 4, Shards: 3, Scenario: sc, Workload: workload.Swarm(16)},
+	} {
+		report, err := RunWorkload(alt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sweeptest.Diff(golden, goldenJSON(t, report)); err != nil {
+			t.Fatalf("churn swarm at workers=%d shards=%d diverged from golden: %v", alt.Workers, alt.Shards, err)
+		}
+	}
+}

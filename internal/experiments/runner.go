@@ -50,10 +50,20 @@ func (p *workerPool) release() { <-p.sem }
 
 // runCells executes n independent cells of one figure across the worker
 // pool and returns their results in cell order. Each cell receives a copy
-// of cfg with Seed replaced by its derived seed. On failure the error of
-// the lowest-index failing cell is returned, keeping even error output
-// independent of the worker count.
+// of cfg with Seed replaced by its derived seed — deriveSeed over the
+// figure tag and the cell's linear index, the PR 1 layout every committed
+// figure value depends on.
 func runCells[T any](cfg Config, figure string, n int, cell func(i int, cellCfg Config) (T, error)) ([]T, error) {
+	return runCellsSeeded(cfg, n, func(i int) int64 { return deriveSeed(cfg.Seed, figure, i) }, cell)
+}
+
+// runCellsSeeded is the pool fan-out beneath runCells with the seed layout
+// factored out: seedOf maps a cell index to its derived seed. Figure batches
+// key seeds by (figure tag, linear index); sweep grids key them by the
+// cell's full axis coordinates, so a cell's world is invariant to what else
+// shares the grid. On failure the error of the lowest-index failing cell is
+// returned, keeping even error output independent of the worker count.
+func runCellsSeeded[T any](cfg Config, n int, seedOf func(i int) int64, cell func(i int, cellCfg Config) (T, error)) ([]T, error) {
 	pool := cfg.pool
 	if pool == nil {
 		pool = newWorkerPool(cfg.Workers)
@@ -68,7 +78,7 @@ func runCells[T any](cfg Config, figure string, n int, cell func(i int, cellCfg 
 			pool.acquire()
 			defer pool.release()
 			cellCfg := cfg
-			cellCfg.Seed = deriveSeed(cfg.Seed, figure, i)
+			cellCfg.Seed = seedOf(i)
 			out[i], errs[i] = cell(i, cellCfg)
 		}(i)
 	}

@@ -1,0 +1,730 @@
+// Generic sweep engine: grid cells over (scenario × workload × model ×
+// granularity × size × churn-rate × rep).
+//
+// The paper's figures are each a hand-rolled 1-D sweep — granularity for
+// Figure 5, selection model for Figure 6 — and the figure generators now
+// express those batches through this file's grid primitive (axes/runGrid),
+// keeping the PR 1 (figure, linear index) seed layout their committed
+// values depend on. The generic Sweep goes further: axis values are data,
+// the cross-product expands in one canonical axis order no matter how the
+// axes were specified, and every cell's seed derives from its full axis
+// coordinates — not its position in the grid — so a cell's simulated world
+// is invariant to worker count, shard count, axis ordering, and what else
+// happens to share the grid.
+//
+// (File commentary, deliberately detached from the package clause below:
+// doc.go owns the package overview.)
+
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"peerlab/internal/core"
+	"peerlab/internal/metrics"
+	"peerlab/internal/scenario"
+	"peerlab/internal/transfer"
+	"peerlab/internal/workload"
+)
+
+// ---- figure grid primitive ----------------------------------------------
+
+// axes is the cell-expansion primitive shared by the figure generators and
+// the generic sweep: an ordered list of axis lengths, linearized row-major
+// (last axis fastest) — exactly the cell order the figure generators have
+// always used, so a figure re-expressed over runGrid keeps its per-cell
+// seeds and therefore its committed values.
+type axes []int
+
+// cells returns the grid's cell count (the product of the axis lengths).
+func (a axes) cells() int {
+	n := 1
+	for _, d := range a {
+		n *= d
+	}
+	return n
+}
+
+// coord delinearizes a cell index into per-axis coordinates.
+func (a axes) coord(i int) []int {
+	c := make([]int, len(a))
+	for k := len(a) - 1; k >= 0; k-- {
+		c[k] = i % a[k]
+		i /= a[k]
+	}
+	return c
+}
+
+// runGrid executes the cross-product of a figure's axes across the worker
+// pool, handing each cell its axis coordinates instead of a raw linear
+// index. Seeds keep the (figure tag, linear index) derivation of runCells.
+func runGrid[T any](cfg Config, figure string, ax axes, cell func(coord []int, cellCfg Config) (T, error)) ([]T, error) {
+	return runCells(cfg, figure, ax.cells(), func(i int, cellCfg Config) (T, error) {
+		return cell(ax.coord(i), cellCfg)
+	})
+}
+
+// ---- the generic sweep ---------------------------------------------------
+
+// Sweep describes a grid of workload cells over orthogonal axes. Empty axes
+// default as documented per field; the cross-product of the remaining values
+// expands in the fixed canonical order scenario → workload → model →
+// granularity → size → churn → rep (rep fastest), whatever order the axes
+// were written in. Parse a "-sweep" spec with ParseSweep; Spec prints the
+// canonical form back.
+type Sweep struct {
+	// Scenarios lists scenario specs ("table1", "churn:64", ...). Empty
+	// means the Config's scenario.
+	Scenarios []string
+	// Workloads lists workload specs ("swarm:64", ...). Empty means each
+	// scenario's workload hint (controller-fanout when it has none).
+	Workloads []string
+	// Models, when set, forces every flow of the cell's workload to resolve
+	// its sink through the named selection model (workload.Workload.With).
+	// Empty means flows keep their own sink resolution.
+	Models []string
+	// Granularities, when set, overrides every flow's transmission
+	// granularity (parts). Empty keeps the workload's own.
+	Granularities []int
+	// Sizes, when set, overrides every flow's payload size, in Mb (the
+	// paper's unit). Empty keeps the workload's own.
+	Sizes []int
+	// ChurnRates scales each scenario's membership dynamics
+	// (scenario.Scenario.ChurnRate): rate 2 roughly doubles departures per
+	// horizon while lease timescales stay fixed. Values other than 1
+	// require every swept scenario to be rateable (churn:N). Empty means
+	// {1}.
+	ChurnRates []float64
+	// Reps is the repetitions per grid point, each its own cell. 0 means
+	// the Config's Reps.
+	Reps int
+}
+
+// sweepModelAll is what the model axis value "all" expands to: the paper's
+// Figure 6 lineup, aliased so the two cannot drift apart.
+var sweepModelAll = Fig6Models
+
+// sweepModels is the parse-time allowlist of the model axis, built from
+// core.StandardModels — the one source of truth for the built-in lineup. A
+// typo'd model must not cost a deployed slice before failing.
+var sweepModels = func() map[string]bool {
+	m := make(map[string]bool)
+	for _, name := range core.StandardModels() {
+		m[name] = true
+	}
+	return m
+}()
+
+// Grammar sanity bounds. Numeric axis values far beyond any plausible
+// experiment (a 10^6-part transmission) are rejected at parse time rather
+// than overflowing byte counts downstream. The churn-rate bounds are much
+// tighter: the rate divides session/downtime draws against a fixed
+// ~10-minute horizon, so values outside [10^-2, 10^2] stop meaning "less/
+// more churn" and start degenerating the schedule (a rate of 10^2 already
+// cycles a peer hundreds of times per horizon; below 10^-2 no peer ever
+// leaves) — and the bounds also keep non-finite floats ("Inf") out of the
+// axis.
+const (
+	axisIntMax  = 1_000_000
+	axisRateMax = 100
+	axisRateMin = 0.01
+)
+
+// ParseSweep parses a sweep grid spec: semicolon-separated axes, each
+// "axis=value,value,...". Axes are scenario, workload, model, granularity
+// (parts, positive integers), size (Mb, positive integers), churn (rate
+// multipliers, positive floats) and rep (a single positive integer; "reps"
+// is accepted too). "model=all" expands to the Figure 6 lineup. Example:
+//
+//	scenario=table1,churn:64;model=all;rep=5
+//
+// Axis order in the spec is irrelevant — the grid always expands in the
+// canonical order — each axis may appear at most once, and repeated values
+// within an axis collapse to their first occurrence ("model=all,quick-peer"
+// runs quick-peer's cells once, not twice: duplicated values share a cell
+// key and would simulate the identical world redundantly).
+func ParseSweep(spec string) (Sweep, error) {
+	var sw Sweep
+	seen := map[string]bool{}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, arg, ok := strings.Cut(part, "=")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" {
+			return Sweep{}, fmt.Errorf("sweep: %q: want axis=value,value,...", part)
+		}
+		if name == "reps" {
+			// Alias, canonicalized before the duplicate check so
+			// "rep=2;reps=7" cannot smuggle a conflicting duplicate past it.
+			name = "rep"
+		}
+		if seen[name] {
+			return Sweep{}, fmt.Errorf("sweep: axis %q specified twice", name)
+		}
+		seen[name] = true
+		var values []string
+		for _, v := range strings.Split(arg, ",") {
+			v = strings.TrimSpace(v)
+			if v == "" {
+				return Sweep{}, fmt.Errorf("sweep: axis %q has an empty value", name)
+			}
+			values = append(values, v)
+		}
+		if values == nil {
+			return Sweep{}, fmt.Errorf("sweep: axis %q has no values", name)
+		}
+		switch name {
+		case "scenario":
+			sw.Scenarios = values
+		case "workload":
+			sw.Workloads = values
+		case "model":
+			for _, v := range values {
+				switch {
+				case v == "all":
+					sw.Models = append(sw.Models, sweepModelAll...)
+				case sweepModels[v]:
+					sw.Models = append(sw.Models, v)
+				default:
+					return Sweep{}, fmt.Errorf("sweep: unknown selection model %q (want all, %s)",
+						v, strings.Join(sweepModelNames(), ", "))
+				}
+			}
+		case "granularity":
+			for _, v := range values {
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 1 || n > axisIntMax {
+					return Sweep{}, fmt.Errorf("sweep: granularity %q: want a part count in [1, %d]", v, axisIntMax)
+				}
+				sw.Granularities = append(sw.Granularities, n)
+			}
+		case "size":
+			for _, v := range values {
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 1 || n > axisIntMax {
+					return Sweep{}, fmt.Errorf("sweep: size %q: want an Mb count in [1, %d]", v, axisIntMax)
+				}
+				sw.Sizes = append(sw.Sizes, n)
+			}
+		case "churn":
+			for _, v := range values {
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil || !(f >= axisRateMin) || f > axisRateMax {
+					return Sweep{}, fmt.Errorf("sweep: churn rate %q: want a rate in [%g, %g]", v, axisRateMin, float64(axisRateMax))
+				}
+				sw.ChurnRates = append(sw.ChurnRates, f)
+			}
+		case "rep":
+			if len(values) != 1 {
+				return Sweep{}, fmt.Errorf("sweep: rep wants exactly one value, got %d", len(values))
+			}
+			n, err := strconv.Atoi(values[0])
+			if err != nil || n < 1 || n > axisIntMax {
+				return Sweep{}, fmt.Errorf("sweep: rep %q: want a count in [1, %d]", values[0], axisIntMax)
+			}
+			sw.Reps = n
+		default:
+			return Sweep{}, fmt.Errorf("sweep: unknown axis %q (want scenario, workload, model, granularity, size, churn, rep)", name)
+		}
+	}
+	sw.Scenarios = dedup(sw.Scenarios)
+	sw.Workloads = dedup(sw.Workloads)
+	sw.Models = dedup(sw.Models)
+	sw.Granularities = dedup(sw.Granularities)
+	sw.Sizes = dedup(sw.Sizes)
+	sw.ChurnRates = dedup(sw.ChurnRates)
+	return sw, nil
+}
+
+// dedup collapses repeated axis values to their first occurrence, order
+// preserved. nil stays nil, so an unspecified axis still reads as "default".
+func dedup[T comparable](vals []T) []T {
+	if len(vals) < 2 {
+		return vals
+	}
+	seen := make(map[T]bool, len(vals))
+	out := make([]T, 0, len(vals))
+	for _, v := range vals {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// sweepModelNames returns the accepted model names, sorted for error text.
+func sweepModelNames() []string {
+	names := make([]string, 0, len(sweepModels))
+	for n := range sweepModels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// formatRate prints a churn rate the way the grammar reads it back.
+func formatRate(r float64) string { return strconv.FormatFloat(r, 'g', -1, 64) }
+
+// Spec prints the sweep in canonical grammar form: axes in canonical order,
+// empty axes omitted. ParseSweep(sw.Spec()) reproduces sw (with "all"
+// already expanded), the round-trip the grammar's fuzz test locks in.
+func (sw Sweep) Spec() string {
+	var parts []string
+	add := func(name string, values []string) {
+		if len(values) > 0 {
+			parts = append(parts, name+"="+strings.Join(values, ","))
+		}
+	}
+	ints := func(ns []int) []string {
+		out := make([]string, len(ns))
+		for i, n := range ns {
+			out[i] = strconv.Itoa(n)
+		}
+		return out
+	}
+	add("scenario", sw.Scenarios)
+	add("workload", sw.Workloads)
+	add("model", sw.Models)
+	add("granularity", ints(sw.Granularities))
+	add("size", ints(sw.Sizes))
+	rates := make([]string, len(sw.ChurnRates))
+	for i, r := range sw.ChurnRates {
+		rates[i] = formatRate(r)
+	}
+	add("churn", rates)
+	if sw.Reps > 0 {
+		parts = append(parts, "rep="+strconv.Itoa(sw.Reps))
+	}
+	return strings.Join(parts, ";")
+}
+
+// SweepCell names one grid point: the axis coordinates of a single workload
+// repetition. Its key — not its position in the grid — derives the cell's
+// seed.
+type SweepCell struct {
+	Scenario  string
+	Workload  string
+	Model     string
+	Parts     int
+	SizeMb    int
+	ChurnRate float64
+	Rep       int
+}
+
+// key is the cell's seed-derivation identity: every axis coordinate, in
+// canonical order. Two sweeps that contain the same cell — whatever else
+// they sweep — simulate it in the identical world.
+func (c SweepCell) key() string {
+	return fmt.Sprintf("sweep|scenario=%s|workload=%s|model=%s|parts=%d|size=%d|churn=%s|rep=%d",
+		c.Scenario, c.Workload, c.Model, c.Parts, c.SizeMb, formatRate(c.ChurnRate), c.Rep)
+}
+
+// SweepRecord is one executed cell's JSON row: the axis coordinates plus the
+// cell's workload summary. Warnings carries operator-visible warnings the
+// cell's flows logged (relaunch-budget exhaustion), captured per cell so
+// parallel sweeps don't interleave them on stderr.
+type SweepRecord struct {
+	Scenario  string          `json:"scenario"`
+	Workload  string          `json:"workload"`
+	Model     string          `json:"model,omitempty"`
+	Parts     int             `json:"parts,omitempty"`
+	SizeMb    int             `json:"size_mb,omitempty"`
+	ChurnRate float64         `json:"churn_rate"`
+	Rep       int             `json:"rep"`
+	Summary   WorkloadSummary `json:"summary"`
+	Warnings  []string        `json:"warnings,omitempty"`
+}
+
+// SweepMarginal aggregates every cell sharing one value of one axis — the
+// per-axis view a downstream plot reads directly (the churn marginal is the
+// "selection quality vs churn rate" figure). Percentages are over all flows
+// of the contributing cells; the transmission mean weighs each cell by its
+// completed flows.
+type SweepMarginal struct {
+	Axis                    string  `json:"axis"`
+	Value                   string  `json:"value"`
+	Cells                   int     `json:"cells"`
+	Flows                   int     `json:"flows"`
+	FailedPct               float64 `json:"failed_pct"`
+	LaggedPct               float64 `json:"lagged_pct"`
+	StalePct                float64 `json:"stale_pct"`
+	MeanTransmissionSeconds float64 `json:"mean_transmission_seconds"`
+}
+
+// SweepReport is RunSweep's result: the canonical spec, every cell's record
+// in canonical expansion order, and the marginal summaries of every axis
+// that actually varies.
+type SweepReport struct {
+	Sweep     string          `json:"sweep"`
+	Seed      int64           `json:"seed"`
+	Reps      int             `json:"reps"`
+	Cells     []SweepRecord   `json:"cells"`
+	Marginals []SweepMarginal `json:"marginals,omitempty"`
+}
+
+// sweepPlan is one cell plus everything resolved at expansion time: the
+// (possibly churn-rated) scenario and the (possibly overridden) workload it
+// runs.
+type sweepPlan struct {
+	cell SweepCell
+	sc   scenario.Scenario
+	w    workload.Workload
+}
+
+// expandSweep resolves the axes against cfg's defaults and expands the
+// cross-product in canonical order, returning the plans and the resolved
+// per-point repetition count (the one place that defaulting happens).
+func expandSweep(cfg Config, sw Sweep) ([]sweepPlan, int, error) {
+	// ParseSweep deduped raw spec strings; parsing normalizes further
+	// ("uniform:08" and "uniform:8" are one scenario), so dedup again by
+	// canonical name — the identity that enters the cell key — or the same
+	// world would be simulated twice and double-weight every marginal.
+	scenarios := make([]scenario.Scenario, 0, len(sw.Scenarios))
+	if len(sw.Scenarios) == 0 {
+		scenarios = append(scenarios, cfg.Scenario)
+	} else {
+		seen := make(map[string]bool, len(sw.Scenarios))
+		for _, spec := range sw.Scenarios {
+			sc, err := scenario.Parse(spec)
+			if err != nil {
+				return nil, 0, err
+			}
+			if seen[sc.Name] {
+				continue
+			}
+			seen[sc.Name] = true
+			scenarios = append(scenarios, sc)
+		}
+	}
+	rates := sw.ChurnRates
+	if len(rates) == 0 {
+		rates = []float64{1}
+	}
+	for _, r := range rates {
+		if r == 1 {
+			continue
+		}
+		for _, sc := range scenarios {
+			if sc.ChurnRate == nil {
+				return nil, 0, fmt.Errorf("sweep: churn rate %s over scenario %q, which has no dynamics to scale (want churn:N)",
+					formatRate(r), sc.Name)
+			}
+		}
+	}
+	// The workload axis defaults with RunWorkload's precedence: an explicit
+	// Config.Workload wins, then each scenario's own hint (churn:N hints
+	// swarm:N), then controller-fanout. The resolved name — not how it was
+	// obtained — enters the cell key, so a sweep that spells the hint out
+	// is cell-for-cell identical to one that relies on it.
+	workloadsFor := func(sc scenario.Scenario) ([]workload.Workload, error) {
+		specs := sw.Workloads
+		if len(specs) == 0 {
+			switch {
+			case !cfg.Workload.IsZero():
+				return []workload.Workload{cfg.Workload}, nil
+			case sc.Workload != "":
+				specs = []string{sc.Workload}
+			default:
+				return []workload.Workload{workload.ControllerFanout()}, nil
+			}
+		}
+		ws := make([]workload.Workload, 0, len(specs))
+		seen := make(map[string]bool, len(specs))
+		for _, spec := range specs {
+			w, err := workload.Parse(spec)
+			if err != nil {
+				return nil, err
+			}
+			if seen[w.Name] {
+				// Same normalized-name dedup as the scenario axis.
+				continue
+			}
+			seen[w.Name] = true
+			ws = append(ws, w)
+		}
+		return ws, nil
+	}
+	models := sw.Models
+	if len(models) == 0 {
+		models = []string{""}
+	}
+	grans := sw.Granularities
+	if len(grans) == 0 {
+		grans = []int{0}
+	}
+	sizes := sw.Sizes
+	if len(sizes) == 0 {
+		sizes = []int{0}
+	}
+	reps := sw.Reps
+	if reps <= 0 {
+		reps = cfg.Reps
+	}
+
+	var plans []sweepPlan
+	for _, sc := range scenarios {
+		ws, err := workloadsFor(sc)
+		if err != nil {
+			return nil, 0, err
+		}
+		// Rating a scenario re-synthesizes its full catalog closure, so it
+		// is computed once per (scenario, rate), not once per inner-axis
+		// combination.
+		ratedBy := make(map[float64]scenario.Scenario, len(rates))
+		for _, rate := range rates {
+			if rate != 1 {
+				ratedBy[rate] = sc.ChurnRate(rate)
+			} else {
+				ratedBy[rate] = sc
+			}
+		}
+		for _, w := range ws {
+			for _, model := range models {
+				for _, parts := range grans {
+					for _, sizeMb := range sizes {
+						sized := 0
+						if sizeMb > 0 {
+							sized = sizeMb * transfer.Mb
+						}
+						cellW := w.With(model, parts, sized)
+						for _, rate := range rates {
+							cellSc := ratedBy[rate]
+							for rep := 0; rep < reps; rep++ {
+								plans = append(plans, sweepPlan{
+									cell: SweepCell{
+										Scenario:  sc.Name,
+										Workload:  w.Name,
+										Model:     model,
+										Parts:     parts,
+										SizeMb:    sizeMb,
+										ChurnRate: rate,
+										Rep:       rep,
+									},
+									sc: cellSc,
+									w:  cellW,
+								})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return plans, reps, nil
+}
+
+// RunSweep expands the sweep against cfg's defaults and executes every cell
+// — one workload repetition on its own freshly deployed slice — across the
+// worker pool. Cell seeds derive from (cfg.Seed, cell key), so the report is
+// bit-identical at any Workers or Shards value and for any axis ordering of
+// the originating spec, and a cell's record does not change when other axis
+// values join the grid.
+func RunSweep(cfg Config, sw Sweep) (*SweepReport, error) {
+	cfg = cfg.withDefaults()
+	plans, reps, err := expandSweep(cfg, sw)
+	if err != nil {
+		return nil, err
+	}
+	if len(plans) == 0 {
+		return nil, fmt.Errorf("sweep: empty grid")
+	}
+	records, err := runCellsSeeded(cfg, len(plans),
+		func(i int) int64 { return deriveSeed(cfg.Seed, plans[i].cell.key(), 0) },
+		func(i int, cellCfg Config) (SweepRecord, error) {
+			return sweepCell(cellCfg, plans[i])
+		})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: sweep: %w", err)
+	}
+	return &SweepReport{
+		Sweep:     sw.Spec(),
+		Seed:      cfg.Seed,
+		Reps:      reps,
+		Cells:     records,
+		Marginals: marginals(records),
+	}, nil
+}
+
+// sweepCell executes one grid point: deploy the cell's scenario, run its
+// workload once, and fold the flows into the cell's record. Warnings from
+// inside the cell (relaunch-budget exhaustion) are collected on the record
+// rather than a shared logger — with dozens of cells in flight, interleaved
+// stderr lines would be garbage, and attributing a warning to its cell is
+// exactly what an operator reading a sweep report needs.
+func sweepCell(cellCfg Config, p sweepPlan) (SweepRecord, error) {
+	var (
+		mu       sync.Mutex
+		warnings []string
+	)
+	cellCfg.Scenario = p.sc
+	cellCfg.Logf = func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		warnings = append(warnings, fmt.Sprintf(format, args...))
+	}
+	res, err := workloadCell(cellCfg, p.w, p.cell.Rep)
+	if err != nil {
+		return SweepRecord{}, fmt.Errorf("cell %s: %w", p.cell.key(), err)
+	}
+	rec := SweepRecord{
+		Scenario:  p.cell.Scenario,
+		Workload:  p.cell.Workload,
+		Model:     p.cell.Model,
+		Parts:     p.cell.Parts,
+		SizeMb:    p.cell.SizeMb,
+		ChurnRate: p.cell.ChurnRate,
+		Rep:       p.cell.Rep,
+		Summary:   summarize(res.recs),
+		Warnings:  warnings,
+	}
+	rec.Summary.PeersDeparted = res.departed
+	rec.Summary.SelectionsStale = res.stale
+	rec.Summary.SelectionsLagged = res.lagged
+	return rec, nil
+}
+
+// sweepAxisViews lists the marginal-bearing axes with their value
+// projection, in canonical order. Rep is deliberately absent: repetitions
+// are samples of the same point, not a studied axis.
+var sweepAxisViews = []struct {
+	name string
+	of   func(r SweepRecord) string
+}{
+	{"scenario", func(r SweepRecord) string { return r.Scenario }},
+	{"workload", func(r SweepRecord) string { return r.Workload }},
+	{"model", func(r SweepRecord) string { return r.Model }},
+	{"granularity", func(r SweepRecord) string { return strconv.Itoa(r.Parts) }},
+	{"size", func(r SweepRecord) string { return strconv.Itoa(r.SizeMb) }},
+	{"churn", func(r SweepRecord) string { return formatRate(r.ChurnRate) }},
+}
+
+// marginals folds the records into per-axis summaries, one SweepMarginal
+// per value of every axis that takes at least two distinct values. Values
+// keep their first-appearance (canonical expansion) order.
+func marginals(records []SweepRecord) []SweepMarginal {
+	var out []SweepMarginal
+	for _, ax := range sweepAxisViews {
+		var order []string
+		groups := map[string][]SweepRecord{}
+		for _, r := range records {
+			v := ax.of(r)
+			if _, ok := groups[v]; !ok {
+				order = append(order, v)
+			}
+			groups[v] = append(groups[v], r)
+		}
+		if len(order) < 2 {
+			continue
+		}
+		for _, v := range order {
+			m := SweepMarginal{Axis: ax.name, Value: v}
+			var completed int
+			var xmitWeighted float64
+			for _, r := range groups[v] {
+				m.Cells++
+				m.Flows += r.Summary.Flows
+				m.FailedPct += float64(r.Summary.FailedFlows)
+				m.LaggedPct += float64(r.Summary.SelectionsLagged)
+				m.StalePct += float64(r.Summary.SelectionsStale)
+				c := r.Summary.Flows - r.Summary.FailedFlows
+				completed += c
+				xmitWeighted += r.Summary.MeanTransmissionSeconds * float64(c)
+			}
+			if m.Flows > 0 {
+				m.FailedPct = 100 * m.FailedPct / float64(m.Flows)
+				m.LaggedPct = 100 * m.LaggedPct / float64(m.Flows)
+				m.StalePct = 100 * m.StalePct / float64(m.Flows)
+			}
+			if completed > 0 {
+				m.MeanTransmissionSeconds = xmitWeighted / float64(completed)
+			}
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// ---- the churn figure ----------------------------------------------------
+
+// ChurnFigureRates are the intensity multipliers the churn figure sweeps —
+// half the written schedule up to four times it.
+var ChurnFigureRates = []float64{0.5, 1, 2, 4}
+
+// DefaultChurnScenario is the churning scenario FigChurnQuality measures
+// when the Config leaves the scenario unset; surfaces that default on the
+// figure's behalf (the CLI) must name the same world.
+const DefaultChurnScenario = "churn:32"
+
+// FigChurnQuality is the churn-aware figure the ROADMAP called for:
+// selection quality versus churn rate. It sweeps the configured churning
+// scenario (default churn:32 when the Config leaves the scenario unset)
+// over ChurnFigureRates with its hinted workload, and reads the sweep's
+// churn marginals into a figure: failed-flow, lagged-selection and
+// stale-selection percentages per intensity. The stale series is the lease
+// machinery's audit and must stay at zero at every rate — the broker never
+// hands out an expired lease, however hard the membership churns. A
+// configured scenario without dynamics is an error, not a silent
+// substitution: a figure labeled with the requested scenario must measure
+// that scenario.
+func FigChurnQuality(cfg Config) (*metrics.Figure, error) {
+	if cfg.Scenario.IsZero() {
+		def, err := scenario.Parse(DefaultChurnScenario)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: figchurn: %w", err)
+		}
+		cfg.Scenario = def
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Scenario.ChurnRate == nil {
+		return nil, fmt.Errorf("experiments: figchurn: scenario %q has no churn dynamics to sweep (want churn:N)", cfg.Scenario.Name)
+	}
+	report, err := RunSweep(cfg, Sweep{ChurnRates: ChurnFigureRates, Reps: cfg.Reps})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: figchurn: %w", err)
+	}
+	byRate := map[string]SweepMarginal{}
+	for _, m := range report.Marginals {
+		if m.Axis == "churn" {
+			byRate[m.Value] = m
+		}
+	}
+	fig := &metrics.Figure{
+		Title:  fmt.Sprintf("Selection quality vs churn rate — %s", cfg.Scenario.Name),
+		Unit:   "percent of flows",
+		Labels: make([]string, 0, len(ChurnFigureRates)),
+	}
+	failed := make([]float64, 0, len(ChurnFigureRates))
+	lagged := make([]float64, 0, len(ChurnFigureRates))
+	stale := make([]float64, 0, len(ChurnFigureRates))
+	for _, r := range ChurnFigureRates {
+		m, ok := byRate[formatRate(r)]
+		if !ok {
+			return nil, fmt.Errorf("experiments: figchurn: no marginal for rate %s", formatRate(r))
+		}
+		fig.Labels = append(fig.Labels, "×"+formatRate(r))
+		failed = append(failed, m.FailedPct)
+		lagged = append(lagged, m.LaggedPct)
+		stale = append(stale, m.StalePct)
+	}
+	for _, s := range []struct {
+		name   string
+		values []float64
+	}{
+		{"failed flows", failed},
+		{"selections lagged", lagged},
+		{"selections stale", stale},
+	} {
+		if err := fig.AddSeries(s.name, s.values); err != nil {
+			return nil, err
+		}
+	}
+	return fig, nil
+}

@@ -15,6 +15,7 @@ import (
 
 	"peerlab/internal/metrics"
 	"peerlab/internal/overlay"
+	"peerlab/internal/scenario"
 	"peerlab/internal/workload"
 )
 
@@ -148,6 +149,18 @@ func RunWorkload(cfg Config) (*WorkloadReport, error) {
 	return report, nil
 }
 
+// rememberedHosts maps a scenario's Remembered labels — the "user memory"
+// the quick-peer model consults — to hostnames, the Env.Preferred form.
+func rememberedHosts(env *Env, sc scenario.Scenario) []string {
+	hosts := make([]string, 0, len(sc.Remembered))
+	for _, label := range sc.Remembered {
+		if h := env.Host(label); h != "" {
+			hosts = append(hosts, h)
+		}
+	}
+	return hosts
+}
+
 // workloadCell deploys one repetition's slice and runs every flow of the
 // workload as a concurrent simulation process. Churning scenarios route to
 // churnWorkloadCell.
@@ -167,7 +180,9 @@ func workloadCell(cellCfg Config, w workload.Workload, rep int) (workloadCellRes
 			HostOf:       env.Host,
 			LabelOf:      env.Label,
 			ExcludeSinks: []string{env.Slice.Control.Name()},
+			Preferred:    rememberedHosts(env, cellCfg.Scenario),
 			IdleGap:      cellCfg.IdleGap,
+			Logf:         cellCfg.Logf,
 		}, flows, cellCfg.Seed)
 		if err != nil {
 			return nil, err
@@ -244,8 +259,10 @@ func churnWorkloadCell(cellCfg Config, flows []workload.Flow, rep int) (workload
 			HostOf:         env.Host,
 			LabelOf:        env.Label,
 			ExcludeSinks:   []string{env.Slice.Control.Name()},
+			Preferred:      rememberedHosts(env, sc),
 			StartOf:        startOf,
 			RecordFailures: true,
+			Logf:           cellCfg.Logf,
 		}, flows, cellCfg.Seed)
 		if err != nil {
 			return res, err

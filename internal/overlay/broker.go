@@ -392,7 +392,7 @@ func (b *Broker) selectPeers(req selectReq) (peers, addrs []string, err error) {
 	}
 
 	sel, ok := b.selectors[req.Model]
-	if req.Model == "quick-peer" || req.Model == "user-preference" {
+	if core.UsesPreferences(req.Model) {
 		// Built per request from the user's own ranking.
 		sel, ok = core.NewUserPreference(req.Preferred), true
 	}

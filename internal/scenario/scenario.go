@@ -120,6 +120,13 @@ type Scenario struct {
 	// keeps expiry lazy — the static-scenario default, which schedules no
 	// extra virtual-time events.
 	LeaseSweep time.Duration
+	// ChurnRate, when non-nil, returns this scenario with its membership
+	// dynamics scaled by rate (sessions and downtimes shrink by 1/rate,
+	// site outages grow proportionally more likely) — the hook behind the
+	// sweep engine's churn-intensity axis. rate 1 must return the scenario
+	// unchanged. nil means the scenario's dynamics are not rateable (every
+	// static scenario, where there are no dynamics to scale).
+	ChurnRate func(rate float64) Scenario
 }
 
 // IsZero reports whether the scenario is unset.
@@ -223,14 +230,20 @@ func Registered() []string {
 	return names
 }
 
+// MaxPeers bounds the peer count a generator spec accepts: synthesizing a
+// catalog is eager (labels and profiles materialize up front), so a peer
+// count beyond any simulable slice must fail at parse time instead of
+// exhausting memory.
+const MaxPeers = 1_000_000
+
 // Parse resolves a scenario spec: a registered name ("table1"), or a
 // generator spec "uniform:N" / "heterogeneous:N" / "zipf:N" / "churn:N"
-// with N peers.
+// with N peers (1 ≤ N ≤ MaxPeers).
 func Parse(spec string) (Scenario, error) {
 	if kind, arg, ok := strings.Cut(spec, ":"); ok {
 		n, err := strconv.Atoi(arg)
-		if err != nil || n < 1 {
-			return Scenario{}, fmt.Errorf("scenario: %q: peer count must be a positive integer", spec)
+		if err != nil || n < 1 || n > MaxPeers {
+			return Scenario{}, fmt.Errorf("scenario: %q: peer count must be an integer in [1, %d]", spec, MaxPeers)
 		}
 		switch kind {
 		case "uniform":
@@ -485,7 +498,19 @@ const (
 // a pure function of the seed, like the catalog itself. The scenario also
 // carries the short lease timescales (AdvTTL, LeaseSweep) that make the
 // broker's directory track membership instead of assuming it.
-func Churn(n int) Scenario {
+func Churn(n int) Scenario { return ChurnRated(n, 1) }
+
+// ChurnRated is Churn with its membership dynamics scaled by rate: session
+// lengths and downtimes shrink by 1/rate and site outages become
+// proportionally more likely (and shorter), so rate 2 roughly doubles the
+// departures per horizon while the lease timescales stay fixed — exactly the
+// stress the "selection quality vs churn rate" figure sweeps. rate 1 is
+// byte-identical to Churn (the draws are divided by 1.0, which is exact);
+// rate <= 0 is treated as 1.
+func ChurnRated(n int, rate float64) Scenario {
+	if !(rate > 0) || math.IsInf(rate, 1) {
+		rate = 1
+	}
 	labels := syntheticLabels(n)
 	remembered, blemished := fig6Hints(labels)
 	het := Heterogeneous(n)
@@ -504,10 +529,11 @@ func Churn(n int) Scenario {
 		Remembered: remembered,
 		Blemished:  blemished,
 		Workload:   fmt.Sprintf("swarm:%d", n),
-		Churn:      func(seed int64) []ChurnEvent { return churnSchedule(labels, seed) },
+		Churn:      func(seed int64) []ChurnEvent { return churnSchedule(labels, seed, rate) },
 		Horizon:    churnHorizon,
 		AdvTTL:     churnAdvTTL,
 		LeaseSweep: churnLeaseSweep,
+		ChurnRate:  func(r float64) Scenario { return ChurnRated(n, r) },
 	}
 }
 
@@ -515,6 +541,22 @@ func Churn(n int) Scenario {
 // entries — the hosting institutions whose outages take all co-located
 // slivers down at once.
 func churnSite(i int) string { return fmt.Sprintf("site%02d", i/churnSiteSize) }
+
+// atLeastTick converts a rate-scaled duration draw safely: a draw beyond
+// the horizon (a tiny rate blowing the division up — possibly past the
+// int64 range, where a raw conversion would wrap negative) saturates at the
+// horizon, ending the peer's schedule, and an extreme rate must never round
+// a schedule advance to zero, which would trap churnSchedule's session loop
+// before the horizon.
+func atLeastTick(ns float64) time.Duration {
+	if !(ns < float64(churnHorizon)) {
+		return churnHorizon
+	}
+	if d := time.Duration(ns); d > 0 {
+		return d
+	}
+	return 1
+}
 
 // churnRand returns peer i's churn-schedule draw stream; the tag decorrelates
 // it from the same peer's profile stream (peerRand).
@@ -531,10 +573,15 @@ func siteRand(seed int64, s int) *rand.Rand {
 // correlated per-site outages, in canonical order. Three quarters of the
 // peers are present at session start; the rest arrive during the first half
 // of the horizon. Sessions and downtimes are uniform draws sized so most
-// peers cycle once or twice per horizon. A site outage (30% of sites) emits
-// a leave for every member — redundant transitions are fine, executors are
-// idempotent — and a rejoin when the outage ends inside the horizon.
-func churnSchedule(labels []string, seed int64) []ChurnEvent {
+// peers cycle once or twice per horizon. A site outage (30% of sites at
+// rate 1) emits a leave for every member — redundant transitions are fine,
+// executors are idempotent — and a rejoin when the outage ends inside the
+// horizon. rate scales the dynamics (see ChurnRated): every duration draw is
+// divided by it after the draw, and the outage probability is multiplied by
+// it (capped at 1), so the draw stream itself — how many times each RNG is
+// consulted per peer before the horizon cuts the cycle off — is the only
+// thing that shifts with rate, never the stream's contents.
+func churnSchedule(labels []string, seed int64, rate float64) []ChurnEvent {
 	var events []ChurnEvent
 	h := float64(churnHorizon)
 	for i, l := range labels {
@@ -545,26 +592,30 @@ func churnSchedule(labels []string, seed int64) []ChurnEvent {
 		}
 		events = append(events, ChurnEvent{At: t, Label: l, Kind: ChurnJoin})
 		for {
-			t += time.Duration(uniformIn(r, float64(2*time.Minute), float64(8*time.Minute)))
+			t += atLeastTick(uniformIn(r, float64(2*time.Minute), float64(8*time.Minute)) / rate)
 			if t >= churnHorizon {
 				break
 			}
 			events = append(events, ChurnEvent{At: t, Label: l, Kind: ChurnLeave})
-			t += time.Duration(uniformIn(r, float64(time.Minute), float64(3*time.Minute)))
+			t += atLeastTick(uniformIn(r, float64(time.Minute), float64(3*time.Minute)) / rate)
 			if t >= churnHorizon {
 				break
 			}
 			events = append(events, ChurnEvent{At: t, Label: l, Kind: ChurnJoin})
 		}
 	}
+	outageP := 0.3 * rate
+	if outageP > 1 {
+		outageP = 1
+	}
 	sites := (len(labels) + churnSiteSize - 1) / churnSiteSize
 	for s := 0; s < sites; s++ {
 		r := siteRand(seed, s)
-		if r.Float64() >= 0.3 {
+		if r.Float64() >= outageP {
 			continue
 		}
 		at := time.Duration(uniformIn(r, h/4, 3*h/4))
-		end := at + time.Duration(uniformIn(r, float64(45*time.Second), float64(2*time.Minute)))
+		end := at + atLeastTick(uniformIn(r, float64(45*time.Second), float64(2*time.Minute))/rate)
 		for i := s * churnSiteSize; i < (s+1)*churnSiteSize && i < len(labels); i++ {
 			events = append(events, ChurnEvent{At: at, Label: labels[i], Kind: ChurnLeave})
 			if end < churnHorizon {

@@ -130,6 +130,79 @@ func TestUnionConcurrentMultiSourceWriters(t *testing.T) {
 	}
 }
 
+// TestUnionOriginConsistentUnderDeparture is the churn regression for the
+// origin-side counters on a sharded registry: sources record transfer
+// launches concurrently and some "depart mid-flow" — their last act is
+// recording the failed launch of the transfer the departure killed, with no
+// completion record ever following. Whatever the interleaving, a departed
+// peer must never leave its owning shard holding origin counters that
+// disagree with the union view: the union routes per-peer reads to the
+// owning shard, so the two views are the same PeerStats and every counter —
+// launches, success percentage, bytes — must match exactly, and the union
+// totals must equal the sum the writers actually recorded.
+func TestUnionOriginConsistentUnderDeparture(t *testing.T) {
+	const shards, peers, launches = 3, 11, 120
+	regs := make([]*Registry, shards)
+	for i := range regs {
+		regs[i] = NewRegistry(nil)
+	}
+	pick := fnvPick(regs)
+	u := NewUnion(regs, pick)
+
+	names := make([]string, peers)
+	for i := range names {
+		names[i] = string(rune('a'+i)) + "-src"
+	}
+
+	var wg sync.WaitGroup
+	for pi, name := range names {
+		departing := pi%2 == 1 // odd peers depart mid-flow
+		wg.Add(1)
+		go func(name string, departing bool) {
+			defer wg.Done()
+			ps := u.Peer(name)
+			for i := 0; i < launches; i++ {
+				ps.RecordTransferOriginated(true, 1000)
+			}
+			if departing {
+				// The departure kills the in-flight transfer: its launch is
+				// recorded failed, then the peer is gone — no further writes.
+				ps.RecordTransferOriginated(false, 1000)
+			}
+		}(name, departing)
+	}
+	wg.Wait()
+
+	var unionLaunches, unionBytes float64
+	for _, name := range names {
+		fromUnion := u.Peer(name).Snapshot()
+		fromShard := pick(name).Peer(name).Snapshot()
+		if fromUnion.TransfersOriginated != fromShard.TransfersOriginated ||
+			fromUnion.PctTransfersOriginated != fromShard.PctTransfersOriginated ||
+			fromUnion.BytesOriginated != fromShard.BytesOriginated {
+			t.Fatalf("%s: shard and union origin counters disagree:\nshard: %+v\nunion: %+v",
+				name, fromShard, fromUnion)
+		}
+		unionLaunches += fromUnion.TransfersOriginated
+		unionBytes += fromUnion.BytesOriginated
+	}
+	departed := peers / 2
+	if want := float64(peers*launches + departed); unionLaunches != want {
+		t.Fatalf("union launches = %v, want %v (a departure's failed launch was lost)", unionLaunches, want)
+	}
+	// Failed launches move no payload: bytes count only completed ones.
+	if want := float64(peers * launches * 1000); unionBytes != want {
+		t.Fatalf("union bytes = %v, want %v", unionBytes, want)
+	}
+	for _, name := range names[1:2] {
+		s := u.Peer(name).Snapshot()
+		want := 100 * float64(launches) / float64(launches+1)
+		if s.PctTransfersOriginated != want {
+			t.Fatalf("departed %s success pct = %v, want %v", name, s.PctTransfersOriginated, want)
+		}
+	}
+}
+
 func TestRatioPercent(t *testing.T) {
 	var r Ratio
 	if got := r.PercentOr(42); got != 42 {

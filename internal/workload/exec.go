@@ -40,6 +40,15 @@ type Env struct {
 	// ExcludeSinks lists hostnames never eligible as model-selected sinks
 	// (the control node: swarm flows are peer↔peer).
 	ExcludeSinks []string
+	// Preferred is the user's remembered peer ranking (hostnames, fastest
+	// first — a scenario's Remembered hints), sent with selection requests
+	// whose model consumes one (quick-peer / user-preference). Only those
+	// requests carry it: other models ignore preferences, and padding their
+	// requests would change wire sizes and with them the byte-identical
+	// event stream of existing workloads. nil means no user memory — the
+	// preference models then degrade to first-candidate, which is almost
+	// never what a measurement wants.
+	Preferred []string
 	// IdleGap is slept before each transmission attempt, long enough for
 	// the sink to fall idle again (wake lag re-applies, as in the paper's
 	// measurements). Zero skips the gap.
@@ -54,6 +63,11 @@ type Env struct {
 	// makes individual flow failure an expected measurement — a source
 	// departed mid-flow, a lease-lagged sink refused — not a harness bug.
 	RecordFailures bool
+	// Logf receives operator-visible warnings (relaunch-budget exhaustion).
+	// nil falls back to the process-wide default logger — acceptable for a
+	// single interactive run, but parallel cells must each supply their own
+	// so concurrent warnings don't interleave on stderr.
+	Logf func(format string, args ...any)
 }
 
 // clientOf resolves a source label through the live-membership hook when
@@ -77,6 +91,16 @@ func (e Env) labelOf(host string) string {
 		return host
 	}
 	return e.LabelOf(host)
+}
+
+// logf routes a warning through the environment's logger, or the process
+// default when none was supplied.
+func (e Env) logf(format string, args ...any) {
+	if e.Logf != nil {
+		e.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
 }
 
 // Result is one executed flow's record.
@@ -173,7 +197,11 @@ func runFlow(env Env, f Flow, seed int64) (Result, error) {
 		sinkHost, sinkLabel = env.hostOf(f.Sink), f.Sink
 	} else {
 		req := core.Request{Kind: core.KindFileTransfer, SizeBytes: f.SizeBytes}
-		peers, err := src.SelectPeersFrom(f.Model, req, 1, nil, env.ExcludeSinks)
+		var preferred []string
+		if core.UsesPreferences(f.Model) {
+			preferred = env.Preferred
+		}
+		peers, err := src.SelectPeersFrom(f.Model, req, 1, preferred, env.ExcludeSinks)
 		if err != nil {
 			return Result{SelectedAt: selectedAt}, fmt.Errorf("select %s: %w", f.Model, err)
 		}
@@ -186,7 +214,7 @@ func runFlow(env Env, f Flow, seed int64) (Result, error) {
 
 	file := transfer.NewVirtualFile(f.FileName, f.SizeBytes, FlowSeed(seed, f.Index))
 	flowID := fmt.Sprintf("flow %d (%s -> %s)", f.Index, srcLabel, sinkLabel)
-	m, err := SendRelaunched(env.Host.Sleep, env.IdleGap, src, sinkHost, file, f.Parts, flowID)
+	m, err := SendRelaunched(env.logf, env.Host.Sleep, env.IdleGap, src, sinkHost, file, f.Parts, flowID)
 	res.Metrics = m // even on failure: Attempts carries the relaunches spent
 	if err != nil {
 		return res, fmt.Errorf("%s -> %s: %w", src.Name(), sinkLabel, err)
@@ -203,10 +231,16 @@ func runFlow(env Env, f Flow, seed int64) (Result, error) {
 // transmission to a pathological sliver can die even after the pipe's
 // retries — every retransmission of a large message re-rolls the receiver's
 // restart model — and the operator's answer on the real platform is the
-// paper's own: relaunch the transmission. Exhausting the budget is logged;
-// it is an operator-visible event, not a silent failure.
-func SendRelaunched(sleep func(time.Duration), gap time.Duration, src *overlay.Client,
+// paper's own: relaunch the transmission. Exhausting the budget is logged
+// through logf (nil = the process default logger; parallel cells must pass
+// their own so concurrent warnings don't interleave); it is an
+// operator-visible event, not a silent failure.
+func SendRelaunched(logf func(format string, args ...any),
+	sleep func(time.Duration), gap time.Duration, src *overlay.Client,
 	host string, f transfer.File, parts int, flowID string) (transfer.Metrics, error) {
+	if logf == nil {
+		logf = log.Printf
+	}
 	var lastErr error
 	for attempt := 0; attempt < Attempts; attempt++ {
 		if gap > 0 {
@@ -223,7 +257,7 @@ func SendRelaunched(sleep func(time.Duration), gap time.Duration, src *overlay.C
 		}
 		lastErr = err
 	}
-	log.Printf("workload: WARNING: %s: transfer %s -> %s (%s, %d bytes) abandoned after exhausting %d attempts: %v",
+	logf("workload: WARNING: %s: transfer %s -> %s (%s, %d bytes) abandoned after exhausting %d attempts: %v",
 		flowID, src.Name(), host, f.Name, f.Size, Attempts, lastErr)
 	return transfer.Metrics{Attempts: Attempts},
 		fmt.Errorf("gave up after %d attempts: %w", Attempts, lastErr)

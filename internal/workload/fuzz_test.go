@@ -1,0 +1,33 @@
+package workload
+
+import "testing"
+
+// FuzzParse locks the workload grammar: no input may panic it, and any
+// accepted spec must round-trip through the workload's canonical name —
+// Parse(w.Name) resolves to a workload of the same name, and that name is
+// a fixed point ("swarm:010" normalizes to "swarm:10").
+func FuzzParse(f *testing.F) {
+	f.Add("controller-fanout")
+	f.Add("swarm:128")
+	f.Add("allpairs:16")
+	f.Add("swarm:010")
+	f.Add("swarm:-1")
+	f.Add("allpairs:")
+	f.Add(":8")
+	f.Fuzz(func(t *testing.T, spec string) {
+		w, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		if w.Name == "" || w.IsZero() {
+			t.Fatalf("Parse(%q) accepted an unusable workload: %+v", spec, w)
+		}
+		back, err := Parse(w.Name)
+		if err != nil {
+			t.Fatalf("canonical name %q of %q rejected: %v", w.Name, spec, err)
+		}
+		if back.Name != w.Name {
+			t.Fatalf("canonical name not a fixed point: %q -> %q -> %q", spec, w.Name, back.Name)
+		}
+	})
+}

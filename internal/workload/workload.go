@@ -46,6 +46,38 @@ type Workload struct {
 // IsZero reports whether the workload is unset.
 func (w Workload) IsZero() bool { return w.Flows == nil }
 
+// With returns w with every generated flow rewritten by the non-zero
+// overrides — the sweep engine's model/granularity/size axes applied at the
+// flow level. model != "" forces every flow to resolve its sink through that
+// selection model (a fixed sink is cleared: the axis means "how are sinks
+// chosen", and a flow with both set would never consult the model);
+// parts > 0 sets the transmission granularity; sizeBytes > 0 the payload
+// size. All-zero overrides return w unchanged, so the no-override sweep cell
+// runs the workload byte-identically to RunWorkload.
+func (w Workload) With(model string, parts, sizeBytes int) Workload {
+	if model == "" && parts <= 0 && sizeBytes <= 0 {
+		return w
+	}
+	inner := w.Flows
+	w.Flows = func(labels []string, seed int64) []Flow {
+		flows := append([]Flow(nil), inner(labels, seed)...)
+		for i := range flows {
+			if model != "" {
+				flows[i].Model = model
+				flows[i].Sink = ""
+			}
+			if parts > 0 {
+				flows[i].Parts = parts
+			}
+			if sizeBytes > 0 {
+				flows[i].SizeBytes = sizeBytes
+			}
+		}
+		return flows
+	}
+	return w
+}
+
 // FlowSeed derives flow index i's payload seed from a cell seed via
 // SplitMix64 — the same derivation primitive the experiment stack uses for
 // cell seeds, shared so the layers cannot drift apart.
@@ -144,13 +176,18 @@ func Registered() []string {
 	return []string{"controller-fanout", "swarm:N", "allpairs:N"}
 }
 
+// MaxCount bounds the N a generator spec accepts — a flow count beyond any
+// simulable session fails at parse time, before the generator materializes
+// it (mirroring scenario.MaxPeers).
+const MaxCount = 1_000_000
+
 // Parse resolves a workload spec: "controller-fanout", "swarm:N" or
-// "allpairs:N" with N flows / N peers.
+// "allpairs:N" with N flows / N peers (1 ≤ N ≤ MaxCount).
 func Parse(spec string) (Workload, error) {
 	if kind, arg, ok := strings.Cut(spec, ":"); ok {
 		n, err := strconv.Atoi(arg)
-		if err != nil || n < 1 {
-			return Workload{}, fmt.Errorf("workload: %q: count must be a positive integer", spec)
+		if err != nil || n < 1 || n > MaxCount {
+			return Workload{}, fmt.Errorf("workload: %q: count must be an integer in [1, %d]", spec, MaxCount)
 		}
 		switch kind {
 		case "swarm":

@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"fmt"
+	"log"
 	"reflect"
 	"strings"
 	"testing"
@@ -273,5 +275,71 @@ func TestExecuteUnknownSourceFails(t *testing.T) {
 	})
 	if err == nil || !strings.Contains(err.Error(), "ghost") {
 		t.Fatalf("err = %v, want unknown-source failure", err)
+	}
+}
+
+// TestEnvLogfRouting pins the warning-routing fix: an Env with its own
+// logger receives warnings there — never on the process-wide default logger,
+// whose interleaved output is garbage when parallel sweep cells warn at
+// once. The default-logger fallback (Logf nil) stays for single interactive
+// runs.
+func TestEnvLogfRouting(t *testing.T) {
+	var got []string
+	e := Env{Logf: func(format string, args ...any) {
+		got = append(got, fmt.Sprintf(format, args...))
+	}}
+	e.logf("flow %d gave up", 7)
+	if len(got) != 1 || got[0] != "flow 7 gave up" {
+		t.Fatalf("supplied logger got %q", got)
+	}
+
+	// The nil fallback must keep working (and not panic); capture the
+	// default logger's output to keep the test silent.
+	var buf strings.Builder
+	prev := log.Writer()
+	prevFlags := log.Flags()
+	log.SetOutput(&buf)
+	log.SetFlags(0)
+	defer func() {
+		log.SetOutput(prev)
+		log.SetFlags(prevFlags)
+	}()
+	Env{}.logf("default %s", "route")
+	if buf.String() != "default route\n" {
+		t.Fatalf("default logger got %q", buf.String())
+	}
+}
+
+// TestWorkloadWith pins the sweep-axis override semantics: a forced model
+// clears fixed sinks (the axis decides how sinks are chosen), granularity
+// and size replace the flows' own, and the all-zero override is the
+// identity — same flows, byte for byte.
+func TestWorkloadWith(t *testing.T) {
+	labels := []string{"a", "b", "c"}
+	base := ControllerFanout()
+	if got := base.With("", 0, 0); !reflect.DeepEqual(got.Flows(labels, 5), base.Flows(labels, 5)) {
+		t.Fatal("identity override changed the flows")
+	}
+	over := base.With("economic", 16, 5*transfer.Mb)
+	if over.Name != base.Name {
+		t.Fatalf("override renamed the workload: %q", over.Name)
+	}
+	flows := over.Flows(labels, 5)
+	if len(flows) != len(labels) {
+		t.Fatalf("flows = %d", len(flows))
+	}
+	for i, f := range flows {
+		if f.Sink != "" || f.Model != "economic" {
+			t.Fatalf("flow %d kept its fixed sink: %+v", i, f)
+		}
+		if f.Parts != 16 || f.SizeBytes != 5*transfer.Mb {
+			t.Fatalf("flow %d overrides not applied: %+v", i, f)
+		}
+	}
+	// The original workload is untouched (With wraps, it must not mutate).
+	for i, f := range base.Flows(labels, 5) {
+		if f.Sink == "" || f.Model != "" || f.Parts != 4 {
+			t.Fatalf("With mutated the base workload: flow %d = %+v", i, f)
+		}
 	}
 }

@@ -99,6 +99,42 @@ func ReproduceScenario(spec string, seed int64, reps, workers int) (*FigureSuite
 	})
 }
 
+// SweepReport is a sweep grid's result: per-cell records in canonical
+// expansion order plus per-axis marginal summaries.
+type SweepReport = experiments.SweepReport
+
+// RunSweep expands cfg.Sweep — a grid spec like
+// "scenario=table1,churn:64;model=all" (axes: scenario, workload, model,
+// granularity, size, churn, rep) — and executes every cell, one workload
+// repetition per freshly deployed slice, across workers concurrent slots
+// (0 = GOMAXPROCS). Axes the spec leaves unset default from the rest of the
+// config: cfg.Scenario fills the scenario axis and cfg.Workload the
+// workload axis (each scenario's own hint when that is empty too). reps is
+// the repetitions per grid point (0 = the paper's 5) unless the spec's rep
+// axis overrides it. Cell seeds derive from (cfg.Seed, axis coordinates),
+// so the report is bit-identical at any workers value and invariant to the
+// spec's axis ordering.
+func RunSweep(cfg Config, reps, workers int) (*SweepReport, error) {
+	sw, err := experiments.ParseSweep(cfg.Sweep)
+	if err != nil {
+		return nil, err
+	}
+	ecfg := experiments.Config{Seed: cfg.Seed, Reps: reps, Workers: workers}
+	if len(sw.Scenarios) == 0 {
+		spec := cfg.Scenario
+		if spec == "" && cfg.UsePlanetLab {
+			spec = ScenarioTable1
+		}
+		if spec != "" {
+			sw.Scenarios = []string{spec}
+		}
+	}
+	if len(sw.Workloads) == 0 && cfg.Workload != "" {
+		sw.Workloads = []string{cfg.Workload}
+	}
+	return experiments.RunSweep(ecfg, sw)
+}
+
 // PeerConfig describes one peer node in a deployment.
 type PeerConfig struct {
 	// Name is the node's hostname. Required, unique.
@@ -130,6 +166,12 @@ type Config struct {
 	// default), "swarm:N" or "allpairs:N" for peer↔peer traffic where each
 	// source peer consults the broker's selection service itself.
 	Workload string
+	// Sweep is the grid spec RunSweep expands over this configuration —
+	// e.g. "granularity=1,4,16;size=50" or "model=all;churn=0.5,1,2,4".
+	// Axes the spec leaves unset default from Scenario and Workload. Deploy
+	// ignores it: a sweep deploys one fresh slice per grid cell rather than
+	// running inside a live deployment.
+	Sweep string
 	// UsePlanetLab is a shorthand for Scenario: ScenarioTable1.
 	//
 	// Deprecated: set Scenario instead.

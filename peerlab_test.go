@@ -396,3 +396,43 @@ func TestStaticSessionHasNoChurn(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRunSweepThroughFacade pins the public sweep surface: Config.Sweep
+// expands against the config's scenario/workload defaults, the report comes
+// back in canonical expansion order, and it is bit-identical at any worker
+// count.
+func TestRunSweepThroughFacade(t *testing.T) {
+	cfg := Config{
+		Seed:     2007,
+		Scenario: "uniform:5",
+		Workload: "swarm:5",
+		Sweep:    "granularity=2,4;rep=2",
+	}
+	a, err := RunSweep(cfg, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Cells) != 4 {
+		t.Fatalf("cells = %d, want 2 granularities × 2 reps", len(a.Cells))
+	}
+	for i, c := range a.Cells {
+		wantParts := []int{2, 2, 4, 4}[i]
+		if c.Scenario != "uniform:5" || c.Workload != "swarm:5" || c.Parts != wantParts {
+			t.Fatalf("cell %d = %+v", i, c)
+		}
+		if c.Summary.Flows != 5 {
+			t.Fatalf("cell %d flows = %d", i, c.Summary.Flows)
+		}
+	}
+	b, err := RunSweep(cfg, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("facade sweep diverged across worker counts:\n%+v\nvs\n%+v", a, b)
+	}
+
+	if _, err := RunSweep(Config{Sweep: "turnips=1"}, 0, 1); err == nil {
+		t.Fatal("malformed sweep spec accepted")
+	}
+}
