@@ -13,6 +13,16 @@
 // broker's selection service itself before transmitting. Workload output is
 // bit-identical for a given seed at any -parallel or -shards value.
 //
+// A faulty scenario (faults:N) keeps membership static but breaks the
+// control plane on a seed-derived schedule: broker blackouts (the broker
+// restarts with a cold cache), site↔control partitions, and control-link
+// loss bursts. Clients run a resilient call policy — per-RPC deadlines,
+// bounded retries with backoff, and degraded selection over their cached
+// directory when the broker is unreachable — and the summary gains
+// retries_spent / selections_degraded / flows_recovered /
+// broker_down_seconds counters. -experiment figfault renders flow
+// resilience vs fault intensity (the "fault" sweep axis).
+//
 // A churning scenario (churn:N) runs the workload over live membership:
 // peers join, leave and rejoin on the scenario's seed-derived schedule,
 // the broker ages departed peers out via short advertisement leases, and
@@ -35,8 +45,8 @@
 //
 // Usage:
 //
-//	p2pbench [-experiment all|table1|fig2|fig3|fig4|fig5|fig6|fig7|figchurn]
-//	         [-scenario table1|uniform:N|heterogeneous:N|zipf:N|churn:N]
+//	p2pbench [-experiment all|table1|fig2|fig3|fig4|fig5|fig6|fig7|figchurn|figfault]
+//	         [-scenario table1|uniform:N|heterogeneous:N|zipf:N|churn:N|faults:N]
 //	         [-workload controller-fanout|swarm:N|allpairs:N]
 //	         [-sweep "axis=v,v;..."]
 //	         [-seed N] [-reps N] [-parallel N] [-shards N]
@@ -74,10 +84,10 @@ type result struct {
 
 func main() {
 	var (
-		exp      = flag.String("experiment", "all", "which exhibit to regenerate (all, table1, fig2..fig7, figchurn)")
-		scen     = flag.String("scenario", "table1", "slice scenario: table1 (the paper's calibrated world), uniform:N, heterogeneous:N, zipf:N, churn:N")
+		exp      = flag.String("experiment", "all", "which exhibit to regenerate (all, table1, fig2..fig7, figchurn, figfault)")
+		scen     = flag.String("scenario", "table1", "slice scenario: table1 (the paper's calibrated world), uniform:N, heterogeneous:N, zipf:N, churn:N, faults:N")
 		wl       = flag.String("workload", "", "run a flow workload instead of the figures: controller-fanout, swarm:N, allpairs:N")
-		sweep    = flag.String("sweep", "", `run a sweep grid instead: "scenario=table1,churn:64;model=all;rep=5" (axes: scenario, workload, model, granularity, size, churn, rep)`)
+		sweep    = flag.String("sweep", "", `run a sweep grid instead: "scenario=table1,churn:64;model=all;rep=5" (axes: scenario, workload, model, granularity, size, churn, fault, rep)`)
 		seed     = flag.Int64("seed", 2007, "simulation seed (runs with equal seeds are identical)")
 		reps     = flag.Int("reps", 5, "repetitions per data point (the paper used 5)")
 		parallel = flag.Int("parallel", 0, "experiment cells run concurrently (0 = GOMAXPROCS, 1 = serial)")
@@ -97,20 +107,25 @@ func main() {
 	for i := range expNames {
 		expNames[i] = strings.TrimSpace(expNames[i])
 	}
-	if !flagWasSet("scenario") && slices.Contains(expNames, "figchurn") {
-		if len(expNames) == 1 {
-			// figchurn cannot run the -scenario flag's static default; with
-			// no explicit choice, run the library's default churning
-			// scenario — rewritten here, before the run record is built, so
-			// the emitted scenario field names the world the figure
-			// actually measured.
-			*scen = experiments.DefaultChurnScenario
-		} else {
-			// A mixed list shares one scenario and one run record; failing
-			// up front beats burning the other figures' runs and aborting.
-			fmt.Fprintf(os.Stderr, "p2pbench: figchurn alongside other experiments needs an explicit -scenario churn:N\n")
+	// figchurn and figfault cannot run the -scenario flag's static default;
+	// with no explicit choice, run the library's default dynamic scenario —
+	// rewritten here, before the run record is built, so the emitted
+	// scenario field names the world the figure actually measured. A mixed
+	// experiment list shares one scenario and one run record, so it needs
+	// the choice made explicitly; failing up front beats burning the other
+	// figures' runs and aborting.
+	for name, def := range map[string]string{
+		"figchurn": experiments.DefaultChurnScenario,
+		"figfault": experiments.DefaultFaultScenario,
+	} {
+		if flagWasSet("scenario") || !slices.Contains(expNames, name) {
+			continue
+		}
+		if len(expNames) > 1 {
+			fmt.Fprintf(os.Stderr, "p2pbench: %s alongside other experiments needs an explicit -scenario\n", name)
 			os.Exit(2)
 		}
+		*scen = def
 	}
 	sc, err := scenario.Parse(*scen)
 	if err != nil {
@@ -188,6 +203,7 @@ func main() {
 			"fig6":     experiments.Fig6SelectionModels,
 			"fig7":     experiments.Fig7ExecVsTransferExec,
 			"figchurn": experiments.FigChurnQuality,
+			"figfault": experiments.FigFaultResilience,
 		}
 		for _, name := range expNames {
 			switch {
@@ -201,7 +217,7 @@ func main() {
 				}
 				out.Figures = append(out.Figures, experiments.SuiteFigure{Name: name, Figure: fig})
 			default:
-				fmt.Fprintf(os.Stderr, "p2pbench: unknown experiment %q (want all, table1, fig2..fig7, figchurn)\n", name)
+				fmt.Fprintf(os.Stderr, "p2pbench: unknown experiment %q (want all, table1, fig2..fig7, figchurn, figfault)\n", name)
 				os.Exit(2)
 			}
 		}
@@ -261,37 +277,40 @@ func renderSweep(report *experiments.SweepReport, format string) error {
 		enc.SetIndent("", "  ")
 		return enc.Encode(report)
 	case "csv":
-		fmt.Println("scenario,workload,model,parts,size_mb,churn_rate,rep,flows,failed,departed,lagged,stale,mean_xmit_seconds")
+		fmt.Println("scenario,workload,model,parts,size_mb,churn_rate,fault_rate,rep,flows,failed,departed,lagged,stale,degraded,recovered,retries,mean_xmit_seconds")
 		for _, c := range report.Cells {
 			s := c.Summary
-			fmt.Printf("%s,%s,%s,%d,%d,%g,%d,%d,%d,%d,%d,%d,%.6f\n",
-				c.Scenario, c.Workload, c.Model, c.Parts, c.SizeMb, c.ChurnRate, c.Rep,
+			fmt.Printf("%s,%s,%s,%d,%d,%g,%g,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.6f\n",
+				c.Scenario, c.Workload, c.Model, c.Parts, c.SizeMb, c.ChurnRate, c.FaultRate, c.Rep,
 				s.Flows, s.FailedFlows, s.PeersDeparted, s.SelectionsLagged, s.SelectionsStale,
+				s.SelectionsDegraded, s.FlowsRecovered, s.RetriesSpent,
 				s.MeanTransmissionSeconds)
 		}
 		return nil
 	default:
 		t := &metrics.Table{
 			Title:   fmt.Sprintf("Sweep %s (seed %d)", report.Sweep, report.Seed),
-			Columns: []string{"scenario", "workload", "model", "parts", "Mb", "churn", "rep", "flows", "failed", "lagged", "stale", "mean xmit s"},
+			Columns: []string{"scenario", "workload", "model", "parts", "Mb", "churn", "fault", "rep", "flows", "failed", "lagged", "stale", "degraded", "recovered", "mean xmit s"},
 		}
 		for _, c := range report.Cells {
 			s := c.Summary
 			t.AddRow(c.Scenario, c.Workload, c.Model, fmt.Sprint(c.Parts), fmt.Sprint(c.SizeMb),
-				fmt.Sprintf("%g", c.ChurnRate), fmt.Sprint(c.Rep), fmt.Sprint(s.Flows),
+				fmt.Sprintf("%g", c.ChurnRate), fmt.Sprintf("%g", c.FaultRate), fmt.Sprint(c.Rep), fmt.Sprint(s.Flows),
 				fmt.Sprint(s.FailedFlows), fmt.Sprint(s.SelectionsLagged), fmt.Sprint(s.SelectionsStale),
+				fmt.Sprint(s.SelectionsDegraded), fmt.Sprint(s.FlowsRecovered),
 				fmt.Sprintf("%.3f", s.MeanTransmissionSeconds))
 		}
 		fmt.Println(t.Markdown())
 		if len(report.Marginals) > 0 {
 			mt := &metrics.Table{
 				Title:   "Marginal summaries",
-				Columns: []string{"axis", "value", "cells", "flows", "failed %", "lagged %", "stale %", "mean xmit s"},
+				Columns: []string{"axis", "value", "cells", "flows", "failed %", "lagged %", "stale %", "degraded %", "recovered %", "mean xmit s"},
 			}
 			for _, m := range report.Marginals {
 				mt.AddRow(m.Axis, m.Value, fmt.Sprint(m.Cells), fmt.Sprint(m.Flows),
 					fmt.Sprintf("%.2f", m.FailedPct), fmt.Sprintf("%.2f", m.LaggedPct),
-					fmt.Sprintf("%.2f", m.StalePct), fmt.Sprintf("%.3f", m.MeanTransmissionSeconds))
+					fmt.Sprintf("%.2f", m.StalePct), fmt.Sprintf("%.2f", m.DegradedPct),
+					fmt.Sprintf("%.2f", m.RecoveredPct), fmt.Sprintf("%.3f", m.MeanTransmissionSeconds))
 			}
 			fmt.Println(mt.Markdown())
 		}
@@ -333,6 +352,11 @@ func renderWorkload(out result, format string) error {
 		// summary lines keep their exact historical shape.
 		fmt.Fprintf(summaryTo, " failed=%d departed=%d lagged=%d stale=%d",
 			s.FailedFlows, s.PeersDeparted, s.SelectionsLagged, s.SelectionsStale)
+	}
+	if s.RetriesSpent > 0 || s.SelectionsDegraded > 0 || s.BrokerDownSeconds > 0 {
+		// Fault counters, same rule: only a faulty run prints them.
+		fmt.Fprintf(summaryTo, " retries=%d degraded=%d recovered=%d broker-down=%.0fs",
+			s.RetriesSpent, s.SelectionsDegraded, s.FlowsRecovered, s.BrokerDownSeconds)
 	}
 	fmt.Fprintln(summaryTo)
 	return nil

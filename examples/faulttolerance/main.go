@@ -1,0 +1,66 @@
+// Faulttolerance runs a swarm workload while the control plane fails on
+// schedule: the broker blacks out and restarts with a cold cache, whole
+// sites lose their path to it, and its uplink sheds packets in bursts. The
+// peers stay up the entire time — what is under test is the selection
+// control plane, the part of the paper's architecture that a real
+// PlanetLab deployment can least rely on. Clients ride it out with the
+// resilient call policy: deadlines and retries against a silent broker,
+// and degraded selection over their cached directory when retries run out.
+// A flow that recovered — retried or degraded its way to a transfer — is a
+// success with a story, not a failure.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"peerlab"
+)
+
+func main() {
+	d, err := peerlab.Deploy(peerlab.Config{
+		Seed:     2007,
+		Scenario: "faults:24",
+		// No Workload: a faults scenario's hint is swarm:N — each source
+		// peer petitions the (intermittently absent) broker itself.
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var results []peerlab.FlowResult
+	err = d.Run(func(s *peerlab.Session) error {
+		// The injector is already armed: blackouts, partitions and loss
+		// bursts fire on virtual time while these flows execute.
+		var rerr error
+		results, rerr = s.RunWorkload("")
+		return rerr
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	clean, recovered, failed, retries := 0, 0, 0, 0
+	fmt.Println("swarm flows under control-plane faults:")
+	for _, r := range results {
+		retries += r.Retries
+		switch {
+		case r.Err != "":
+			failed++
+			fmt.Printf("  flow %2d  %-8s FAILED: %s\n", r.Flow.Index, r.Flow.Source, r.Err)
+		case r.Degraded || r.Retries > 0:
+			recovered++
+			how := "retried"
+			if r.Degraded {
+				how = "degraded (cached directory)"
+			}
+			fmt.Printf("  flow %2d  %-8s -> %-8s %6.2fs  recovered: %s\n",
+				r.Flow.Index, r.Flow.Source, r.Sink,
+				r.Metrics.TransmissionTime().Seconds(), how)
+		default:
+			clean++
+		}
+	}
+	fmt.Printf("\n%d flows clean, %d recovered (%d retries spent), %d failed\n",
+		clean, recovered, retries, failed)
+}

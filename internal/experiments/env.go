@@ -101,6 +101,11 @@ type Env struct {
 	Clients map[string]*overlay.Client
 	hostOf  map[string]string // peer label -> hostname
 	labelOf map[string]string // hostname -> peer label
+	// policy is the CallPolicy RunPeers gives the controller client: the
+	// resilient default on fault scenarios (controller-sourced flows must
+	// retry and degrade like peer-sourced ones), zero everywhere else so
+	// static and churn-only event streams are untouched.
+	policy overlay.CallPolicy
 }
 
 // NewEnv deploys the configured scenario and builds (but does not yet
@@ -133,6 +138,9 @@ func NewEnv(cfg Config) (*Env, error) {
 		hostOf:  make(map[string]string, len(s.Catalog)),
 		labelOf: make(map[string]string, len(s.Catalog)),
 	}
+	if cfg.scenarioLeases && cfg.Scenario.Faults != nil {
+		env.policy = overlay.DefaultCallPolicy()
+	}
 	for _, p := range s.Catalog {
 		env.hostOf[p.Label] = p.Hostname
 		env.labelOf[p.Hostname] = p.Label
@@ -164,7 +172,7 @@ func (e *Env) RunPeers(labels []string, fn func(ctl *overlay.Client, sc map[stri
 	}
 	var runErr error
 	e.Slice.Net.Run(func() {
-		ctl := overlay.NewClient(e.Slice.Control, e.Broker.Addr(), overlay.ClientConfig{CPUScore: 2})
+		ctl := overlay.NewClient(e.Slice.Control, e.Broker.Addr(), overlay.ClientConfig{CPUScore: 2, Call: e.policy})
 		if err := ctl.Start(); err != nil {
 			runErr = fmt.Errorf("experiments: controller start: %w", err)
 			return

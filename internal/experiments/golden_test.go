@@ -79,3 +79,45 @@ func TestGoldenChurnSwarm(t *testing.T) {
 		}
 	}
 }
+
+// TestGoldenFaultSwarm is the robustness-path golden: a swarm:16 workload
+// over the faults:16 scenario — broker blackouts with cold-cache restarts,
+// site partitions, control-link loss bursts, retried and degraded
+// selections — reproduces its committed report at workers=1/4 and
+// shards=1/3, and actually exercises the resilience machinery (degraded
+// and recovered counters strictly positive).
+func TestGoldenFaultSwarm(t *testing.T) {
+	sc, err := scenario.Parse("faults:16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{Seed: 2007, Reps: 1, Workers: 1, Shards: 1, Scenario: sc, Workload: workload.Swarm(16)}
+	report, err := RunWorkload(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Summary.SelectionsDegraded == 0 {
+		t.Fatal("fault golden exercised no degraded selections")
+	}
+	if report.Summary.FlowsRecovered == 0 {
+		t.Fatal("fault golden recovered no flows")
+	}
+	if report.Summary.BrokerDownSeconds <= 0 {
+		t.Fatal("fault golden reports no broker downtime")
+	}
+	golden := goldenJSON(t, report)
+	sweeptest.Golden(t, "faults16-swarm16.golden.json", golden)
+
+	for _, alt := range []Config{
+		{Seed: 2007, Reps: 1, Workers: 4, Shards: 1, Scenario: sc, Workload: workload.Swarm(16)},
+		{Seed: 2007, Reps: 1, Workers: 4, Shards: 3, Scenario: sc, Workload: workload.Swarm(16)},
+	} {
+		report, err := RunWorkload(alt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sweeptest.Diff(golden, goldenJSON(t, report)); err != nil {
+			t.Fatalf("fault swarm at workers=%d shards=%d diverged from golden: %v", alt.Workers, alt.Shards, err)
+		}
+	}
+}

@@ -1,5 +1,5 @@
 // Generic sweep engine: grid cells over (scenario × workload × model ×
-// granularity × size × churn-rate × rep).
+// granularity × size × churn-rate × fault-rate × rep).
 //
 // The paper's figures are each a hand-rolled 1-D sweep — granularity for
 // Figure 5, selection model for Figure 6 — and the figure generators now
@@ -73,8 +73,8 @@ func runGrid[T any](cfg Config, figure string, ax axes, cell func(coord []int, c
 // Sweep describes a grid of workload cells over orthogonal axes. Empty axes
 // default as documented per field; the cross-product of the remaining values
 // expands in the fixed canonical order scenario → workload → model →
-// granularity → size → churn → rep (rep fastest), whatever order the axes
-// were written in. Parse a "-sweep" spec with ParseSweep; Spec prints the
+// granularity → size → churn → fault → rep (rep fastest), whatever order
+// the axes were written in. Parse a "-sweep" spec with ParseSweep; Spec prints the
 // canonical form back.
 type Sweep struct {
 	// Scenarios lists scenario specs ("table1", "churn:64", ...). Empty
@@ -99,6 +99,12 @@ type Sweep struct {
 	// require every swept scenario to be rateable (churn:N). Empty means
 	// {1}.
 	ChurnRates []float64
+	// FaultRates scales each scenario's control-plane fault intensity
+	// (scenario.Scenario.FaultRate): rate 2 roughly doubles the blackouts,
+	// partitions and loss bursts per horizon while their shapes stay fixed.
+	// Values other than 1 require every swept scenario to carry faults
+	// (faults:N). Empty means {1}.
+	FaultRates []float64
 	// Reps is the repetitions per grid point, each its own cell. 0 means
 	// the Config's Reps.
 	Reps int
@@ -136,9 +142,9 @@ const (
 
 // ParseSweep parses a sweep grid spec: semicolon-separated axes, each
 // "axis=value,value,...". Axes are scenario, workload, model, granularity
-// (parts, positive integers), size (Mb, positive integers), churn (rate
-// multipliers, positive floats) and rep (a single positive integer; "reps"
-// is accepted too). "model=all" expands to the Figure 6 lineup. Example:
+// (parts, positive integers), size (Mb, positive integers), churn and fault
+// (rate multipliers, positive floats) and rep (a single positive integer;
+// "reps" is accepted too). "model=all" expands to the Figure 6 lineup. Example:
 //
 //	scenario=table1,churn:64;model=all;rep=5
 //
@@ -221,6 +227,14 @@ func ParseSweep(spec string) (Sweep, error) {
 				}
 				sw.ChurnRates = append(sw.ChurnRates, f)
 			}
+		case "fault":
+			for _, v := range values {
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil || !(f >= axisRateMin) || f > axisRateMax {
+					return Sweep{}, fmt.Errorf("sweep: fault rate %q: want a rate in [%g, %g]", v, axisRateMin, float64(axisRateMax))
+				}
+				sw.FaultRates = append(sw.FaultRates, f)
+			}
 		case "rep":
 			if len(values) != 1 {
 				return Sweep{}, fmt.Errorf("sweep: rep wants exactly one value, got %d", len(values))
@@ -231,7 +245,7 @@ func ParseSweep(spec string) (Sweep, error) {
 			}
 			sw.Reps = n
 		default:
-			return Sweep{}, fmt.Errorf("sweep: unknown axis %q (want scenario, workload, model, granularity, size, churn, rep)", name)
+			return Sweep{}, fmt.Errorf("sweep: unknown axis %q (want scenario, workload, model, granularity, size, churn, fault, rep)", name)
 		}
 	}
 	sw.Scenarios = dedup(sw.Scenarios)
@@ -240,6 +254,7 @@ func ParseSweep(spec string) (Sweep, error) {
 	sw.Granularities = dedup(sw.Granularities)
 	sw.Sizes = dedup(sw.Sizes)
 	sw.ChurnRates = dedup(sw.ChurnRates)
+	sw.FaultRates = dedup(sw.FaultRates)
 	return sw, nil
 }
 
@@ -270,7 +285,8 @@ func sweepModelNames() []string {
 	return names
 }
 
-// formatRate prints a churn rate the way the grammar reads it back.
+// formatRate prints a churn or fault rate the way the grammar reads it
+// back.
 func formatRate(r float64) string { return strconv.FormatFloat(r, 'g', -1, 64) }
 
 // Spec prints the sweep in canonical grammar form: axes in canonical order,
@@ -295,11 +311,15 @@ func (sw Sweep) Spec() string {
 	add("model", sw.Models)
 	add("granularity", ints(sw.Granularities))
 	add("size", ints(sw.Sizes))
-	rates := make([]string, len(sw.ChurnRates))
-	for i, r := range sw.ChurnRates {
-		rates[i] = formatRate(r)
+	fmtRates := func(rs []float64) []string {
+		out := make([]string, len(rs))
+		for i, r := range rs {
+			out[i] = formatRate(r)
+		}
+		return out
 	}
-	add("churn", rates)
+	add("churn", fmtRates(sw.ChurnRates))
+	add("fault", fmtRates(sw.FaultRates))
 	if sw.Reps > 0 {
 		parts = append(parts, "rep="+strconv.Itoa(sw.Reps))
 	}
@@ -316,6 +336,7 @@ type SweepCell struct {
 	Parts     int
 	SizeMb    int
 	ChurnRate float64
+	FaultRate float64
 	Rep       int
 }
 
@@ -323,8 +344,8 @@ type SweepCell struct {
 // canonical order. Two sweeps that contain the same cell — whatever else
 // they sweep — simulate it in the identical world.
 func (c SweepCell) key() string {
-	return fmt.Sprintf("sweep|scenario=%s|workload=%s|model=%s|parts=%d|size=%d|churn=%s|rep=%d",
-		c.Scenario, c.Workload, c.Model, c.Parts, c.SizeMb, formatRate(c.ChurnRate), c.Rep)
+	return fmt.Sprintf("sweep|scenario=%s|workload=%s|model=%s|parts=%d|size=%d|churn=%s|fault=%s|rep=%d",
+		c.Scenario, c.Workload, c.Model, c.Parts, c.SizeMb, formatRate(c.ChurnRate), formatRate(c.FaultRate), c.Rep)
 }
 
 // SweepRecord is one executed cell's JSON row: the axis coordinates plus the
@@ -338,6 +359,7 @@ type SweepRecord struct {
 	Parts     int             `json:"parts,omitempty"`
 	SizeMb    int             `json:"size_mb,omitempty"`
 	ChurnRate float64         `json:"churn_rate"`
+	FaultRate float64         `json:"fault_rate"`
 	Rep       int             `json:"rep"`
 	Summary   WorkloadSummary `json:"summary"`
 	Warnings  []string        `json:"warnings,omitempty"`
@@ -356,6 +378,8 @@ type SweepMarginal struct {
 	FailedPct               float64 `json:"failed_pct"`
 	LaggedPct               float64 `json:"lagged_pct"`
 	StalePct                float64 `json:"stale_pct"`
+	DegradedPct             float64 `json:"degraded_pct"`
+	RecoveredPct            float64 `json:"recovered_pct"`
 	MeanTransmissionSeconds float64 `json:"mean_transmission_seconds"`
 }
 
@@ -371,8 +395,8 @@ type SweepReport struct {
 }
 
 // sweepPlan is one cell plus everything resolved at expansion time: the
-// (possibly churn-rated) scenario and the (possibly overridden) workload it
-// runs.
+// (possibly churn- and fault-rated) scenario and the (possibly overridden)
+// workload it runs.
 type sweepPlan struct {
 	cell SweepCell
 	sc   scenario.Scenario
@@ -415,6 +439,21 @@ func expandSweep(cfg Config, sw Sweep) ([]sweepPlan, int, error) {
 		for _, sc := range scenarios {
 			if sc.ChurnRate == nil {
 				return nil, 0, fmt.Errorf("sweep: churn rate %s over scenario %q, which has no dynamics to scale (want churn:N)",
+					formatRate(r), sc.Name)
+			}
+		}
+	}
+	faultRates := sw.FaultRates
+	if len(faultRates) == 0 {
+		faultRates = []float64{1}
+	}
+	for _, r := range faultRates {
+		if r == 1 {
+			continue
+		}
+		for _, sc := range scenarios {
+			if sc.FaultRate == nil {
+				return nil, 0, fmt.Errorf("sweep: fault rate %s over scenario %q, which has no faults to scale (want faults:N)",
 					formatRate(r), sc.Name)
 			}
 		}
@@ -476,14 +515,25 @@ func expandSweep(cfg Config, sw Sweep) ([]sweepPlan, int, error) {
 			return nil, 0, err
 		}
 		// Rating a scenario re-synthesizes its full catalog closure, so it
-		// is computed once per (scenario, rate), not once per inner-axis
-		// combination.
-		ratedBy := make(map[float64]scenario.Scenario, len(rates))
+		// is computed once per (scenario, churn rate, fault rate), not once
+		// per inner-axis combination. Churn rating applies first and fault
+		// rating to its result; each hook rebuilds the whole scenario, so
+		// what matters is that both survive the round trip (ChurnRated
+		// carries no FaultRate today, which is why faults:N owns its own
+		// membership schedule instead of stacking on churn:N).
+		type ratePair struct{ churn, fault float64 }
+		ratedBy := make(map[ratePair]scenario.Scenario, len(rates)*len(faultRates))
 		for _, rate := range rates {
+			churned := sc
 			if rate != 1 {
-				ratedBy[rate] = sc.ChurnRate(rate)
-			} else {
-				ratedBy[rate] = sc
+				churned = sc.ChurnRate(rate)
+			}
+			for _, frate := range faultRates {
+				cellSc := churned
+				if frate != 1 {
+					cellSc = churned.FaultRate(frate)
+				}
+				ratedBy[ratePair{rate, frate}] = cellSc
 			}
 		}
 		for _, w := range ws {
@@ -496,21 +546,24 @@ func expandSweep(cfg Config, sw Sweep) ([]sweepPlan, int, error) {
 						}
 						cellW := w.With(model, parts, sized)
 						for _, rate := range rates {
-							cellSc := ratedBy[rate]
-							for rep := 0; rep < reps; rep++ {
-								plans = append(plans, sweepPlan{
-									cell: SweepCell{
-										Scenario:  sc.Name,
-										Workload:  w.Name,
-										Model:     model,
-										Parts:     parts,
-										SizeMb:    sizeMb,
-										ChurnRate: rate,
-										Rep:       rep,
-									},
-									sc: cellSc,
-									w:  cellW,
-								})
+							for _, frate := range faultRates {
+								cellSc := ratedBy[ratePair{rate, frate}]
+								for rep := 0; rep < reps; rep++ {
+									plans = append(plans, sweepPlan{
+										cell: SweepCell{
+											Scenario:  sc.Name,
+											Workload:  w.Name,
+											Model:     model,
+											Parts:     parts,
+											SizeMb:    sizeMb,
+											ChurnRate: rate,
+											FaultRate: frate,
+											Rep:       rep,
+										},
+										sc: cellSc,
+										w:  cellW,
+									})
+								}
 							}
 						}
 					}
@@ -581,6 +634,7 @@ func sweepCell(cellCfg Config, p sweepPlan) (SweepRecord, error) {
 		Parts:     p.cell.Parts,
 		SizeMb:    p.cell.SizeMb,
 		ChurnRate: p.cell.ChurnRate,
+		FaultRate: p.cell.FaultRate,
 		Rep:       p.cell.Rep,
 		Summary:   summarize(res.recs),
 		Warnings:  warnings,
@@ -588,6 +642,7 @@ func sweepCell(cellCfg Config, p sweepPlan) (SweepRecord, error) {
 	rec.Summary.PeersDeparted = res.departed
 	rec.Summary.SelectionsStale = res.stale
 	rec.Summary.SelectionsLagged = res.lagged
+	rec.Summary.BrokerDownSeconds = res.brokerDown
 	return rec, nil
 }
 
@@ -604,6 +659,7 @@ var sweepAxisViews = []struct {
 	{"granularity", func(r SweepRecord) string { return strconv.Itoa(r.Parts) }},
 	{"size", func(r SweepRecord) string { return strconv.Itoa(r.SizeMb) }},
 	{"churn", func(r SweepRecord) string { return formatRate(r.ChurnRate) }},
+	{"fault", func(r SweepRecord) string { return formatRate(r.FaultRate) }},
 }
 
 // marginals folds the records into per-axis summaries, one SweepMarginal
@@ -634,6 +690,8 @@ func marginals(records []SweepRecord) []SweepMarginal {
 				m.FailedPct += float64(r.Summary.FailedFlows)
 				m.LaggedPct += float64(r.Summary.SelectionsLagged)
 				m.StalePct += float64(r.Summary.SelectionsStale)
+				m.DegradedPct += float64(r.Summary.SelectionsDegraded)
+				m.RecoveredPct += float64(r.Summary.FlowsRecovered)
 				c := r.Summary.Flows - r.Summary.FailedFlows
 				completed += c
 				xmitWeighted += r.Summary.MeanTransmissionSeconds * float64(c)
@@ -642,6 +700,8 @@ func marginals(records []SweepRecord) []SweepMarginal {
 				m.FailedPct = 100 * m.FailedPct / float64(m.Flows)
 				m.LaggedPct = 100 * m.LaggedPct / float64(m.Flows)
 				m.StalePct = 100 * m.StalePct / float64(m.Flows)
+				m.DegradedPct = 100 * m.DegradedPct / float64(m.Flows)
+				m.RecoveredPct = 100 * m.RecoveredPct / float64(m.Flows)
 			}
 			if completed > 0 {
 				m.MeanTransmissionSeconds = xmitWeighted / float64(completed)
@@ -721,6 +781,82 @@ func FigChurnQuality(cfg Config) (*metrics.Figure, error) {
 		{"failed flows", failed},
 		{"selections lagged", lagged},
 		{"selections stale", stale},
+	} {
+		if err := fig.AddSeries(s.name, s.values); err != nil {
+			return nil, err
+		}
+	}
+	return fig, nil
+}
+
+// ---- the fault figure ----------------------------------------------------
+
+// FaultFigureRates are the intensity multipliers the fault figure sweeps —
+// half the written fault plan up to four times it.
+var FaultFigureRates = []float64{0.5, 1, 2, 4}
+
+// DefaultFaultScenario is the faulty scenario FigFaultResilience measures
+// when the Config leaves the scenario unset; surfaces that default on the
+// figure's behalf (the CLI) must name the same world.
+const DefaultFaultScenario = "faults:32"
+
+// FigFaultResilience is the robustness figure: flow outcome versus
+// control-plane fault intensity. It sweeps the configured faulty scenario
+// (default faults:32 when the Config leaves the scenario unset) over
+// FaultFigureRates with its hinted workload, and reads the sweep's fault
+// marginals into a figure: failed-flow, degraded-selection and
+// recovered-flow percentages per intensity. Degraded and recovered climbing
+// with intensity while failures stay low is the resilience story — flows
+// route around a broken control plane instead of dying with it. A
+// configured scenario without faults is an error, not a silent
+// substitution, exactly like FigChurnQuality's rule.
+func FigFaultResilience(cfg Config) (*metrics.Figure, error) {
+	if cfg.Scenario.IsZero() {
+		def, err := scenario.Parse(DefaultFaultScenario)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: figfault: %w", err)
+		}
+		cfg.Scenario = def
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Scenario.FaultRate == nil {
+		return nil, fmt.Errorf("experiments: figfault: scenario %q has no fault plan to sweep (want faults:N)", cfg.Scenario.Name)
+	}
+	report, err := RunSweep(cfg, Sweep{FaultRates: FaultFigureRates, Reps: cfg.Reps})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: figfault: %w", err)
+	}
+	byRate := map[string]SweepMarginal{}
+	for _, m := range report.Marginals {
+		if m.Axis == "fault" {
+			byRate[m.Value] = m
+		}
+	}
+	fig := &metrics.Figure{
+		Title:  fmt.Sprintf("Flow resilience vs fault rate — %s", cfg.Scenario.Name),
+		Unit:   "percent of flows",
+		Labels: make([]string, 0, len(FaultFigureRates)),
+	}
+	failed := make([]float64, 0, len(FaultFigureRates))
+	degraded := make([]float64, 0, len(FaultFigureRates))
+	recovered := make([]float64, 0, len(FaultFigureRates))
+	for _, r := range FaultFigureRates {
+		m, ok := byRate[formatRate(r)]
+		if !ok {
+			return nil, fmt.Errorf("experiments: figfault: no marginal for rate %s", formatRate(r))
+		}
+		fig.Labels = append(fig.Labels, "×"+formatRate(r))
+		failed = append(failed, m.FailedPct)
+		degraded = append(degraded, m.DegradedPct)
+		recovered = append(recovered, m.RecoveredPct)
+	}
+	for _, s := range []struct {
+		name   string
+		values []float64
+	}{
+		{"failed flows", failed},
+		{"selections degraded", degraded},
+		{"flows recovered", recovered},
 	} {
 		if err := fig.AddSeries(s.name, s.values); err != nil {
 			return nil, err

@@ -51,6 +51,9 @@ func TestParseSweepGrammar(t *testing.T) {
 		"churn=nan-ish",
 		"churn=200",
 		"churn=Inf",
+		"fault=0",
+		"fault=200",
+		"fault=Inf",
 		"rep=1,2",
 		"rep=0",
 		"scenario=a;scenario=b",
@@ -108,6 +111,7 @@ func FuzzParseSweep(f *testing.F) {
 	f.Add("scenario=table1,churn:64;model=all;rep=5")
 	f.Add("granularity=1,4,16;size=50")
 	f.Add("churn=0.5,1e2;workload=swarm:8")
+	f.Add("scenario=faults:8;fault=0.5,2;rep=1")
 	f.Add(";;;")
 	f.Add("scenario=α;model==;churn=+1")
 	f.Fuzz(func(t *testing.T, spec string) {
@@ -389,5 +393,125 @@ func TestFigChurnQuality(t *testing.T) {
 				t.Fatalf("series %s at %s = %v, out of percentage range", s.Name, label, v)
 			}
 		}
+	}
+}
+
+// TestParseSweepFaultAxis pins the fault axis: rates parse, dedup, print in
+// canonical position (after churn, before rep), and round-trip.
+func TestParseSweepFaultAxis(t *testing.T) {
+	sw, err := ParseSweep("fault=0.5,1,2,0.5;scenario=faults:8;churn=2;rep=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sw.FaultRates, []float64{0.5, 1, 2}) {
+		t.Fatalf("fault rates = %v", sw.FaultRates)
+	}
+	if spec := sw.Spec(); spec != "scenario=faults:8;churn=2;fault=0.5,1,2;rep=3" {
+		t.Fatalf("canonical spec = %q", spec)
+	}
+}
+
+// TestSweepFaultRateOnStaticScenarioRejected mirrors the churn-rate rule: a
+// non-unit fault rate over a scenario with no fault plan is an error at
+// expansion, before any slice deploys.
+func TestSweepFaultRateOnStaticScenarioRejected(t *testing.T) {
+	sw, err := ParseSweep("scenario=uniform:4;fault=2;rep=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := expandSweep(Config{Seed: 1}.withDefaults(), sw); err == nil ||
+		!strings.Contains(err.Error(), "no faults to scale") {
+		t.Fatalf("expandSweep err = %v, want no-faults rejection", err)
+	}
+	// Rate 1 is the identity and must pass on any scenario.
+	sw, err = ParseSweep("scenario=uniform:4;fault=1;rep=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := expandSweep(Config{Seed: 1}.withDefaults(), sw); err != nil {
+		t.Fatalf("identity fault rate rejected: %v", err)
+	}
+}
+
+// TestSweepFaultAxisExpansion pins the canonical nesting: fault varies
+// inside churn and outside rep, every cell carries its fault rate, and the
+// rated scenario actually reaches the plan.
+func TestSweepFaultAxisExpansion(t *testing.T) {
+	sw, err := ParseSweep("scenario=faults:4;fault=0.5,2;rep=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans, _, err := expandSweep(Config{Seed: 1}.withDefaults(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []float64
+	for _, p := range plans {
+		got = append(got, p.cell.FaultRate)
+		if p.sc.Faults == nil {
+			t.Fatalf("cell %s lost its fault plan", p.cell.key())
+		}
+	}
+	if !reflect.DeepEqual(got, []float64{0.5, 0.5, 2, 2}) {
+		t.Fatalf("fault-rate expansion order = %v", got)
+	}
+	// The rated plans must differ in intensity on some seed: the 2× world
+	// admits at least as many events, and more over enough seeds.
+	lo, hi := 0, 0
+	for seed := int64(1); seed <= 8; seed++ {
+		lo += len(plans[0].sc.Faults(seed))
+		hi += len(plans[2].sc.Faults(seed))
+	}
+	if hi <= lo {
+		t.Fatalf("rate 2 drew %d events vs %d at rate 0.5 — rating not applied", hi, lo)
+	}
+}
+
+// TestSweepFaultCellKeysDiffer pins seed independence: the fault rate is
+// part of the cell's seed identity, so rated cells simulate different
+// worlds — and the rate-1 key stays stable whether or not a fault axis was
+// specified (cells of historical sweeps keep their seeds).
+func TestSweepFaultCellKeysDiffer(t *testing.T) {
+	a := SweepCell{Scenario: "faults:8", Workload: "swarm:8", ChurnRate: 1, FaultRate: 1}
+	b := a
+	b.FaultRate = 2
+	if a.key() == b.key() {
+		t.Fatal("fault rate absent from the cell key")
+	}
+	if !strings.Contains(a.key(), "|fault=1|") {
+		t.Fatalf("key = %q, want explicit fault coordinate", a.key())
+	}
+}
+
+// TestFigFaultResilience runs the robustness figure end-to-end on a small
+// faulty scenario and checks its shape: one label per swept rate, the three
+// series, and a scenario without faults rejected rather than substituted.
+func TestFigFaultResilience(t *testing.T) {
+	sc, err := scenario.Parse("faults:8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, err := FigFaultResilience(Config{Seed: 2007, Reps: 1, Scenario: sc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Labels) != len(FaultFigureRates) {
+		t.Fatalf("labels = %v", fig.Labels)
+	}
+	names := make([]string, len(fig.Series))
+	for i, s := range fig.Series {
+		names[i] = s.Name
+	}
+	want := []string{"failed flows", "selections degraded", "flows recovered"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("series = %v, want %v", names, want)
+	}
+
+	static, err := scenario.Parse("uniform:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FigFaultResilience(Config{Seed: 1, Reps: 1, Scenario: static}); err == nil {
+		t.Fatal("figfault accepted a scenario with no fault plan")
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"time"
 
+	"peerlab/internal/faults"
 	"peerlab/internal/metrics"
 	"peerlab/internal/overlay"
 	"peerlab/internal/scenario"
@@ -40,6 +41,12 @@ type FlowRecord struct {
 	// flow there aborts the run.
 	Failed bool   `json:"failed,omitempty"`
 	Error  string `json:"error,omitempty"`
+	// Degraded marks a sink picked from the source's cached directory
+	// because the broker could not answer; Retries counts the extra
+	// selection-call attempts the flow spent. Both stay zero outside fault
+	// scenarios.
+	Degraded bool `json:"degraded,omitempty"`
+	Retries  int  `json:"retries,omitempty"`
 }
 
 // WorkloadSummary aggregates a report's flows. The churn counters are zero
@@ -67,6 +74,21 @@ type WorkloadSummary struct {
 	// staleness a TTL'd directory admits, the figure churn studies care
 	// about.
 	SelectionsLagged int `json:"selections_lagged,omitempty"`
+	// RetriesSpent sums the extra selection-call attempts across flows
+	// (fault scenarios; zero elsewhere).
+	RetriesSpent int `json:"retries_spent,omitempty"`
+	// SelectionsDegraded counts flows whose sink came from the source's
+	// cached directory because the broker could not answer.
+	SelectionsDegraded int `json:"selections_degraded,omitempty"`
+	// FlowsRecovered counts flows that completed despite control-plane
+	// faults — a degraded selection or at least one selection retry. A
+	// flow that merely relaunched its transmission is not recovered (that
+	// is data-plane weather, counted in Relaunched).
+	FlowsRecovered int `json:"flows_recovered,omitempty"`
+	// BrokerDownSeconds is the fault plan's total broker-blackout time
+	// (overlaps merged), summed across repetitions. Plan-derived, so it is
+	// identical at any worker or shard count.
+	BrokerDownSeconds float64 `json:"broker_down_seconds,omitempty"`
 }
 
 // WorkloadReport is RunWorkload's result: every flow of every repetition in
@@ -113,12 +135,14 @@ func participants(flows []workload.Flow) []string {
 	return labels
 }
 
-// workloadCellResult is one repetition's records plus its churn counters.
+// workloadCellResult is one repetition's records plus its churn and fault
+// counters.
 type workloadCellResult struct {
-	recs     []FlowRecord
-	departed int
-	stale    int
-	lagged   int
+	recs       []FlowRecord
+	departed   int
+	stale      int
+	lagged     int
+	brokerDown float64
 }
 
 // RunWorkload executes cfg's workload over cfg's scenario, one cell per
@@ -145,6 +169,7 @@ func RunWorkload(cfg Config) (*WorkloadReport, error) {
 		report.Summary.PeersDeparted += cell.departed
 		report.Summary.SelectionsStale += cell.stale
 		report.Summary.SelectionsLagged += cell.lagged
+		report.Summary.BrokerDownSeconds += cell.brokerDown
 	}
 	return report, nil
 }
@@ -219,6 +244,15 @@ func churnWorkloadCell(cellCfg Config, flows []workload.Flow, rep int) (workload
 	sc := cellCfg.Scenario
 	schedule := workload.NewSchedule(sc.Churn(cellCfg.Seed))
 	stagger := workload.Stagger(cellCfg.Seed, sc.Horizon)
+	// Fault scenarios draw their plan from the cell seed like the churn
+	// schedule, boot peers with the resilient CallPolicy, and start the
+	// injector alongside the conductor.
+	var plan *faults.Plan
+	var policy overlay.CallPolicy
+	if sc.Faults != nil {
+		plan = faults.NewPlan(sc.Faults(cellCfg.Seed))
+		policy = overlay.DefaultCallPolicy()
+	}
 	// The TTL the broker actually runs with (scenarioLeases makes NewEnv
 	// apply the same value): the heartbeat and the staleness audit must
 	// both reason about it — a zero here would disable renewals and flag
@@ -241,12 +275,26 @@ func churnWorkloadCell(cellCfg Config, flows []workload.Flow, rep int) (workload
 			if node == nil {
 				return nil, fmt.Errorf("churn schedule names unknown peer %q", label)
 			}
-			return overlay.BootPeer(node, env.Broker.Addr(), cpuOf[label])
+			return overlay.BootPeerWith(node, env.Broker.Addr(), overlay.ClientConfig{
+				CPUScore: cpuOf[label],
+				Call:     policy,
+			})
 		})
 		if err := cond.BootInitial(); err != nil {
 			return res, err
 		}
 		cond.Start()
+		if plan != nil {
+			res.brokerDown = plan.BrokerDowntime().Seconds()
+			sites := make(map[string][]string)
+			for _, p := range env.Slice.Catalog {
+				if p.Site != "" {
+					sites[p.Site] = append(sites[p.Site], p.Hostname)
+				}
+			}
+			faults.NewInjector(env.Slice.Control, env.Slice.Net, env.Broker,
+				env.Slice.Control.Name(), sites, plan).Start()
+		}
 		// BootInitial consumed virtual time before the flows launch;
 		// ChurnLaunch rebases the schedule-relative stagger offsets and
 		// re-resolves sources at each flow's actual launch instant.
@@ -322,6 +370,8 @@ func flowRecords(results []workload.Result, rep int) []FlowRecord {
 			TransmissionSeconds: r.Metrics.TransmissionTime().Seconds(),
 			Failed:              r.Err != "",
 			Error:               r.Err,
+			Degraded:            r.Degraded,
+			Retries:             r.Retries,
 		}
 	}
 	return recs
@@ -339,6 +389,13 @@ func summarize(recs []FlowRecord) WorkloadSummary {
 		}
 		if r.Attempts > s.MaxAttempts {
 			s.MaxAttempts = r.Attempts
+		}
+		s.RetriesSpent += r.Retries
+		if r.Degraded {
+			s.SelectionsDegraded++
+		}
+		if !r.Failed && (r.Degraded || r.Retries > 0) {
+			s.FlowsRecovered++
 		}
 		if r.Failed {
 			// Failed flows moved no payload and have no surviving timing;

@@ -291,6 +291,15 @@ func (c *Cache) Sweep(now time.Time) int {
 	return before - len(c.byID)
 }
 
+// Clear drops every advertisement — a rendezvous peer restarting with a
+// cold cache. Registered peers must re-publish (or be resurrected from
+// their next stats report) before the directory answers for them again.
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.byID = make(map[ID]Advertisement)
+}
+
 // Remove deletes an advertisement by ID.
 func (c *Cache) Remove(id ID) {
 	c.mu.Lock()

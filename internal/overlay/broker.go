@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"peerlab/internal/core"
@@ -77,6 +78,12 @@ type Broker struct {
 	shards    []*shard
 	registry  *stats.Union
 	selectors map[string]core.Selector
+
+	// down, while set, makes the broker drop every request unanswered —
+	// the fault injector's blackout switch. The mux stays bound (the
+	// process is wedged, not the endpoint), so clients see their conns
+	// reset rather than an unknown-address error.
+	down atomic.Bool
 
 	// Eager lease sweeping (see BrokerConfig.LeaseSweep). At most one
 	// sweep timer is pending; lastSweep rate-limits re-arming to once per
@@ -182,6 +189,25 @@ func (b *Broker) Peers() []string {
 	return names
 }
 
+// SetDown makes the broker stop answering requests (true) or resume
+// (false) without touching its state — the first half of a blackout. While
+// down, every request conn is dropped unanswered; the conn teardown resets
+// the caller, which then fails fast and retries under its CallPolicy.
+func (b *Broker) SetDown(down bool) { b.down.Store(down) }
+
+// Restart brings the broker back up after a blackout with a cold
+// advertisement cache: every shard's directory is wiped, so registered
+// peers vanish from discovery and selection until they re-register or
+// their next stats report resurrects them. Statistics registries survive —
+// the paper's broker persists its statistical records across restarts —
+// and registered selection models are untouched.
+func (b *Broker) Restart() {
+	for _, sh := range b.shards {
+		sh.cache.Clear()
+	}
+	b.down.Store(false)
+}
+
 // Close shuts the broker down.
 func (b *Broker) Close() {
 	b.sweepMu.Lock()
@@ -272,6 +298,12 @@ func (b *Broker) serve(conn *pipe.Conn) {
 	}
 	kind, d, err := kindOf(msg.Payload)
 	if err != nil {
+		return
+	}
+	if b.down.Load() {
+		// Blacked out: drop the request unanswered. The deferred Close
+		// resets the conn, so the caller fails fast instead of waiting
+		// out its full deadline.
 		return
 	}
 	switch kind {

@@ -32,6 +32,10 @@ type ClientConfig struct {
 	FailEvery int
 	// Pipe tunes reliable pipes.
 	Pipe pipe.Options
+	// Call bounds control RPCs (deadline, retries, backoff, degraded-mode
+	// selection). The zero value is the legacy single blocking exchange —
+	// see CallPolicy.
+	Call CallPolicy
 	// Sender tunes the client's transfer sender (e.g. Pipelined). The zero
 	// value is the paper's stop-and-wait protocol.
 	Sender transfer.SenderOptions
@@ -72,6 +76,10 @@ type Client struct {
 	nextTaskID atomic.Uint64
 	msgsIn     atomic.Int64
 	msgsOut    atomic.Int64
+
+	// res is the fault-handling state: the cached directory degraded
+	// selection falls back to, and the retry/degradation counters.
+	res resilience
 }
 
 // NewClient builds a client on host homed to the given broker address.
@@ -141,7 +149,18 @@ func (c *Client) Start() error {
 	})
 	c.exec.Start()
 	c.host.Go(c.controlLoop)
-	return c.register()
+	if err := c.register(); err != nil {
+		return err
+	}
+	if c.cfg.Call.Degrade {
+		// Seed the degraded-selection cache; later Discover calls (each
+		// stats heartbeat refreshes it) keep it current. Best-effort: a
+		// boot racing a blackout still succeeds once register did.
+		if _, err := c.Discover(); err != nil {
+			_ = err
+		}
+	}
+	return nil
 }
 
 // register announces this client to the broker.
@@ -155,35 +174,26 @@ func (c *Client) register() error {
 	adv = adv.WithAttr(jxta.AttrCPUScore, strconv.FormatFloat(c.cfg.CPUScore, 'f', -1, 64))
 	reply, err := c.call(c.broker, register{Adv: adv}.encode())
 	if err != nil {
-		return fmt.Errorf("%w: %v", ErrBrokerDown, err)
+		return err
 	}
 	kind, d, err := kindOf(reply)
 	if err != nil || kind != mtRegisterAck {
-		return fmt.Errorf("%w: bad register reply", ErrBrokerDown)
+		return fmt.Errorf("%w: register", ErrBadReply)
 	}
 	ack, err := decodeRegisterAck(d)
 	if err != nil || !ack.OK {
-		return fmt.Errorf("%w: registration refused", ErrBrokerDown)
+		return ErrRegistrationRefused
 	}
 	c.registered.Store(true)
 	return nil
 }
 
-// call performs one request/response exchange on a fresh conn.
+// call performs one request/response exchange under the client's
+// CallPolicy (with the zero policy: a single unbounded exchange on a fresh
+// conn). Failures come back classified — see callRetried.
 func (c *Client) call(to transport.Addr, payload []byte) ([]byte, error) {
-	conn, err := c.ctlMux.Dial(to)
-	if err != nil {
-		return nil, err
-	}
-	defer conn.Close()
-	if err := conn.Send(payload); err != nil {
-		return nil, err
-	}
-	msg, err := conn.Recv()
-	if err != nil {
-		return nil, err
-	}
-	return msg.Payload, nil
+	reply, _, err := c.callRetried(to, payload)
+	return reply, err
 }
 
 // controlLoop serves inbound control conns (tasks, instant messages).
@@ -268,43 +278,63 @@ func (c *Client) ReportStats() error {
 	}
 	reply, err := c.call(c.broker, rep.encode())
 	if err != nil {
-		return fmt.Errorf("%w: %v", ErrBrokerDown, err)
+		return err
 	}
 	if len(reply) == 0 || reply[0] != mtAck {
-		return fmt.Errorf("%w: bad stats ack", ErrBrokerDown)
+		return fmt.Errorf("%w: stats ack", ErrBadReply)
+	}
+	if c.cfg.Call.Degrade {
+		// The heartbeat doubles as the directory refresh keeping the
+		// degraded-selection cache current (Discover stores its result).
+		if _, err := c.Discover(); err != nil {
+			_ = err // best-effort: the cache just stays stale
+		}
 	}
 	return nil
 }
 
-// Discover queries the broker's directory for peer advertisements.
+// Discover queries the broker's directory for peer advertisements. A
+// successful result also refreshes the client's cached directory — the
+// snapshot degraded selection falls back to when the broker is gone.
 func (c *Client) Discover() ([]jxta.Advertisement, error) {
 	reply, err := c.call(c.broker, discover{Kind: jxta.AdvPeer}.encode())
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBrokerDown, err)
+		return nil, err
 	}
 	kind, d, err := kindOf(reply)
 	if err != nil || kind != mtDiscoverResult {
-		return nil, fmt.Errorf("%w: bad discover reply", ErrBrokerDown)
+		return nil, fmt.Errorf("%w: discover", ErrBadReply)
 	}
 	res, err := decodeDiscoverResult(d)
 	if err != nil {
 		return nil, err
 	}
+	c.res.setDir(res.Advs)
 	return res.Advs, nil
 }
 
-// resolve returns the transfer address of a named peer.
+// resolve returns the transfer address of a named peer. When the broker
+// cannot answer — or answered from a cold post-restart directory that has
+// not heard of the peer yet — a degrading client falls back to the cached
+// advertisement's address: a possibly stale route is still better than
+// failing a transfer the data plane could carry.
 func (c *Client) resolve(peer string) (transport.Addr, error) {
 	reply, err := c.call(c.broker, discover{Kind: jxta.AdvPeer, Name: peer}.encode())
 	if err != nil {
-		return "", fmt.Errorf("%w: %v", ErrBrokerDown, err)
+		if addr, ok := c.cachedAddr(peer); ok {
+			return addr, nil
+		}
+		return "", err
 	}
 	kind, d, err := kindOf(reply)
 	if err != nil || kind != mtDiscoverResult {
-		return "", fmt.Errorf("%w: bad discover reply", ErrBrokerDown)
+		return "", fmt.Errorf("%w: discover", ErrBadReply)
 	}
 	res, err := decodeDiscoverResult(d)
 	if err != nil || len(res.Advs) == 0 {
+		if addr, ok := c.cachedAddr(peer); ok {
+			return addr, nil
+		}
 		return "", fmt.Errorf("%w: %q", ErrPeerUnknown, peer)
 	}
 	return transport.Addr(res.Advs[0].Addr), nil
@@ -431,33 +461,16 @@ func (c *Client) SelectPeers(model string, req core.Request, max int, preferred 
 
 // SelectPeersFrom is SelectPeers with extra peers removed from candidacy (the
 // requester itself is always excluded). Multi-source workloads use it to keep
-// the control node out of peer↔peer sink selection.
+// the control node out of peer↔peer sink selection. Broker-side selection
+// failures come back as typed sentinels (ErrNoCandidates, ErrInfeasible,
+// ErrModelUnknown); SelectDetailed additionally reports degradation and
+// retry counts.
 func (c *Client) SelectPeersFrom(model string, req core.Request, max int, preferred, exclude []string) ([]string, error) {
-	sreq := selectReq{
-		Model:      model,
-		Kind:       byte(req.Kind),
-		SizeBytes:  req.SizeBytes,
-		WorkUnits:  req.WorkUnits,
-		MaxResults: max,
-		Preferred:  preferred,
-		Exclude:    append([]string{c.host.Name()}, exclude...),
-	}
-	reply, err := c.call(c.broker, sreq.encode())
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBrokerDown, err)
-	}
-	kind, d, err := kindOf(reply)
-	if err != nil || kind != mtSelectResult {
-		return nil, fmt.Errorf("%w: bad select reply", ErrBrokerDown)
-	}
-	res, err := decodeSelectResult(d)
+	sel, err := c.SelectDetailed(model, req, max, preferred, exclude)
 	if err != nil {
 		return nil, err
 	}
-	if res.Err != "" {
-		return nil, errors.New(res.Err)
-	}
-	return res.Peers, nil
+	return sel.Peers, nil
 }
 
 // Name returns the client's node name — how the broker and other peers know

@@ -1,0 +1,201 @@
+package overlay
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"peerlab/internal/core"
+	"peerlab/internal/simnet"
+	"peerlab/internal/transfer"
+)
+
+func TestSelectionErrorSentinels(t *testing.T) {
+	for _, tc := range []struct {
+		wire string
+		want error
+	}{
+		{core.ErrNoCandidates.Error(), ErrNoCandidates},
+		{core.ErrInfeasible.Error(), ErrInfeasible},
+		{core.ErrInfeasible.Error() + ": request needs 3 peers, 1 eligible", ErrInfeasible},
+		{"overlay: unknown selection model \"meteor\"", ErrModelUnknown},
+	} {
+		if err := selectionError(tc.wire); !errors.Is(err, tc.want) {
+			t.Errorf("selectionError(%q) = %v, want %v", tc.wire, err, tc.want)
+		}
+	}
+	if err := selectionError("something else entirely"); err == nil ||
+		errors.Is(err, ErrNoCandidates) || errors.Is(err, ErrInfeasible) || errors.Is(err, ErrModelUnknown) {
+		t.Errorf("unrecognized broker error mapped to a sentinel: %v", err)
+	}
+}
+
+func TestSelectionNoCandidatesIsTyped(t *testing.T) {
+	// A lone registered peer: selection excludes the requester, leaving no
+	// candidates — the broker-side condition must surface as the sentinel,
+	// not an opaque string.
+	d := deploy(t, map[string]simnet.Profile{"sc1": clientProfile()})
+	var err error
+	d.net.Run(func() {
+		d.startAll(t)
+		_, err = d.clients["sc1"].SelectPeers("blind", core.Request{Kind: core.KindMessage}, 1, nil)
+	})
+	if !errors.Is(err, ErrNoCandidates) {
+		t.Fatalf("err = %v, want ErrNoCandidates", err)
+	}
+}
+
+func TestCallRetriesThroughBlackout(t *testing.T) {
+	d := deploy(t, map[string]simnet.Profile{"sc1": clientProfile(), "sc2": clientProfile()})
+	for _, c := range d.clients {
+		c.cfg.Call = CallPolicy{Timeout: 5 * time.Second, Retries: 4, Backoff: 2 * time.Second, MaxBackoff: 8 * time.Second}
+	}
+	var sel Selection
+	var err error
+	d.net.Run(func() {
+		d.startAll(t)
+		for _, c := range d.clients {
+			if rerr := c.ReportStats(); rerr != nil {
+				t.Errorf("ReportStats: %v", rerr)
+			}
+		}
+		d.broker.SetDown(true)
+		d.net.Scheduler().Go(func() {
+			d.clients["sc2"].host.Sleep(5 * time.Second)
+			d.broker.Restart()
+			// The restarted broker has a cold cache; sc2's heartbeat
+			// resurrects its directory entry before sc1's next retry.
+			if rerr := d.clients["sc2"].ReportStats(); rerr != nil {
+				t.Errorf("post-restart ReportStats: %v", rerr)
+			}
+		})
+		sel, err = d.clients["sc1"].SelectDetailed("blind", core.Request{Kind: core.KindMessage}, 1, nil, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Degraded {
+		t.Fatal("selection answered by the live broker must not be degraded")
+	}
+	if sel.Retries == 0 {
+		t.Fatal("selection crossed a blackout without spending a retry")
+	}
+	if len(sel.Peers) != 1 || sel.Peers[0] != "sc2" {
+		t.Fatalf("peers = %v, want [sc2]", sel.Peers)
+	}
+	if retries, _ := d.clients["sc1"].Resilience(); retries == 0 {
+		t.Fatal("client retry counter not advanced")
+	}
+}
+
+func TestDegradedSelectionFallsBackToCache(t *testing.T) {
+	fast := clientProfile()
+	fast.CPUScore = 4
+	d := deploy(t, map[string]simnet.Profile{"sc1": clientProfile(), "sc2": clientProfile(), "sc3": fast})
+	for _, c := range d.clients {
+		c.cfg.Call = CallPolicy{Timeout: 2 * time.Second, Retries: 1, Backoff: time.Second, MaxBackoff: time.Second, Degrade: true}
+	}
+	var sel Selection
+	var err error
+	d.net.Run(func() {
+		d.startAll(t)
+		// Start seeds each directory cache, but sc1 booted before its
+		// peers registered; refresh so the cache holds the full overlay.
+		if _, derr := d.clients["sc1"].Discover(); derr != nil {
+			t.Errorf("Discover: %v", derr)
+		}
+		d.broker.SetDown(true)
+		sel, err = d.clients["sc1"].SelectDetailed("economic",
+			core.Request{Kind: core.KindFileTransfer, SizeBytes: transfer.Mb}, 1, nil, nil)
+	})
+	if err != nil {
+		t.Fatalf("degraded selection failed outright: %v", err)
+	}
+	if !sel.Degraded {
+		t.Fatal("selection against a dead broker must be degraded")
+	}
+	if len(sel.Peers) != 1 || sel.Peers[0] != "sc3" {
+		t.Fatalf("peers = %v, want [sc3] (highest cached CPU score)", sel.Peers)
+	}
+	if _, degraded := d.clients["sc1"].Resilience(); degraded == 0 {
+		t.Fatal("degraded counter not advanced")
+	}
+}
+
+func TestSelectionWithoutDegradeFailsTyped(t *testing.T) {
+	d := deploy(t, map[string]simnet.Profile{"sc1": clientProfile(), "sc2": clientProfile()})
+	for _, c := range d.clients {
+		c.cfg.Call = CallPolicy{Timeout: 2 * time.Second, Retries: 1, Backoff: time.Second, MaxBackoff: time.Second}
+	}
+	var err error
+	d.net.Run(func() {
+		d.startAll(t)
+		d.broker.SetDown(true)
+		_, err = d.clients["sc1"].SelectPeers("blind", core.Request{Kind: core.KindMessage}, 1, nil)
+	})
+	if !errors.Is(err, ErrBrokerDown) {
+		t.Fatalf("err = %v, want ErrBrokerDown", err)
+	}
+}
+
+func TestRegisterRetriesUntilBrokerReturns(t *testing.T) {
+	d := deploy(t, map[string]simnet.Profile{"sc1": clientProfile()})
+	c := d.clients["sc1"]
+	c.cfg.Call = CallPolicy{Timeout: 5 * time.Second, Retries: 4, Backoff: 2 * time.Second, MaxBackoff: 8 * time.Second}
+	var err error
+	d.net.Run(func() {
+		d.broker.SetDown(true)
+		d.net.Scheduler().Go(func() {
+			c.host.Sleep(4 * time.Second)
+			d.broker.SetDown(false)
+		})
+		err = c.Start()
+	})
+	if err != nil {
+		t.Fatalf("Start did not survive a transient blackout: %v", err)
+	}
+	if !c.Registered() {
+		t.Fatal("client not registered after retried boot")
+	}
+	if peers := d.broker.Peers(); len(peers) != 1 || peers[0] != "sc1" {
+		t.Fatalf("broker peers = %v, want [sc1]", peers)
+	}
+}
+
+func TestBrokerRestartWipesLeases(t *testing.T) {
+	d := deployShards(t, 3, map[string]simnet.Profile{"sc1": clientProfile(), "sc2": clientProfile()})
+	var advsBefore, advsAfter int
+	d.net.Run(func() {
+		d.startAll(t)
+		got, err := d.clients["sc1"].Discover()
+		if err != nil {
+			t.Errorf("Discover: %v", err)
+		}
+		advsBefore = len(got)
+		d.broker.Restart()
+		got, err = d.clients["sc1"].Discover()
+		if err != nil {
+			t.Errorf("post-restart Discover: %v", err)
+		}
+		advsAfter = len(got)
+	})
+	if advsBefore != 2 {
+		t.Fatalf("discovered %d before restart, want 2", advsBefore)
+	}
+	if advsAfter != 0 {
+		t.Fatalf("restart left %d advertisements in the cold cache", advsAfter)
+	}
+}
+
+func TestZeroCallPolicyHasNoTimers(t *testing.T) {
+	// The zero policy is the legacy path: one blocking exchange, no retry
+	// draws — the invariant that keeps static-scenario figures byte-stable.
+	var p CallPolicy
+	if p.Timeout != 0 || p.Retries != 0 || p.Degrade {
+		t.Fatal("zero CallPolicy is not inert")
+	}
+	def := DefaultCallPolicy()
+	if def.Timeout <= 0 || def.Retries <= 0 || def.Backoff <= 0 || def.MaxBackoff < def.Backoff || !def.Degrade {
+		t.Fatalf("DefaultCallPolicy() malformed: %+v", def)
+	}
+}

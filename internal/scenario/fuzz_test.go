@@ -14,6 +14,7 @@ func FuzzParse(f *testing.F) {
 	f.Add("heterogeneous:128")
 	f.Add("zipf:64")
 	f.Add("churn:007")
+	f.Add("faults:8")
 	f.Add("table1")
 	f.Add("uniform:-3")
 	f.Add("churn:")

@@ -127,6 +127,16 @@ type Scenario struct {
 	// unchanged. nil means the scenario's dynamics are not rateable (every
 	// static scenario, where there are no dynamics to scale).
 	ChurnRate func(rate float64) Scenario
+	// Faults, when non-nil, returns the session's control-plane fault plan
+	// for a seed — broker blackouts, site partitions, loss bursts. Like
+	// Synthesize and Churn it must be a pure function of the seed; nil
+	// means a perfectly reliable control plane (every static scenario).
+	Faults func(seed int64) []FaultEvent
+	// FaultRate, when non-nil, returns this scenario with its fault
+	// intensity scaled by rate — the hook behind the sweep engine's
+	// fault-intensity axis. rate 1 must return the scenario unchanged; nil
+	// means the scenario has no faults to scale.
+	FaultRate func(rate float64) Scenario
 }
 
 // IsZero reports whether the scenario is unset.
@@ -237,8 +247,8 @@ func Registered() []string {
 const MaxPeers = 1_000_000
 
 // Parse resolves a scenario spec: a registered name ("table1"), or a
-// generator spec "uniform:N" / "heterogeneous:N" / "zipf:N" / "churn:N"
-// with N peers (1 ≤ N ≤ MaxPeers).
+// generator spec "uniform:N" / "heterogeneous:N" / "zipf:N" / "churn:N" /
+// "faults:N" with N peers (1 ≤ N ≤ MaxPeers).
 func Parse(spec string) (Scenario, error) {
 	if kind, arg, ok := strings.Cut(spec, ":"); ok {
 		n, err := strconv.Atoi(arg)
@@ -254,15 +264,17 @@ func Parse(spec string) (Scenario, error) {
 			return Zipf(n), nil
 		case "churn":
 			return Churn(n), nil
+		case "faults":
+			return Faulty(n), nil
 		default:
-			return Scenario{}, fmt.Errorf("scenario: unknown generator %q (want uniform:N, heterogeneous:N, zipf:N or churn:N)", kind)
+			return Scenario{}, fmt.Errorf("scenario: unknown generator %q (want uniform:N, heterogeneous:N, zipf:N, churn:N or faults:N)", kind)
 		}
 	}
 	regMu.Lock()
 	fn := registry[spec]
 	regMu.Unlock()
 	if fn == nil {
-		return Scenario{}, fmt.Errorf("scenario: unknown scenario %q (want %s, uniform:N, heterogeneous:N, zipf:N or churn:N)",
+		return Scenario{}, fmt.Errorf("scenario: unknown scenario %q (want %s, uniform:N, heterogeneous:N, zipf:N, churn:N or faults:N)",
 			spec, strings.Join(Registered(), ", "))
 	}
 	return fn(), nil

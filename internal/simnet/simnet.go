@@ -77,10 +77,11 @@ type Network struct {
 	sched *vtime.Scheduler
 	seed  int64
 
-	mu       sync.Mutex
-	nodes    map[string]*Node
-	down     map[string]bool
-	partsKey map[pairKey]bool // severed directed pairs
+	mu        sync.Mutex
+	nodes     map[string]*Node
+	down      map[string]bool
+	partsKey  map[pairKey]bool   // severed directed pairs
+	extraLoss map[string]float64 // per-node extra drop probability
 
 	// Counters are cumulative across the network's lifetime.
 	sent      int64
@@ -99,11 +100,12 @@ type pairKey struct{ from, to string }
 // random draw (jitter, loss, wake lag) reproducible.
 func New(seed int64) *Network {
 	return &Network{
-		sched:    vtime.NewScheduler(),
-		seed:     seed,
-		nodes:    make(map[string]*Node),
-		down:     make(map[string]bool),
-		partsKey: make(map[pairKey]bool),
+		sched:     vtime.NewScheduler(),
+		seed:      seed,
+		nodes:     make(map[string]*Node),
+		down:      make(map[string]bool),
+		partsKey:  make(map[pairKey]bool),
+		extraLoss: make(map[string]float64),
 	}
 }
 
@@ -184,6 +186,22 @@ func (n *Network) Partition(from, to string, severed bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.partsKey[pairKey{from, to}] = severed
+}
+
+// SetExtraLoss sets an extra per-message drop probability for every message
+// to or from the named node (a congested uplink, a loss burst); rate <= 0
+// clears it. When both endpoints carry extra loss, the probabilities sum
+// (capped at 1). The extra draw is consumed only while an endpoint's rate
+// is positive, so enabling and later clearing it leaves an untouched
+// network's draw streams byte-identical to one that never saw it.
+func (n *Network) SetExtraLoss(name string, rate float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if rate <= 0 {
+		delete(n.extraLoss, name)
+		return
+	}
+	n.extraLoss[name] = rate
 }
 
 // Stats reports cumulative message counters: sent, delivered, dropped.
@@ -409,6 +427,14 @@ func (ep *endpoint) SendSized(to transport.Addr, payload []byte, size int) error
 	if net.down[src.name] || net.down[dstNode.name] ||
 		net.partsKey[pairKey{src.name, dstNode.name}] {
 		lost = true
+	}
+	if extra := net.extraLoss[src.name] + net.extraLoss[dstNode.name]; !lost && extra > 0 {
+		if extra > 1 {
+			extra = 1
+		}
+		if src.rng.Float64() < extra {
+			lost = true
+		}
 	}
 	if !lost && q.LossRate > 0 && src.rng.Float64() < q.LossRate {
 		lost = true

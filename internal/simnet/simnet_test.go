@@ -505,3 +505,137 @@ func TestVirtualQueuePushAtOrdering(t *testing.T) {
 		t.Fatalf("got %v, want [first second]", got)
 	}
 }
+
+// TestPartitionIsDirected pins that Partition severs exactly the named
+// direction: a→b cut leaves b→a delivering, and cutting both directions
+// separately is how a symmetric partition is expressed.
+func TestPartitionIsDirected(t *testing.T) {
+	n, epA, epB := twoNodeNet(t, DefaultProfile(), DefaultProfile())
+	var atB, atA int
+	n.Scheduler().Go(func() {
+		for {
+			if _, err := epB.Recv(); err != nil {
+				return
+			}
+			atB++
+		}
+	})
+	n.Scheduler().Go(func() {
+		for {
+			if _, err := epA.Recv(); err != nil {
+				return
+			}
+			atA++
+		}
+	})
+	n.Run(func() {
+		n.Partition("a", "b", true)
+		epA.Send(epB.Addr(), []byte{1}) // dropped: a→b severed
+		epB.Send(epA.Addr(), []byte{2}) // delivered: reverse path untouched
+		n.Partition("b", "a", true)
+		epB.Send(epA.Addr(), []byte{3}) // dropped: now symmetric
+		n.Partition("a", "b", false)
+		epA.Send(epB.Addr(), []byte{4}) // delivered: a→b healed
+	})
+	if atB != 1 || atA != 1 {
+		t.Fatalf("delivered %d at b and %d at a, want 1 and 1", atB, atA)
+	}
+}
+
+// TestPartitionWithSetDown pins the interaction the fault injector relies
+// on: a node that is both partitioned and down receives nothing, and each
+// condition keeps dropping traffic after the other clears — they are
+// independent gates, not one shared switch.
+func TestPartitionWithSetDown(t *testing.T) {
+	n, epA, epB := twoNodeNet(t, DefaultProfile(), DefaultProfile())
+	received := 0
+	n.Scheduler().Go(func() {
+		for {
+			if _, err := epB.Recv(); err != nil {
+				return
+			}
+			received++
+		}
+	})
+	n.Run(func() {
+		n.Partition("a", "b", true)
+		n.SetDown("b", true)
+		epA.Send(epB.Addr(), []byte{1}) // dropped: both gates shut
+		n.SetDown("b", false)
+		epA.Send(epB.Addr(), []byte{2}) // dropped: still partitioned
+		n.Partition("a", "b", true)     // idempotent re-cut must not heal
+		epA.Send(epB.Addr(), []byte{3}) // dropped
+		n.Partition("a", "b", false)
+		n.SetDown("b", true)
+		epA.Send(epB.Addr(), []byte{4}) // dropped: node down
+		n.SetDown("b", false)
+		epA.Send(epB.Addr(), []byte{5}) // delivered: all clear
+	})
+	if received != 1 {
+		t.Fatalf("received %d, want 1", received)
+	}
+}
+
+// TestSetExtraLossAddsToEitherEndpoint pins the loss-burst hook: extra loss
+// attached to one node degrades traffic to and from it, sums over both
+// endpoints, and clearing it (rate 0) restores the baseline.
+func TestSetExtraLossAddsToEitherEndpoint(t *testing.T) {
+	n, epA, epB := twoNodeNet(t, DefaultProfile(), DefaultProfile())
+	received := 0
+	n.Scheduler().Go(func() {
+		for {
+			if _, err := epB.Recv(); err != nil {
+				return
+			}
+			received++
+		}
+	})
+	const burst = 200
+	var duringBurst int
+	n.Run(func() {
+		n.SetExtraLoss("b", 0.5)
+		for i := 0; i < burst; i++ {
+			epA.Send(epB.Addr(), []byte{byte(i)})
+		}
+		// Sends return at serialization, deliveries land one latency
+		// later; drain the pipe before snapshotting and clearing.
+		n.Node("a").Sleep(time.Second)
+		duringBurst = received
+		n.SetExtraLoss("b", 0)
+		for i := 0; i < burst; i++ {
+			epA.Send(epB.Addr(), []byte{byte(i)})
+		}
+	})
+	if duringBurst < burst/4 || duringBurst > 3*burst/4 {
+		t.Fatalf("burst delivered %d of %d, want roughly half", duringBurst, burst)
+	}
+	n.Run(func() { n.Node("a").Sleep(time.Second) })
+	if after := received - duringBurst; after != burst {
+		t.Fatalf("after clearing extra loss %d of %d delivered", after, burst)
+	}
+}
+
+// TestSetExtraLossSaturatesAtOne pins the cap: summed endpoint rates above 1
+// drop everything rather than corrupting the drop draw.
+func TestSetExtraLossSaturatesAtOne(t *testing.T) {
+	n, epA, epB := twoNodeNet(t, DefaultProfile(), DefaultProfile())
+	received := 0
+	n.Scheduler().Go(func() {
+		for {
+			if _, err := epB.Recv(); err != nil {
+				return
+			}
+			received++
+		}
+	})
+	n.Run(func() {
+		n.SetExtraLoss("a", 0.7)
+		n.SetExtraLoss("b", 0.7)
+		for i := 0; i < 50; i++ {
+			epA.Send(epB.Addr(), []byte{byte(i)})
+		}
+	})
+	if received != 0 {
+		t.Fatalf("received %d through a saturated link, want 0", received)
+	}
+}

@@ -121,6 +121,12 @@ type Result struct {
 	// Err is the flow's failure when Env.RecordFailures kept it; "" on
 	// success.
 	Err string
+	// Degraded reports the sink came from the source's cached directory
+	// because the broker could not answer the selection call.
+	Degraded bool
+	// Retries counts the extra selection-call attempts the flow spent
+	// under the source's CallPolicy.
+	Retries int
 }
 
 // Execute runs every flow as its own concurrent simulation process and
@@ -193,6 +199,7 @@ func runFlow(env Env, f Flow, seed int64) (Result, error) {
 	// certainly expired by then" is sound.
 	selectedAt := env.Host.Now()
 	sinkHost, sinkLabel := "", ""
+	degraded, retries := false, 0
 	if f.Sink != "" {
 		sinkHost, sinkLabel = env.hostOf(f.Sink), f.Sink
 	} else {
@@ -201,16 +208,20 @@ func runFlow(env Env, f Flow, seed int64) (Result, error) {
 		if core.UsesPreferences(f.Model) {
 			preferred = env.Preferred
 		}
-		peers, err := src.SelectPeersFrom(f.Model, req, 1, preferred, env.ExcludeSinks)
+		sel, err := src.SelectDetailed(f.Model, req, 1, preferred, env.ExcludeSinks)
 		if err != nil {
-			return Result{SelectedAt: selectedAt}, fmt.Errorf("select %s: %w", f.Model, err)
+			return Result{SelectedAt: selectedAt, Retries: sel.Retries},
+				fmt.Errorf("select %s: %w", f.Model, err)
 		}
-		if len(peers) == 0 {
-			return Result{SelectedAt: selectedAt}, fmt.Errorf("select %s: empty result", f.Model)
+		if len(sel.Peers) == 0 {
+			return Result{SelectedAt: selectedAt, Retries: sel.Retries},
+				fmt.Errorf("select %s: empty result", f.Model)
 		}
-		sinkHost, sinkLabel = peers[0], env.labelOf(peers[0])
+		degraded, retries = sel.Degraded, sel.Retries
+		sinkHost, sinkLabel = sel.Peers[0], env.labelOf(sel.Peers[0])
 	}
-	res := Result{Flow: f, Sink: sinkLabel, SelectedAt: selectedAt}
+	res := Result{Flow: f, Sink: sinkLabel, SelectedAt: selectedAt,
+		Degraded: degraded, Retries: retries}
 
 	file := transfer.NewVirtualFile(f.FileName, f.SizeBytes, FlowSeed(seed, f.Index))
 	flowID := fmt.Sprintf("flow %d (%s -> %s)", f.Index, srcLabel, sinkLabel)

@@ -7,6 +7,7 @@ import (
 
 	"peerlab/internal/core"
 	"peerlab/internal/experiments"
+	"peerlab/internal/faults"
 	"peerlab/internal/metrics"
 	"peerlab/internal/overlay"
 	"peerlab/internal/planetlab"
@@ -204,6 +205,13 @@ type Deployment struct {
 	hostOf    map[string]string
 	labelOf   map[string]string
 	bootCPU   map[string]float64
+
+	// Fault state (nil/zero unless the scenario carries a fault plan).
+	// Every client of a faulty deployment boots with the resilient call
+	// policy; the injector executes the plan alongside the session.
+	plan   *faults.Plan
+	sites  map[string][]string
+	policy overlay.CallPolicy
 }
 
 // ErrNoPeers is returned when a deployment is configured without peers.
@@ -290,7 +298,20 @@ func Deploy(cfg Config) (*Deployment, error) {
 		workload: wl,
 		advTTL:   advTTL,
 	}
-	d.ctl = overlay.NewClient(ctlNode, broker.Addr(), overlay.ClientConfig{CPUScore: 2})
+	if sc.Faults != nil {
+		// The control plane will fail on schedule: arm the fault plan and
+		// give every client the resilient call policy (deadline, retries,
+		// degraded fallback). Static scenarios keep the zero policy — one
+		// blocking exchange, no timers, no extra draws — so their committed
+		// figures cannot move.
+		d.plan = faults.NewPlan(sc.Faults(cfg.Seed))
+		d.policy = overlay.DefaultCallPolicy()
+		d.sites = make(map[string][]string)
+		for _, p := range catalog {
+			d.sites[p.Site] = append(d.sites[p.Site], p.Hostname)
+		}
+	}
+	d.ctl = overlay.NewClient(ctlNode, broker.Addr(), overlay.ClientConfig{CPUScore: 2, Call: d.policy})
 
 	if sc.Churn != nil {
 		// Membership belongs to the churn schedule: no static clients or
@@ -347,7 +368,7 @@ func (d *Deployment) bootPeer(label string) (*overlay.Client, error) {
 	if node == nil {
 		return nil, fmt.Errorf("peerlab: churn schedule names unknown peer %q", label)
 	}
-	c, err := overlay.BootPeer(node, d.broker.Addr(), d.bootCPU[label])
+	c, err := overlay.BootPeerWith(node, d.broker.Addr(), overlay.ClientConfig{CPUScore: d.bootCPU[label], Call: d.policy})
 	if err != nil {
 		return nil, fmt.Errorf("peerlab: churn boot %s: %w", label, err)
 	}
@@ -384,6 +405,9 @@ func (d *Deployment) Run(fn func(s *Session) error) error {
 			}
 			cond.Start()
 			d.conductor = cond
+		}
+		if d.plan != nil {
+			faults.NewInjector(d.ctlNode, d.net, d.broker, d.ctlNode.Name(), d.sites, d.plan).Start()
 		}
 		for _, st := range d.starters {
 			if serr := st(); serr != nil {

@@ -1,0 +1,43 @@
+#!/bin/sh
+# benchsnap: record a benchmark snapshot as BENCH_<n>.json — the repo's
+# perf trajectory, one committed snapshot per PR that cares to take one.
+# The JSON is hand-rolled from `go test -bench` lines (name, ns/op) plus
+# the host's Go version and CPU count, so later snapshots diff cleanly and
+# no external tooling is needed to read them.
+#
+# Usage: sh scripts/benchsnap.sh <n>    # writes BENCH_<n>.json
+set -eu
+cd "$(dirname "$0")/.."
+
+n="${1:?usage: benchsnap.sh <snapshot-number>}"
+out="BENCH_${n}.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+# -benchtime=1x: the suite benchmarks simulate full figure runs; one
+# iteration each is the tripwire granularity the trajectory needs, and it
+# keeps the snapshot cheap enough to re-record on any machine.
+go test -run='^$' -bench=. -benchtime=1x . > "$raw"
+
+awk -v goversion="$(go env GOVERSION)" '
+    BEGIN { print "{" }
+    /^goos:/    { goos = $2 }
+    /^goarch:/  { goarch = $2 }
+    /^cpu:/     { sub(/^cpu: /, ""); cpu = $0 }
+    /^Benchmark/ {
+        # NAME-<procs> <iters> <ns> ns/op [...]
+        name = $1; sub(/-[0-9]+$/, "", name)
+        bench[++nb] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", name, $2, $3)
+    }
+    END {
+        printf "  \"go\": \"%s\",\n", goversion
+        printf "  \"goos\": \"%s\",\n", goos
+        printf "  \"goarch\": \"%s\",\n", goarch
+        printf "  \"cpu\": \"%s\",\n", cpu
+        print  "  \"benchmarks\": ["
+        for (i = 1; i <= nb; i++) printf "%s%s\n", bench[i], (i < nb ? "," : "")
+        print  "  ]"
+        print  "}"
+    }
+' "$raw" > "$out"
+echo "wrote $out ($(grep -c '"name"' "$out") benchmarks)"
