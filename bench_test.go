@@ -27,6 +27,7 @@ import (
 	"peerlab/internal/stats"
 	"peerlab/internal/vtime"
 	"peerlab/internal/wire"
+	"peerlab/internal/workload"
 )
 
 // benchCfg keeps per-iteration experiment cost moderate; seeds vary per
@@ -151,7 +152,62 @@ func BenchmarkFigureSuite(b *testing.B) {
 	b.Run("serial", func(b *testing.B) { run(b, experiments.Config{Reps: 2, Workers: 1}) })
 	b.Run("parallel", func(b *testing.B) { run(b, experiments.Config{Reps: 2}) })
 	b.Run("heterogeneous-128", func(b *testing.B) {
+		if testing.Short() {
+			b.Skip("production-scale suite; run without -short (scripts/benchsnap.sh does)")
+		}
+		b.ReportAllocs()
 		run(b, experiments.Config{Reps: 1, Scenario: scenario.Heterogeneous(128), Shards: 4})
+	})
+}
+
+// BenchmarkScale runs whole-overlay sessions at directory sizes two to three
+// orders of magnitude past the paper's 8 peers — the scale surfaces this
+// repo's perf trajectory is measured against. uniform-1024 boots 1024
+// clients and runs the controller-fanout workload, so the boot wave
+// (registration acks with their known-peer counts, first stats reports)
+// dominates; swarm-4096 boots a 4096-peer directory and drives 256
+// concurrent peer↔peer flows, each resolving its sink through the broker's
+// sharded selection service over the full 4096-candidate set (selection is
+// O(directory) per call, so the flow count is kept off the quadratic cliff
+// — the directory size, not the flow count, is the scale axis here).
+// ReportAllocs puts bytes/op and allocs/op on the bench trajectory so
+// allocation regressions on the scale path gate CI exactly like time
+// regressions.
+func BenchmarkScale(b *testing.B) {
+	run := func(b *testing.B, cfg experiments.Config, wantFlows int) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg.Seed = int64(700 + i)
+			report, err := experiments.RunWorkload(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(report.Flows) != wantFlows {
+				b.Fatalf("flows = %d, want %d", len(report.Flows), wantFlows)
+			}
+			for _, f := range report.Flows {
+				if f.Failed {
+					b.Fatalf("flow %d failed: %s", f.Index, f.Error)
+				}
+			}
+		}
+	}
+	b.Run("uniform-1024", func(b *testing.B) {
+		if testing.Short() {
+			b.Skip("scale surface; run without -short (scripts/benchsnap.sh does)")
+		}
+		run(b, experiments.Config{Reps: 1, Scenario: scenario.Uniform(1024)}, 1024)
+	})
+	b.Run("swarm-4096", func(b *testing.B) {
+		if testing.Short() {
+			b.Skip("scale surface; run without -short (scripts/benchsnap.sh does)")
+		}
+		run(b, experiments.Config{
+			Reps:     1,
+			Scenario: scenario.Heterogeneous(4096),
+			Workload: workload.Swarm(256),
+			Shards:   4,
+		}, 256)
 	})
 }
 

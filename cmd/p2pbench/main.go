@@ -51,6 +51,14 @@
 //	         [-sweep "axis=v,v;..."]
 //	         [-seed N] [-reps N] [-parallel N] [-shards N]
 //	         [-format markdown|bars|csv|json]
+//	         [-cpuprofile FILE] [-memprofile FILE]
+//
+// -cpuprofile and -memprofile write pprof profiles covering the whole run —
+// the supported way to profile an experiment at scale without wrapping it in
+// a Go benchmark (`go tool pprof p2pbench cpu.out`). The memory profile is
+// written at exit after a final GC, so it reflects live heap, and profiling
+// never changes results: the simulation runs on virtual time and identical
+// seeds, instrumented or not.
 package main
 
 import (
@@ -59,6 +67,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"slices"
 	"strings"
 
@@ -93,6 +102,8 @@ func main() {
 		parallel = flag.Int("parallel", 0, "experiment cells run concurrently (0 = GOMAXPROCS, 1 = serial)")
 		shards   = flag.Int("shards", 1, "broker shards per deployed slice (results are shard-count independent)")
 		format   = flag.String("format", "markdown", "output format: markdown, bars, csv, json")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to FILE")
+		memProf  = flag.String("memprofile", "", "write a heap profile (after a final GC) to FILE at exit")
 	)
 	flag.Parse()
 
@@ -103,6 +114,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "p2pbench: unknown format %q (want markdown, bars, csv, json)\n", *format)
 		os.Exit(2)
 	}
+	if err := startProfiles(*cpuProf, *memProf); err != nil {
+		fmt.Fprintf(os.Stderr, "p2pbench: %v\n", err)
+		os.Exit(2)
+	}
+	defer stopProfiles()
 	expNames := strings.Split(*exp, ",")
 	for i := range expNames {
 		expNames[i] = strings.TrimSpace(expNames[i])
@@ -123,14 +139,14 @@ func main() {
 		}
 		if len(expNames) > 1 {
 			fmt.Fprintf(os.Stderr, "p2pbench: %s alongside other experiments needs an explicit -scenario\n", name)
-			os.Exit(2)
+			exit(2)
 		}
 		*scen = def
 	}
 	sc, err := scenario.Parse(*scen)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "p2pbench: %v\n", err)
-		os.Exit(2)
+		exit(2)
 	}
 
 	cfg := experiments.Config{Seed: *seed, Reps: *reps, Workers: *parallel, Scenario: sc, Shards: *shards}
@@ -145,7 +161,7 @@ func main() {
 		w, err := workload.Parse(*wl)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "p2pbench: %v\n", err)
-			os.Exit(2)
+			exit(2)
 		}
 		cfg.Workload = w
 	}
@@ -154,16 +170,16 @@ func main() {
 		sw, err := experiments.ParseSweep(*sweep)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "p2pbench: %v\n", err)
-			os.Exit(2)
+			exit(2)
 		}
 		report, err := experiments.RunSweep(cfg, sw)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "p2pbench: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		if err := renderSweep(report, *format); err != nil {
 			fmt.Fprintf(os.Stderr, "p2pbench: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		return
 	}
@@ -172,14 +188,14 @@ func main() {
 		report, err := experiments.RunWorkload(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "p2pbench: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		out.Workload = report.Workload
 		out.Flows = report.Flows
 		out.Summary = &report.Summary
 		if err := render(out, *format); err != nil {
 			fmt.Fprintf(os.Stderr, "p2pbench: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		return
 	}
@@ -190,7 +206,7 @@ func main() {
 		suite, err := experiments.FigureSuite(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "p2pbench: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		out.Table1 = suite.Table1
 		out.Figures = suite.Figures
@@ -213,20 +229,81 @@ func main() {
 				fig, err := figs[name](cfg)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "p2pbench: %s: %v\n", name, err)
-					os.Exit(1)
+					exit(1)
 				}
 				out.Figures = append(out.Figures, experiments.SuiteFigure{Name: name, Figure: fig})
 			default:
 				fmt.Fprintf(os.Stderr, "p2pbench: unknown experiment %q (want all, table1, fig2..fig7, figchurn, figfault)\n", name)
-				os.Exit(2)
+				exit(2)
 			}
 		}
 	}
 
 	if err := render(out, *format); err != nil {
 		fmt.Fprintf(os.Stderr, "p2pbench: %v\n", err)
-		os.Exit(1)
+		exit(1)
 	}
+}
+
+// flushProfiles finishes whatever profiling -cpuprofile/-memprofile started.
+// It is a no-op closure when neither flag was given, and nil-safe to call
+// exactly once from every exit path via exit() or main's defer.
+var flushProfiles func()
+
+// startProfiles opens the requested profile outputs. The CPU profile starts
+// immediately; the heap profile is captured at exit, after a final GC, so it
+// reflects the live heap of the completed run rather than transient garbage.
+func startProfiles(cpuFile, memFile string) error {
+	var stopCPU func()
+	if cpuFile != "" {
+		f, err := os.Create(cpuFile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		stopCPU = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	flushProfiles = func() {
+		if stopCPU != nil {
+			stopCPU()
+		}
+		if memFile == "" {
+			return
+		}
+		f, err := os.Create(memFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p2pbench: %v\n", err)
+			return
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "p2pbench: %v\n", err)
+		}
+		f.Close()
+	}
+	return nil
+}
+
+// stopProfiles runs the profile flush at most once.
+func stopProfiles() {
+	if flushProfiles != nil {
+		flushProfiles()
+		flushProfiles = nil
+	}
+}
+
+// exit flushes any active profiles before terminating: os.Exit skips
+// deferred calls, so error paths must come through here or lose the
+// CPU profile's unflushed tail and the heap profile entirely.
+func exit(code int) {
+	stopProfiles()
+	os.Exit(code)
 }
 
 // flagWasSet reports whether the named flag was explicitly passed on the

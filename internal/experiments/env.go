@@ -111,8 +111,26 @@ type Env struct {
 // NewEnv deploys the configured scenario and builds (but does not yet
 // start) the overlay. Start must run inside the network's scheduler (see
 // Run).
-func NewEnv(cfg Config) (*Env, error) {
-	s, err := scenario.Deploy(cfg.Scenario, cfg.Seed)
+func NewEnv(cfg Config) (*Env, error) { return NewEnvFor(cfg, nil) }
+
+// NewEnvFor is NewEnv for a cell that interacts only with the named peer
+// labels: the deployment materializes just those peers
+// (scenario.DeployPeers), so a per-peer cell on a 100k-peer directory pays
+// for two nodes, not 100k. nil — or empty, the churn conductor's "membership
+// is mine alone" marker, whose joins may name any catalog peer — deploys
+// the full catalog. The scenario's Remembered peers ride along in every
+// subset: their hostnames appear in quick-peer selection requests
+// (Env.Preferred), so dropping them would change request bytes, and with
+// them virtual timing, relative to a full deployment.
+func NewEnvFor(cfg Config, peers []string) (*Env, error) {
+	deploy := peers
+	if len(peers) == 0 {
+		deploy = nil
+	} else if len(cfg.Scenario.Remembered) > 0 {
+		deploy = append(append(make([]string, 0, len(peers)+len(cfg.Scenario.Remembered)), peers...),
+			cfg.Scenario.Remembered...)
+	}
+	s, err := scenario.DeployPeers(cfg.Scenario, cfg.Seed, deploy)
 	if err != nil {
 		return nil, err
 	}

@@ -97,7 +97,7 @@ func runCellsSeeded[T any](cfg Config, n int, seedOf func(i int) int64, cell fun
 // measurement on a 100+ peer slice boots one client, not hundreds.
 func envCell[T any](cellCfg Config, peers []string, fn func(env *Env, ctl *overlay.Client) (T, error)) (T, error) {
 	var out T
-	env, err := NewEnv(cellCfg)
+	env, err := NewEnvFor(cellCfg, peers)
 	if err != nil {
 		return out, err
 	}

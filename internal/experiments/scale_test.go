@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"peerlab/internal/scenario"
+	"peerlab/internal/workload"
+)
+
+// TestScaleSmoke pins the scale contract behind the 1024-peer surfaces: a
+// kilopeer slice completes its workload with zero failed or hung flows, and
+// the report stays bit-identical across worker and shard counts even when
+// thousands of virtual processes contend for the scheduler. A hang here
+// (a lost wake, a pool worker parked on a dead queue) shows up as the test
+// binary's deadline, not a flaky assertion.
+//
+// Runs only without -short: the swarm leg costs a few seconds of real time.
+func TestScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kilopeer smoke; run without -short (CI's scale job does)")
+	}
+	cases := []struct {
+		name      string
+		cfg       Config
+		wantFlows int
+	}{
+		// Controller fanout: every peer serves one flow, so 1024 flows
+		// exercise boot, registration and transfer across the whole slice.
+		{"uniform-1024", Config{Seed: 710, Reps: 1, Scenario: scenario.Uniform(1024)}, 1024},
+		// Swarm: 1024 broker-selected peer↔peer flows over the full
+		// 1024-candidate directory — the selection-heavy hot path.
+		{"swarm-1024", Config{Seed: 711, Reps: 1, Scenario: scenario.Uniform(1024), Workload: workload.Swarm(1024)}, 1024},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			serial, parallel, sharded := tc.cfg, tc.cfg, tc.cfg
+			serial.Workers = 1
+			parallel.Workers = 4
+			sharded.Workers = 4
+			sharded.Shards = 3
+
+			a, err := RunWorkload(serial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a.Flows) != tc.wantFlows {
+				t.Fatalf("flows = %d, want %d", len(a.Flows), tc.wantFlows)
+			}
+			for _, f := range a.Flows {
+				if f.Failed || f.Error != "" {
+					t.Fatalf("flow failed at scale: %+v", f)
+				}
+			}
+			b, err := RunWorkload(parallel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := RunWorkload(sharded)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a.Flows, b.Flows) {
+				t.Fatal("worker counts diverged at 1024 peers")
+			}
+			if !reflect.DeepEqual(a.Flows, c.Flows) {
+				t.Fatal("shard counts diverged at 1024 peers")
+			}
+			if !reflect.DeepEqual(a.Summary, c.Summary) {
+				t.Fatalf("summaries diverged: %+v vs %+v", a.Summary, c.Summary)
+			}
+		})
+	}
+}

@@ -10,6 +10,7 @@
 package jxta
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -160,6 +161,16 @@ type Cache struct {
 	now   func() time.Time
 	limit int
 	byID  map[ID]Advertisement
+	// kindLen counts entries per kind; after gcLocked every counted entry
+	// is live, so LiveLen answers in O(1).
+	kindLen map[AdvKind]int
+	// minExpiry is a lower bound on the earliest expiry among entries (zero
+	// = unknown, forcing the next gc to scan). While now < minExpiry no
+	// entry can be expired, so gcLocked skips its scan — the O(1) fast path
+	// every Publish on a static deployment takes. Renewals leave the bound
+	// stale-but-valid: the scan it eventually triggers removes nothing and
+	// recomputes it.
+	minExpiry time.Time
 }
 
 // NewCache returns a cache holding at most limit advertisements (default
@@ -171,7 +182,7 @@ func NewCache(limit int, now func() time.Time) *Cache {
 	if now == nil {
 		now = time.Now
 	}
-	return &Cache{now: now, limit: limit, byID: make(map[ID]Advertisement)}
+	return &Cache{now: now, limit: limit, byID: make(map[ID]Advertisement), kindLen: make(map[AdvKind]int, 3)}
 }
 
 // Publish inserts or refreshes an advertisement. Already-expired
@@ -184,19 +195,39 @@ func (c *Cache) Publish(a Advertisement) {
 		return
 	}
 	c.gcLocked(now)
-	if _, exists := c.byID[a.ID]; !exists && len(c.byID) >= c.limit {
+	old, exists := c.byID[a.ID]
+	if !exists && len(c.byID) >= c.limit {
 		c.evictOldestLocked()
 	}
+	if exists {
+		c.kindLen[old.Kind]--
+	}
+	c.kindLen[a.Kind]++
 	c.byID[a.ID] = a
+	if c.minExpiry.IsZero() || a.Expires.Before(c.minExpiry) {
+		c.minExpiry = a.Expires
+	}
 }
 
-// gcLocked removes expired entries. Caller holds c.mu.
+// gcLocked removes expired entries — exactly those with Expires <= now,
+// whether the minExpiry fast path or the scan runs (while now < minExpiry
+// no entry can be expired, by the bound's invariant). Caller holds c.mu.
 func (c *Cache) gcLocked(now time.Time) {
+	if !c.minExpiry.IsZero() && now.Before(c.minExpiry) {
+		return
+	}
+	var min time.Time
 	for id, a := range c.byID {
 		if !a.Expires.After(now) {
 			delete(c.byID, id)
+			c.kindLen[a.Kind]--
+			continue
+		}
+		if min.IsZero() || a.Expires.Before(min) {
+			min = a.Expires
 		}
 	}
+	c.minExpiry = min
 }
 
 // evictOldestLocked drops the entry closest to expiry. Caller holds c.mu.
@@ -210,6 +241,7 @@ func (c *Cache) evictOldestLocked() {
 		}
 	}
 	if !first {
+		c.kindLen[c.byID[victim].Kind]--
 		delete(c.byID, victim)
 	}
 }
@@ -258,7 +290,7 @@ func SortAdvertisements(advs []Advertisement) {
 		if advs[i].Name != advs[j].Name {
 			return advs[i].Name < advs[j].Name
 		}
-		return hex.EncodeToString(advs[i].ID[:]) < hex.EncodeToString(advs[j].ID[:])
+		return bytes.Compare(advs[i].ID[:], advs[j].ID[:]) < 0
 	})
 }
 
@@ -298,13 +330,18 @@ func (c *Cache) Clear() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.byID = make(map[ID]Advertisement)
+	c.kindLen = make(map[AdvKind]int, 3)
+	c.minExpiry = time.Time{}
 }
 
 // Remove deletes an advertisement by ID.
 func (c *Cache) Remove(id ID) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	delete(c.byID, id)
+	if a, ok := c.byID[id]; ok {
+		c.kindLen[a.Kind]--
+		delete(c.byID, id)
+	}
 }
 
 // Len reports the number of live advertisements.
@@ -313,6 +350,17 @@ func (c *Cache) Len() int {
 	defer c.mu.Unlock()
 	c.gcLocked(c.now())
 	return len(c.byID)
+}
+
+// LiveLen reports the number of live advertisements of one kind without
+// materializing them: after expiry accounting the per-kind counters are
+// exact, so — unlike Query — this is O(1) on the static fast path. It always
+// equals len(Query(kind, "")).
+func (c *Cache) LiveLen(kind AdvKind) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gcLocked(c.now())
+	return c.kindLen[kind]
 }
 
 // Standard attribute keys used by the overlay.

@@ -92,7 +92,22 @@ type Broker struct {
 	sweepTimer transport.Timer
 	lastSweep  time.Time
 	closed     bool
+
+	// Elastic handler pool (see acceptLoop). work carries accepted conns to
+	// parked resident handlers; idle counts handlers parked in work.Pop.
+	// Because the scheduler serializes dispatch, a handler increments idle
+	// and parks before any other process can run, so idle is always the
+	// exact number of parked handlers when acceptLoop reads it.
+	workMu sync.Mutex
+	work   transport.Queue
+	idle   int
 }
+
+// brokerResidentHandlers caps how many idle handler processes stay parked
+// awaiting the next conn. Handlers beyond the cap exit after serving; under
+// a same-instant burst the accept loop still spawns one process per conn
+// past the idle pool, exactly as the unpooled broker did.
+const brokerResidentHandlers = 16
 
 // NewBroker binds the broker service on host and starts serving.
 func NewBroker(host transport.Host, cfg BrokerConfig) (*Broker, error) {
@@ -107,6 +122,7 @@ func NewBroker(host transport.Host, cfg BrokerConfig) (*Broker, error) {
 		mux:       pipe.NewMux(host, ep, cfg.Pipe),
 		shards:    make([]*shard, cfg.Shards),
 		selectors: make(map[string]core.Selector),
+		work:      host.NewQueue(),
 	}
 	regs := make([]*stats.Registry, cfg.Shards)
 	for i := range b.shards {
@@ -177,6 +193,18 @@ func (b *Broker) Advertisements(kind jxta.AdvKind, name string) []jxta.Advertise
 // RegisterSelector installs (or replaces) a selection model under its name.
 func (b *Broker) RegisterSelector(s core.Selector) {
 	b.selectors[s.Name()] = s
+}
+
+// knownPeers counts live peer advertisements across shards — the value
+// len(Peers()) reports, computed from per-shard O(1) counters instead of
+// materializing and sorting the whole directory. Registration acks carry
+// it, so a boot wave of N peers must not pay O(N log N) per ack.
+func (b *Broker) knownPeers() int {
+	n := 0
+	for _, sh := range b.shards {
+		n += sh.cache.LiveLen(jxta.AdvPeer)
+	}
+	return n
 }
 
 // Peers lists registered peer names (live advertisements only).
@@ -278,13 +306,58 @@ func (b *Broker) sweep() {
 	b.armSweep()
 }
 
+// acceptLoop dispatches accepted conns to an elastic pool of handler
+// processes. A conn goes to a parked resident handler when one is idle and
+// to a freshly spawned process otherwise, so a same-instant burst larger
+// than the idle pool never serializes behind one handler's park points.
+//
+// Dispatch order is unchanged from the one-process-per-conn broker: waking
+// a parked handler (Queue.Push) and spawning a process (host.Go) admit a
+// runnable to the scheduler through the same mechanics at the same point in
+// the accept loop, and the handler body between park points is identical
+// either way — so the virtual-time event stream, and with it every golden
+// figure, is byte-identical.
 func (b *Broker) acceptLoop() {
 	for {
 		conn, err := b.mux.Accept()
 		if err != nil {
+			b.work.Close()
 			return
 		}
-		b.host.Go(func() { b.serve(conn) })
+		b.workMu.Lock()
+		if b.idle > 0 {
+			b.idle--
+			b.workMu.Unlock()
+			// A parked handler exists (idle is exact, see Broker.idle), so
+			// Push never buffers: the conn is handed straight to its waiter.
+			_ = b.work.Push(conn)
+			continue
+		}
+		b.workMu.Unlock()
+		c := conn
+		b.host.Go(func() { b.handlerLoop(c) })
+	}
+}
+
+// handlerLoop serves conns until the resident pool is full or the broker
+// closes: serve one conn, then park in the work queue for the next. Idle
+// accounting must precede the park (and nothing between them may yield) so
+// acceptLoop's read of idle matches the parked population exactly.
+func (b *Broker) handlerLoop(conn *pipe.Conn) {
+	for {
+		b.serve(conn)
+		b.workMu.Lock()
+		if b.idle >= brokerResidentHandlers {
+			b.workMu.Unlock()
+			return
+		}
+		b.idle++
+		b.workMu.Unlock()
+		v, err := b.work.Pop()
+		if err != nil {
+			return
+		}
+		conn = v.(*pipe.Conn)
 	}
 }
 
@@ -338,7 +411,7 @@ func (b *Broker) handleRegister(conn *pipe.Conn, d *wire.Decoder) {
 		ps.SetCPUScore(cpu)
 	}
 	b.armSweep()
-	ack := registerAck{OK: true, Broker: b.host.Name(), KnownPeers: len(b.Peers())}
+	ack := registerAck{OK: true, Broker: b.host.Name(), KnownPeers: b.knownPeers()}
 	conn.Send(ack.encode())
 }
 

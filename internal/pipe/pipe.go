@@ -17,6 +17,7 @@ package pipe
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -194,6 +195,11 @@ func (m *Mux) Close() error {
 }
 
 // newConnLocked registers a conn in the mux table. Caller holds m.mu.
+// The conn is deliberately lean: the reorder buffer, overflow in-flight
+// table and window wait queue are allocated only on the paths that need
+// them (out-of-order arrival, concurrent sends, window exhaustion), so the
+// request/response conns that dominate broker traffic — one in-order send
+// in flight at a time — allocate one inbox queue and nothing else.
 func (m *Mux) newConnLocked(peer transport.Addr, id uint64, theirs bool) *Conn {
 	c := &Conn{
 		mux:      m,
@@ -201,15 +207,10 @@ func (m *Mux) newConnLocked(peer transport.Addr, id uint64, theirs bool) *Conn {
 		id:       id,
 		theirs:   theirs,
 		inbox:    m.host.NewQueue(),
-		tokens:   m.host.NewQueue(),
-		inflight: make(map[uint64]*inflight),
-		recvBuf:  make(map[uint64]Message),
+		tokAvail: m.opts.Window,
 		recvNext: 1,
 		srtt:     m.opts.InitialRTT,
 		rttvar:   m.opts.InitialRTT / 2,
-	}
-	for i := 0; i < m.opts.Window; i++ {
-		c.tokens.Push(struct{}{})
 	}
 	m.conns[connKey{peer, id, theirs}] = c
 	return c
@@ -316,21 +317,37 @@ type Conn struct {
 	id     uint64
 	theirs bool
 
-	inbox  transport.Queue // Message, delivered in order
-	tokens transport.Queue // window slots
+	inbox transport.Queue // Message, delivered in order
 
-	mu        sync.Mutex
-	sendNext  uint64 // next seq to allocate (first is 1)
-	inflight  map[uint64]*inflight
-	recvNext  uint64 // next in-order seq expected
-	recvBuf   map[uint64]Message
-	finSeq    uint64 // seq carried by a FIN we received, 0 if none
-	broken    error  // non-nil once the conn is unusable
-	closed    bool
-	srtt      time.Duration
-	rttvar    time.Duration
-	rate      float64 // measured service rate, bytes/sec; 0 = no sample yet
-	retxCount int64   // cumulative retransmissions (observability)
+	mu       sync.Mutex
+	sendNext uint64 // next seq to allocate (first is 1)
+	// In-flight sends: the common case is exactly one, held inline in fl1
+	// (at seq flSeq); flMore is allocated only when sends overlap. flFree
+	// recycles inflight records (and their wake queues) across sequential
+	// sends on the conn — safe because a record receives exactly one push
+	// (its registration is removed before the push) and is recycled only
+	// after that push was consumed.
+	fl1    *inflight
+	flSeq  uint64
+	flMore map[uint64]*inflight
+	flFree []*inflight
+	// Send-window accounting replacing a pre-filled token queue: tokAvail
+	// counts free slots, tokWaiting the senders parked (or committed to
+	// park) in tokWait, which is created on first contention. Waking a
+	// parked sender goes through the same queue mechanics at the same
+	// instant as the token-queue push did, so scheduling is unchanged.
+	tokAvail   int
+	tokWaiting int
+	tokWait    transport.Queue
+	recvNext   uint64             // next in-order seq expected
+	recvBuf    map[uint64]Message // reorder buffer, allocated on first gap
+	finSeq     uint64             // seq carried by a FIN we received, 0 if none
+	broken     error              // non-nil once the conn is unusable
+	closed     bool
+	srtt       time.Duration
+	rttvar     time.Duration
+	rate       float64 // measured service rate, bytes/sec; 0 = no sample yet
+	retxCount  int64   // cumulative retransmissions (observability)
 }
 
 // Remote returns the peer address.
@@ -362,10 +379,10 @@ func (c *Conn) SendTimeout(payload []byte, size int, attemptTimeout time.Duratio
 		size = len(payload)
 	}
 	// Acquire a window slot.
-	if _, err := c.tokens.Pop(); err != nil {
+	if err := c.acquireToken(); err != nil {
 		return c.brokenErr()
 	}
-	defer c.tokens.Push(struct{}{})
+	defer c.releaseToken()
 
 	c.mu.Lock()
 	if c.broken != nil || c.closed {
@@ -378,8 +395,20 @@ func (c *Conn) SendTimeout(payload []byte, size int, attemptTimeout time.Duratio
 	}
 	c.sendNext++
 	seq := c.sendNext
-	fl := &inflight{released: c.mux.host.NewQueue()}
-	c.inflight[seq] = fl
+	var fl *inflight
+	if n := len(c.flFree); n > 0 {
+		fl, c.flFree = c.flFree[n-1], c.flFree[:n-1]
+	} else {
+		fl = &inflight{released: c.mux.host.NewQueue()}
+	}
+	if c.fl1 == nil {
+		c.fl1, c.flSeq = fl, seq
+	} else {
+		if c.flMore == nil {
+			c.flMore = make(map[uint64]*inflight)
+		}
+		c.flMore[seq] = fl
+	}
 	c.mu.Unlock()
 
 	for attempt := 0; attempt < c.mux.opts.MaxRetries; attempt++ {
@@ -411,6 +440,8 @@ func (c *Conn) SendTimeout(payload []byte, size int, attemptTimeout time.Duratio
 		v, err := fl.released.PopTimeout(rto)
 		switch {
 		case err == nil:
+			// The single push was consumed; the record is ours to recycle.
+			c.recycleInflight(fl)
 			if e, isErr := v.(error); isErr {
 				return e
 			}
@@ -425,10 +456,69 @@ func (c *Conn) SendTimeout(payload []byte, size int, attemptTimeout time.Duratio
 		}
 	}
 	c.mu.Lock()
-	delete(c.inflight, seq)
+	if c.fl1 == fl {
+		c.fl1 = nil
+	} else {
+		delete(c.flMore, seq)
+	}
 	c.mu.Unlock()
 	c.fail(ErrBroken)
 	return ErrBroken
+}
+
+// recycleInflight returns an in-flight record to the conn's free list. Only
+// a caller that consumed the record's single release push may recycle it: a
+// record still registered (or removed but not yet pushed to) must be left
+// to the garbage collector.
+func (c *Conn) recycleInflight(fl *inflight) {
+	c.mu.Lock()
+	if len(c.flFree) < 8 {
+		c.flFree = append(c.flFree, fl)
+	}
+	c.mu.Unlock()
+}
+
+// acquireToken claims a send-window slot, parking the caller when the
+// window is full. A closed conn with free slots still grants one — matching
+// the token queue this replaces, whose buffered tokens stayed poppable
+// after Close — and SendTimeout's broken/closed check rejects the send.
+func (c *Conn) acquireToken() error {
+	c.mu.Lock()
+	if c.tokAvail > 0 {
+		c.tokAvail--
+		c.mu.Unlock()
+		return nil
+	}
+	if c.closed {
+		c.mu.Unlock()
+		return transport.ErrClosed
+	}
+	if c.tokWait == nil {
+		c.tokWait = c.mux.host.NewQueue()
+	}
+	c.tokWaiting++
+	w := c.tokWait
+	c.mu.Unlock()
+	_, err := w.Pop()
+	return err
+}
+
+// releaseToken frees a window slot, handing it to the oldest parked sender
+// if any. tokWaiting is exact under the scheduler's serialized dispatch (a
+// waiter commits before anything else can run) and merely conservative
+// under real concurrency: a slot pushed before its waiter parks is buffered
+// in tokWait and claimed when the waiter arrives.
+func (c *Conn) releaseToken() {
+	c.mu.Lock()
+	if c.tokWaiting > 0 {
+		c.tokWaiting--
+		w := c.tokWait
+		c.mu.Unlock()
+		_ = w.Push(struct{}{})
+		return
+	}
+	c.tokAvail++
+	c.mu.Unlock()
 }
 
 // rtoFor sizes one attempt's timeout: smoothed RTT plus the expected
@@ -520,18 +610,29 @@ func (c *Conn) brokenErr() error {
 func (c *Conn) handleData(seq uint64, payload []byte, size int) {
 	c.mu.Lock()
 	if seq >= c.recvNext {
-		if _, dup := c.recvBuf[seq]; !dup {
-			// Copy: the payload aliases the transport buffer.
-			c.recvBuf[seq] = Message{Payload: append([]byte(nil), payload...), Size: size}
-		}
-		for {
-			m, ok := c.recvBuf[c.recvNext]
-			if !ok {
-				break
-			}
-			delete(c.recvBuf, c.recvNext)
-			c.inbox.Push(m)
+		if seq == c.recvNext && len(c.recvBuf) == 0 {
+			// In-order fast path — the reorder buffer stays untouched (and,
+			// on a conn that never saw a gap, unallocated). Payload copied:
+			// it aliases the transport buffer.
+			c.inbox.Push(Message{Payload: append([]byte(nil), payload...), Size: size})
 			c.recvNext++
+		} else {
+			if c.recvBuf == nil {
+				c.recvBuf = make(map[uint64]Message)
+			}
+			if _, dup := c.recvBuf[seq]; !dup {
+				// Copy: the payload aliases the transport buffer.
+				c.recvBuf[seq] = Message{Payload: append([]byte(nil), payload...), Size: size}
+			}
+			for {
+				m, ok := c.recvBuf[c.recvNext]
+				if !ok {
+					break
+				}
+				delete(c.recvBuf, c.recvNext)
+				c.inbox.Push(m)
+				c.recvNext++
+			}
 		}
 		if c.finSeq != 0 && c.recvNext >= c.finSeq {
 			c.inbox.Close()
@@ -543,19 +644,39 @@ func (c *Conn) handleData(seq uint64, payload []byte, size int) {
 	c.mux.sendFrame(c.peer, kindAck, !c.theirs, c.id, 0, ackThrough, nil, 0)
 }
 
-// handleAck releases every in-flight send at or below ack.
+// handleAck releases every in-flight send at or below ack. The common case
+// — one in-flight send, released inline — allocates nothing; multi-release
+// (a cumulative ack covering overlapping sends) wakes senders in ascending
+// seq order, a fixed order where the map it replaces iterated randomly.
 func (c *Conn) handleAck(ack uint64) {
 	c.mu.Lock()
-	var done []*inflight
-	for seq, fl := range c.inflight {
+	var one *inflight
+	if c.fl1 != nil && c.flSeq <= ack && len(c.flMore) == 0 {
+		// Fast path: the only in-flight send is released; no slice, no sort.
+		one, c.fl1 = c.fl1, nil
+		c.mu.Unlock()
+		one.released.Push(struct{}{})
+		return
+	}
+	type rel struct {
+		seq uint64
+		fl  *inflight
+	}
+	var done []rel
+	if c.fl1 != nil && c.flSeq <= ack {
+		done = append(done, rel{c.flSeq, c.fl1})
+		c.fl1 = nil
+	}
+	for seq, fl := range c.flMore {
 		if seq <= ack {
-			done = append(done, fl)
-			delete(c.inflight, seq)
+			done = append(done, rel{seq, fl})
+			delete(c.flMore, seq)
 		}
 	}
+	sort.Slice(done, func(i, j int) bool { return done[i].seq < done[j].seq })
 	c.mu.Unlock()
-	for _, fl := range done {
-		fl.released.Push(struct{}{})
+	for _, r := range done {
+		r.fl.released.Push(struct{}{})
 	}
 }
 
@@ -604,21 +725,33 @@ func (c *Conn) teardown(err error, unregister bool) {
 	if err != ErrClosed {
 		c.broken = err
 	}
-	waiters := make([]*inflight, 0, len(c.inflight))
-	for seq, fl := range c.inflight {
-		waiters = append(waiters, fl)
-		delete(c.inflight, seq)
+	type rel struct {
+		seq uint64
+		fl  *inflight
 	}
+	var waiters []rel
+	if c.fl1 != nil {
+		waiters = append(waiters, rel{c.flSeq, c.fl1})
+		c.fl1 = nil
+	}
+	for seq, fl := range c.flMore {
+		waiters = append(waiters, rel{seq, fl})
+		delete(c.flMore, seq)
+	}
+	sort.Slice(waiters, func(i, j int) bool { return waiters[i].seq < waiters[j].seq })
+	tokWait := c.tokWait
 	c.mu.Unlock()
 
 	final := err
 	if final == nil {
 		final = ErrClosed
 	}
-	for _, fl := range waiters {
-		fl.released.Push(final)
+	for _, w := range waiters {
+		w.fl.released.Push(final)
 	}
-	c.tokens.Close()
+	if tokWait != nil {
+		tokWait.Close()
+	}
 	c.inbox.Close()
 
 	if unregister {

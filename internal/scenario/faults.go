@@ -98,21 +98,21 @@ func FaultyRated(n int, rate float64) Scenario {
 	labels := syntheticLabels(n)
 	remembered, blemished := fig6Hints(labels)
 	het := Heterogeneous(n)
+	one := func(seed int64, i int) Peer {
+		p := het.SynthesizeOne(seed, i)
+		p.Hostname = labels[i] + ".faults.slice.peerlab"
+		p.Site = churnSite(i)
+		return p
+	}
 	return Scenario{
-		Name:    fmt.Sprintf("faults:%d", n),
-		Control: syntheticControl(),
-		Labels:  labels,
-		Synthesize: func(seed int64) []Peer {
-			peers := het.Synthesize(seed)
-			for i := range peers {
-				peers[i].Hostname = labels[i] + ".faults.slice.peerlab"
-				peers[i].Site = churnSite(i)
-			}
-			return peers
-		},
-		Remembered: remembered,
-		Blemished:  blemished,
-		Workload:   fmt.Sprintf("swarm:%d", n),
+		Name:          fmt.Sprintf("faults:%d", n),
+		Control:       syntheticControl(),
+		Labels:        labels,
+		Synthesize:    synthesizeAll(n, one),
+		SynthesizeOne: one,
+		Remembered:    remembered,
+		Blemished:     blemished,
+		Workload:      fmt.Sprintf("swarm:%d", n),
 		Churn: func(seed int64) []ChurnEvent {
 			// Static membership, expressed as a schedule so the churn
 			// runtime (heartbeats, short leases) carries this scenario.

@@ -89,6 +89,13 @@ type Scenario struct {
 	// pure function of the seed: the runner calls it once per experiment
 	// cell and relies on identical output at any worker count.
 	Synthesize func(seed int64) []Peer
+	// SynthesizeOne, when non-nil, returns catalog entry i alone, and must
+	// satisfy SynthesizeOne(seed, i) == Synthesize(seed)[i] with
+	// Labels[i] == SynthesizeOne(seed, i).Label. Generators whose per-peer
+	// draw streams are independent (every generator in this package) provide
+	// it so a subset deployment (DeployPeers) can materialize the two peers
+	// a cell touches instead of seeding a million draw streams.
+	SynthesizeOne func(seed int64, i int) Peer
 	// Remembered is the stale "quick peers" user memory Figure 6's
 	// quick-peer model consults, fastest-remembered first.
 	Remembered []string
@@ -197,6 +204,59 @@ func Deploy(sc Scenario, seed int64) (*Slice, error) {
 			return nil, err
 		}
 		s.Peers[p.Label] = node
+	}
+	return s, nil
+}
+
+// DeployPeers is Deploy restricted to the named peer labels: the control
+// node plus only those peers are synthesized and added, so a per-peer
+// experiment cell on a huge slice pays for the nodes it touches, not for
+// the directory size. The subset world is byte-identical to the full
+// Deploy as long as the run really interacts with the named peers alone:
+// per-peer synthesis streams are independent (see SynthesizeOne), and a
+// node that never sends or receives leaves no trace on the scheduler or on
+// any draw stream. A nil labels list — or a scenario without SynthesizeOne
+// — falls back to the full Deploy. The returned slice's Catalog and Peers
+// hold only the subset, in catalog order.
+func DeployPeers(sc Scenario, seed int64, labels []string) (*Slice, error) {
+	if labels == nil || sc.SynthesizeOne == nil {
+		return Deploy(sc, seed)
+	}
+	if sc.IsZero() {
+		return nil, errors.New("scenario: Deploy of zero Scenario")
+	}
+	want := make(map[string]bool, len(labels))
+	for _, l := range labels {
+		want[l] = true
+	}
+	net := simnet.New(seed)
+	control, err := net.AddNode(sc.Control.Hostname, sc.Control.Profile)
+	if err != nil {
+		return nil, err
+	}
+	s := &Slice{
+		Net:     net,
+		Control: control,
+		Peers:   make(map[string]*simnet.Node, len(labels)),
+		Catalog: make([]Peer, 0, len(labels)),
+	}
+	for i, l := range sc.Labels {
+		if !want[l] {
+			continue
+		}
+		delete(want, l)
+		p := sc.SynthesizeOne(seed, i)
+		node, err := net.AddNode(p.Hostname, p.Profile)
+		if err != nil {
+			return nil, err
+		}
+		s.Catalog = append(s.Catalog, p)
+		s.Peers[p.Label] = node
+	}
+	if len(want) > 0 {
+		for l := range want {
+			return nil, fmt.Errorf("scenario: DeployPeers: unknown peer label %q", l)
+		}
 	}
 	return s, nil
 }
@@ -366,29 +426,41 @@ func baseProfile() simnet.Profile {
 func Uniform(n int) Scenario {
 	labels := syntheticLabels(n)
 	remembered, blemished := fig6Hints(labels)
+	one := func(seed int64, i int) Peer {
+		r := peerRand(seed, i)
+		p := baseProfile()
+		p.LatencyOneWay = time.Duration(uniformIn(r, 15, 35) * float64(time.Millisecond))
+		p.Bandwidth = uniformIn(r, 1.0e6, 1.4e6)
+		p.CPUScore = uniformIn(r, 0.9, 1.1)
+		p.MTBF = 180 * time.Minute
+		return Peer{
+			Label:    labels[i],
+			Hostname: labels[i] + ".uniform.slice.peerlab",
+			Profile:  p,
+		}
+	}
 	return Scenario{
-		Name:    fmt.Sprintf("uniform:%d", n),
-		Control: syntheticControl(),
-		Labels:  labels,
-		Synthesize: func(seed int64) []Peer {
-			peers := make([]Peer, n)
-			for i := range peers {
-				r := peerRand(seed, i)
-				p := baseProfile()
-				p.LatencyOneWay = time.Duration(uniformIn(r, 15, 35) * float64(time.Millisecond))
-				p.Bandwidth = uniformIn(r, 1.0e6, 1.4e6)
-				p.CPUScore = uniformIn(r, 0.9, 1.1)
-				p.MTBF = 180 * time.Minute
-				peers[i] = Peer{
-					Label:    labels[i],
-					Hostname: labels[i] + ".uniform.slice.peerlab",
-					Profile:  p,
-				}
-			}
-			return peers
-		},
-		Remembered: remembered,
-		Blemished:  blemished,
+		Name:          fmt.Sprintf("uniform:%d", n),
+		Control:       syntheticControl(),
+		Labels:        labels,
+		Synthesize:    synthesizeAll(n, one),
+		SynthesizeOne: one,
+		Remembered:    remembered,
+		Blemished:     blemished,
+	}
+}
+
+// synthesizeAll lifts a per-peer generator into the full-catalog Synthesize
+// shape. The per-peer draw streams (peerRand) are independent by
+// construction, so element i of the returned catalog is identical whether
+// its neighbours were synthesized or not.
+func synthesizeAll(n int, one func(seed int64, i int) Peer) func(seed int64) []Peer {
+	return func(seed int64) []Peer {
+		peers := make([]Peer, n)
+		for i := range peers {
+			peers[i] = one(seed, i)
+		}
+		return peers
 	}
 }
 
@@ -400,44 +472,42 @@ func Uniform(n int) Scenario {
 func Heterogeneous(n int) Scenario {
 	labels := syntheticLabels(n)
 	remembered, blemished := fig6Hints(labels)
+	one := func(seed int64, i int) Peer {
+		r := peerRand(seed, i)
+		p := baseProfile()
+		switch class := r.Float64(); {
+		case class < 0.5: // healthy
+			p.LatencyOneWay = time.Duration(uniformIn(r, 10, 30) * float64(time.Millisecond))
+			p.Bandwidth = uniformIn(r, 1.2e6, 1.8e6)
+			p.CPUScore = uniformIn(r, 1.0, 1.3)
+			p.MTBF = 180 * time.Minute
+		case class < 0.8: // loaded sliver
+			p.LatencyOneWay = time.Duration(uniformIn(r, 20, 40) * float64(time.Millisecond))
+			p.Bandwidth = uniformIn(r, 0.6e6, 1.2e6)
+			p.CPUScore = uniformIn(r, 0.7, 1.0)
+			p.WakeLag = time.Duration(uniformIn(r, 1, 8) * float64(time.Second))
+			p.MTBF = 120 * time.Minute
+		default: // pathological (SC7-style)
+			p.LatencyOneWay = time.Duration(uniformIn(r, 30, 60) * float64(time.Millisecond))
+			p.Bandwidth = uniformIn(r, 0.2e6, 0.6e6)
+			p.CPUScore = uniformIn(r, 0.4, 0.7)
+			p.WakeLag = time.Duration(uniformIn(r, 8, 30) * float64(time.Second))
+			p.MTBF = time.Duration(uniformIn(r, 35, 60) * float64(time.Minute))
+		}
+		return Peer{
+			Label:    labels[i],
+			Hostname: labels[i] + ".hetero.slice.peerlab",
+			Profile:  p,
+		}
+	}
 	return Scenario{
-		Name:    fmt.Sprintf("heterogeneous:%d", n),
-		Control: syntheticControl(),
-		Labels:  labels,
-		Synthesize: func(seed int64) []Peer {
-			peers := make([]Peer, n)
-			for i := range peers {
-				r := peerRand(seed, i)
-				p := baseProfile()
-				switch class := r.Float64(); {
-				case class < 0.5: // healthy
-					p.LatencyOneWay = time.Duration(uniformIn(r, 10, 30) * float64(time.Millisecond))
-					p.Bandwidth = uniformIn(r, 1.2e6, 1.8e6)
-					p.CPUScore = uniformIn(r, 1.0, 1.3)
-					p.MTBF = 180 * time.Minute
-				case class < 0.8: // loaded sliver
-					p.LatencyOneWay = time.Duration(uniformIn(r, 20, 40) * float64(time.Millisecond))
-					p.Bandwidth = uniformIn(r, 0.6e6, 1.2e6)
-					p.CPUScore = uniformIn(r, 0.7, 1.0)
-					p.WakeLag = time.Duration(uniformIn(r, 1, 8) * float64(time.Second))
-					p.MTBF = 120 * time.Minute
-				default: // pathological (SC7-style)
-					p.LatencyOneWay = time.Duration(uniformIn(r, 30, 60) * float64(time.Millisecond))
-					p.Bandwidth = uniformIn(r, 0.2e6, 0.6e6)
-					p.CPUScore = uniformIn(r, 0.4, 0.7)
-					p.WakeLag = time.Duration(uniformIn(r, 8, 30) * float64(time.Second))
-					p.MTBF = time.Duration(uniformIn(r, 35, 60) * float64(time.Minute))
-				}
-				peers[i] = Peer{
-					Label:    labels[i],
-					Hostname: labels[i] + ".hetero.slice.peerlab",
-					Profile:  p,
-				}
-			}
-			return peers
-		},
-		Remembered: remembered,
-		Blemished:  blemished,
+		Name:          fmt.Sprintf("heterogeneous:%d", n),
+		Control:       syntheticControl(),
+		Labels:        labels,
+		Synthesize:    synthesizeAll(n, one),
+		SynthesizeOne: one,
+		Remembered:    remembered,
+		Blemished:     blemished,
 	}
 }
 
@@ -452,33 +522,31 @@ func Heterogeneous(n int) Scenario {
 func Zipf(n int) Scenario {
 	labels := syntheticLabels(n)
 	remembered, blemished := fig6Hints(labels)
+	one := func(seed int64, i int) Peer {
+		r := peerRand(seed, i)
+		p := baseProfile()
+		bw := zipfBaseBandwidth / math.Pow(float64(i+1), zipfExp)
+		if bw < zipfMinBandwidth {
+			bw = zipfMinBandwidth
+		}
+		p.Bandwidth = bw * uniformIn(r, 0.9, 1.1)
+		p.LatencyOneWay = time.Duration(uniformIn(r, 15, 40) * float64(time.Millisecond))
+		p.CPUScore = uniformIn(r, 0.8, 1.2)
+		p.MTBF = 150 * time.Minute
+		return Peer{
+			Label:    labels[i],
+			Hostname: labels[i] + ".zipf.slice.peerlab",
+			Profile:  p,
+		}
+	}
 	return Scenario{
-		Name:    fmt.Sprintf("zipf:%d", n),
-		Control: syntheticControl(),
-		Labels:  labels,
-		Synthesize: func(seed int64) []Peer {
-			peers := make([]Peer, n)
-			for i := range peers {
-				r := peerRand(seed, i)
-				p := baseProfile()
-				bw := zipfBaseBandwidth / math.Pow(float64(i+1), zipfExp)
-				if bw < zipfMinBandwidth {
-					bw = zipfMinBandwidth
-				}
-				p.Bandwidth = bw * uniformIn(r, 0.9, 1.1)
-				p.LatencyOneWay = time.Duration(uniformIn(r, 15, 40) * float64(time.Millisecond))
-				p.CPUScore = uniformIn(r, 0.8, 1.2)
-				p.MTBF = 150 * time.Minute
-				peers[i] = Peer{
-					Label:    labels[i],
-					Hostname: labels[i] + ".zipf.slice.peerlab",
-					Profile:  p,
-				}
-			}
-			return peers
-		},
-		Remembered: remembered,
-		Blemished:  blemished,
+		Name:          fmt.Sprintf("zipf:%d", n),
+		Control:       syntheticControl(),
+		Labels:        labels,
+		Synthesize:    synthesizeAll(n, one),
+		SynthesizeOne: one,
+		Remembered:    remembered,
+		Blemished:     blemished,
 	}
 }
 
@@ -526,26 +594,26 @@ func ChurnRated(n int, rate float64) Scenario {
 	labels := syntheticLabels(n)
 	remembered, blemished := fig6Hints(labels)
 	het := Heterogeneous(n)
+	one := func(seed int64, i int) Peer {
+		p := het.SynthesizeOne(seed, i)
+		p.Hostname = labels[i] + ".churn.slice.peerlab"
+		p.Site = churnSite(i)
+		return p
+	}
 	return Scenario{
-		Name:    fmt.Sprintf("churn:%d", n),
-		Control: syntheticControl(),
-		Labels:  labels,
-		Synthesize: func(seed int64) []Peer {
-			peers := het.Synthesize(seed)
-			for i := range peers {
-				peers[i].Hostname = labels[i] + ".churn.slice.peerlab"
-				peers[i].Site = churnSite(i)
-			}
-			return peers
-		},
-		Remembered: remembered,
-		Blemished:  blemished,
-		Workload:   fmt.Sprintf("swarm:%d", n),
-		Churn:      func(seed int64) []ChurnEvent { return churnSchedule(labels, seed, rate) },
-		Horizon:    churnHorizon,
-		AdvTTL:     churnAdvTTL,
-		LeaseSweep: churnLeaseSweep,
-		ChurnRate:  func(r float64) Scenario { return ChurnRated(n, r) },
+		Name:          fmt.Sprintf("churn:%d", n),
+		Control:       syntheticControl(),
+		Labels:        labels,
+		Synthesize:    synthesizeAll(n, one),
+		SynthesizeOne: one,
+		Remembered:    remembered,
+		Blemished:     blemished,
+		Workload:      fmt.Sprintf("swarm:%d", n),
+		Churn:         func(seed int64) []ChurnEvent { return churnSchedule(labels, seed, rate) },
+		Horizon:       churnHorizon,
+		AdvTTL:        churnAdvTTL,
+		LeaseSweep:    churnLeaseSweep,
+		ChurnRate:     func(r float64) Scenario { return ChurnRated(n, r) },
 	}
 }
 

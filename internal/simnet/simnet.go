@@ -140,13 +140,13 @@ func (n *Network) AddNode(name string, p Profile) (*Node, error) {
 	if _, dup := n.nodes[name]; dup {
 		return nil, fmt.Errorf("simnet: duplicate node %q", name)
 	}
+	// endpoints and pairBusy are allocated on first bind/send: a node in a
+	// large directory that is never booted costs two nil maps, not two
+	// allocated ones.
 	node := &Node{
-		net:       n,
-		name:      name,
-		profile:   p,
-		endpoints: make(map[string]*endpoint),
-		pairBusy:  make(map[string]time.Duration),
-		rng:       rand.New(rand.NewSource(hashSeed(n.seed, name, ""))),
+		net:     n,
+		name:    name,
+		profile: p,
 		// A freshly added node has never been active: it must pay the
 		// wake-up lag on first contact. Half of MinInt64 avoids overflow
 		// when the engaged window is added.
@@ -224,11 +224,24 @@ type Node struct {
 	profile Profile
 
 	// Guarded by net.mu:
-	endpoints  map[string]*endpoint
-	pairBusy   map[string]time.Duration // per destination node, uplink busy-until
+	endpoints  map[string]*endpoint     // lazily allocated on first bind
+	pairBusy   map[string]time.Duration // per destination node, uplink busy-until (lazy)
 	lastActive time.Duration            // last time the node did anything
 	wakeAt     time.Duration            // pending wake-up time, if any
-	rng        *rand.Rand
+	rng        *rand.Rand               // lazily seeded; see randLocked
+}
+
+// randLocked returns the node's deterministic random source, seeding it on
+// first use. Seeding is a pure function of (network seed, node name), so a
+// lazily seeded stream is identical to an eagerly seeded one — but a node
+// that never draws (most of a large directory in a per-peer experiment
+// cell) never pays the ~5 KB / 607-word seeding of Go's lagged-Fibonacci
+// source. Caller holds net.mu.
+func (nd *Node) randLocked() *rand.Rand {
+	if nd.rng == nil {
+		nd.rng = rand.New(rand.NewSource(hashSeed(nd.net.seed, nd.name, "")))
+	}
+	return nd.rng
 }
 
 var _ transport.Host = (*Node)(nil)
@@ -254,7 +267,11 @@ func (nd *Node) AfterFunc(d time.Duration, fn func()) transport.Timer {
 }
 
 // Rand returns the node's deterministic random source.
-func (nd *Node) Rand() *rand.Rand { return nd.rng }
+func (nd *Node) Rand() *rand.Rand {
+	nd.net.mu.Lock()
+	defer nd.net.mu.Unlock()
+	return nd.randLocked()
+}
 
 // NewQueue returns a virtual-time-aware FIFO.
 func (nd *Node) NewQueue() transport.Queue {
@@ -321,6 +338,9 @@ func (nd *Node) Endpoint(service string) (transport.Endpoint, error) {
 		addr:  transport.MakeAddr(nd.name, service),
 		queue: vtime.NewQueue(nd.net.sched),
 	}
+	if nd.endpoints == nil {
+		nd.endpoints = make(map[string]*endpoint)
+	}
 	nd.endpoints[service] = ep
 	return ep, nil
 }
@@ -384,13 +404,16 @@ func (ep *endpoint) SendSized(to transport.Addr, payload []byte, size int) error
 		start = busy
 	}
 	txEnd := start + txDur
+	if src.pairBusy == nil {
+		src.pairBusy = make(map[string]time.Duration)
+	}
 	src.pairBusy[to.Node()] = txEnd
 	src.lastActive = txEnd
 
 	latency := p.LatencyOneWay + q.LatencyOneWay
 	jitter := time.Duration(0)
 	if j := p.Jitter + q.Jitter; j > 0 {
-		jitter = time.Duration(src.rng.Int63n(int64(2*j))) - j
+		jitter = time.Duration(src.randLocked().Int63n(int64(2*j))) - j
 		if latency+jitter < 0 {
 			jitter = -latency
 		}
@@ -415,7 +438,7 @@ func (ep *endpoint) SendSized(to transport.Addr, payload []byte, size int) error
 			// Idle with no pending wake: this message triggers one.
 			factor := 1.0
 			if s := q.WakeLagSpread; s > 0 {
-				factor = 1 - s + 2*s*src.rng.Float64()
+				factor = 1 - s + 2*s*src.randLocked().Float64()
 			}
 			arrival += time.Duration(float64(q.WakeLag) * factor)
 			dstNode.wakeAt = arrival
@@ -432,16 +455,16 @@ func (ep *endpoint) SendSized(to transport.Addr, payload []byte, size int) error
 		if extra > 1 {
 			extra = 1
 		}
-		if src.rng.Float64() < extra {
+		if src.randLocked().Float64() < extra {
 			lost = true
 		}
 	}
-	if !lost && q.LossRate > 0 && src.rng.Float64() < q.LossRate {
+	if !lost && q.LossRate > 0 && src.randLocked().Float64() < q.LossRate {
 		lost = true
 	}
 	if !lost && q.MTBF > 0 && txDur > 0 {
 		pFail := 1 - math.Exp(-float64(txDur)/float64(q.MTBF))
-		if src.rng.Float64() < pFail {
+		if src.randLocked().Float64() < pFail {
 			lost = true
 		}
 	}

@@ -2,6 +2,7 @@ package vtime
 
 import (
 	"errors"
+	"sync"
 	"time"
 )
 
@@ -26,6 +27,12 @@ type qwaiter struct {
 	grant    chan struct{} // execution grant set at wake time (see admitLocked)
 	deadline *timerEntry   // non-nil if a Pop timeout is armed
 }
+
+// qwaiterPool recycles waiters (and their cap-1 wake channels). A waiter is
+// referenced only by its parked process and q.waits; by the time the process
+// has drained w.ch the waker has dropped its reference, so the process owns
+// the waiter and may return it.
+var qwaiterPool = sync.Pool{New: func() any { return &qwaiter{ch: make(chan any, 1)} }}
 
 // NewQueue returns an empty queue bound to the scheduler.
 func NewQueue(s *Scheduler) *Queue {
@@ -87,7 +94,7 @@ func (q *Queue) pop(timeout time.Duration) (any, error) {
 		q.s.mu.Unlock()
 		return nil, ErrClosed
 	}
-	w := &qwaiter{ch: make(chan any, 1)}
+	w := qwaiterPool.Get().(*qwaiter)
 	if timeout >= 0 {
 		w.deadline = q.s.scheduleLocked(q.s.now+timeout, func() {
 			// Remove w from the wait list and wake it with a timeout marker.
@@ -108,8 +115,12 @@ func (q *Queue) pop(timeout time.Duration) (any, error) {
 	q.s.mu.Unlock()
 
 	v := <-w.ch
-	if w.grant != nil {
-		<-w.grant
+	g := w.grant
+	w.grant, w.deadline = nil, nil
+	qwaiterPool.Put(w)
+	if g != nil {
+		<-g
+		putGrant(g)
 	}
 	switch v.(type) {
 	case errTimeoutMarker:

@@ -44,6 +44,7 @@ type Scheduler struct {
 	timers  timerHeap
 	seq     int64
 	batch   []*timerEntry // reused fire batch, see advanceLocked
+	free    []*timerEntry // recycled entries, see getEntryLocked
 	quiet   *sync.Cond    // signalled when the system quiesces
 	halted  bool
 
@@ -81,33 +82,43 @@ func (s *Scheduler) Elapsed() time.Duration {
 	return s.now
 }
 
+// grantPool recycles wake-grant channels (and Sleep wake channels — same
+// shape). Each channel carries exactly one buffered signal per use, so a
+// receiver that drained it may return it for reuse. Reuse cannot perturb
+// wake order: which channel a waiter holds is invisible to the dispatcher,
+// which only tracks the FIFO of grants in s.ready.
+var grantPool = sync.Pool{New: func() any { return make(chan struct{}, 1) }}
+
+func putGrant(g chan struct{}) { grantPool.Put(g) }
+
 // admitLocked registers a newly runnable process with the serialized
 // dispatcher. It returns nil when the process may execute immediately
 // (nothing else holds the execution slot), or a grant channel its goroutine
-// must receive from before running any code. Caller holds s.mu and has
-// already incremented s.running. Invariant throughout:
-// running == (active ? 1 : 0) + len(ready).
+// must receive from (and then release via putGrant) before running any
+// code. Caller holds s.mu and has already incremented s.running. Invariant
+// throughout: running == (active ? 1 : 0) + len(ready).
 func (s *Scheduler) admitLocked() chan struct{} {
 	if !s.active {
 		s.active = true
 		return nil
 	}
-	g := make(chan struct{})
+	g := grantPool.Get().(chan struct{})
 	s.ready = append(s.ready, g)
 	return g
 }
 
 // yieldLocked releases the execution slot when the active process parks or
 // exits: the oldest waiting process is granted the slot, or — when none is
-// runnable — the clock advances to the next timer instant. Caller holds
-// s.mu and has already decremented s.running.
+// runnable — the clock advances to the next timer instant. The grant is a
+// buffered send, not a close, so the channel survives for reuse. Caller
+// holds s.mu and has already decremented s.running.
 func (s *Scheduler) yieldLocked() {
 	s.active = false
 	if len(s.ready) > 0 {
 		g := s.ready[0]
 		s.ready = s.ready[1:]
 		s.active = true
-		close(g)
+		g <- struct{}{}
 		return
 	}
 	s.advanceLocked()
@@ -126,6 +137,7 @@ func (s *Scheduler) Go(fn func()) {
 	go func() {
 		if g != nil {
 			<-g
+			putGrant(g)
 		}
 		defer s.exit()
 		fn()
@@ -146,20 +158,22 @@ func (s *Scheduler) Sleep(d time.Duration) {
 	if d <= 0 {
 		return
 	}
-	ch := make(chan struct{})
+	ch := grantPool.Get().(chan struct{})
 	var g chan struct{}
 	s.mu.Lock()
 	s.scheduleLocked(s.now+d, func() {
 		s.running++
-		g = s.admitLocked() // written under s.mu before close; read after <-ch
-		close(ch)
+		g = s.admitLocked() // written under s.mu before the send; read after <-ch
+		ch <- struct{}{}
 	})
 	s.running--
 	s.yieldLocked()
 	s.mu.Unlock()
 	<-ch
+	putGrant(ch)
 	if g != nil {
 		<-g
+		putGrant(g)
 	}
 }
 
@@ -167,15 +181,18 @@ func (s *Scheduler) Sleep(d time.Duration) {
 type Timer struct {
 	s       *Scheduler
 	entry   *timerEntry
+	gen     uint64 // entry generation at creation; a recycled entry is someone else's
 	stopped bool
 }
 
 // Stop cancels the timer. It reports whether the call prevented the callback
-// from firing.
+// from firing. Entries are recycled once fired or cancelled (see
+// getEntryLocked), so a generation mismatch means this timer's entry is
+// gone — possibly reused by an unrelated timer Stop must not touch.
 func (t *Timer) Stop() bool {
 	t.s.mu.Lock()
 	defer t.s.mu.Unlock()
-	if t.stopped || t.entry.fired {
+	if t.stopped || t.entry.gen != t.gen {
 		return false
 	}
 	t.stopped = true
@@ -198,12 +215,13 @@ func (s *Scheduler) AfterFunc(d time.Duration, fn func()) *Timer {
 		go func() {
 			if g != nil {
 				<-g
+				putGrant(g)
 			}
 			defer s.exit()
 			fn()
 		}()
 	})
-	return &Timer{s: s, entry: entry}
+	return &Timer{s: s, entry: entry, gen: entry.gen}
 }
 
 // callbackAt schedules fn to run with the scheduler lock held at virtual time
@@ -218,10 +236,36 @@ func (s *Scheduler) callbackAt(at time.Duration, fn func()) *timerEntry {
 	return s.scheduleLocked(at, fn)
 }
 
+// getEntryLocked pops a recycled timer entry off the free list, or allocates
+// one. Entries return to the list in cancelLocked and advanceLocked with
+// their generation bumped; reuse is invisible to scheduling order because an
+// entry's identity plays no part in heap order — only (at, seq) does, and
+// seq is issued fresh per schedule. Caller holds s.mu.
+func (s *Scheduler) getEntryLocked() *timerEntry {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		e.cancelled = false
+		return e
+	}
+	return &timerEntry{}
+}
+
+// putEntryLocked recycles e: the generation bump invalidates any Timer still
+// holding it, and dropping fire unpins the callback closure. Caller holds
+// s.mu; e must already be out of the heap.
+func (s *Scheduler) putEntryLocked(e *timerEntry) {
+	e.gen++
+	e.fire = nil
+	s.free = append(s.free, e)
+}
+
 // scheduleLocked enqueues a timer entry. Caller holds s.mu.
 func (s *Scheduler) scheduleLocked(at time.Duration, fn func()) *timerEntry {
 	s.seq++
-	e := &timerEntry{at: at, seq: s.seq, fire: fn}
+	e := s.getEntryLocked()
+	e.at, e.seq, e.fire = at, s.seq, fn
 	heap.Push(&s.timers, e)
 	return e
 }
@@ -229,15 +273,16 @@ func (s *Scheduler) scheduleLocked(at time.Duration, fn func()) *timerEntry {
 // cancelLocked marks e cancelled and removes it from the heap eagerly, using
 // the index the heap maintains. Eager removal keeps the invariant that every
 // heap entry is live, which makes Pending O(1). An entry already popped into
-// the current fire batch (index -1) is only marked; advanceLocked skips it.
-// Caller holds s.mu.
+// the current fire batch (index -1) is only marked; advanceLocked skips and
+// recycles it. Caller holds s.mu.
 func (s *Scheduler) cancelLocked(e *timerEntry) {
-	if e == nil || e.cancelled || e.fired {
+	if e == nil || e.cancelled {
 		return
 	}
 	e.cancelled = true
 	if e.index >= 0 {
 		heap.Remove(&s.timers, e.index)
+		s.putEntryLocked(e)
 	}
 }
 
@@ -274,11 +319,14 @@ func (s *Scheduler) advanceLocked() {
 				// deadline): firing it anyway would double-wake its waiter.
 				continue
 			}
-			e.fired = true
 			e.fire()
 		}
-		for i := range batch {
-			batch[i] = nil // don't pin fired entries until the next advance
+		// Recycle only after every callback has run: a callback may schedule
+		// new timers, which must not be handed an entry still pending in this
+		// batch.
+		for i, e := range batch {
+			s.putEntryLocked(e)
+			batch[i] = nil
 		}
 		s.batch = batch[:0]
 		// Firing may have made processes runnable; if not, loop to the next
@@ -331,7 +379,7 @@ type timerEntry struct {
 	seq       int64
 	fire      func()
 	cancelled bool
-	fired     bool
+	gen       uint64 // bumped on recycle; guards stale Timer handles
 	index     int
 }
 

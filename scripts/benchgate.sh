@@ -1,0 +1,103 @@
+#!/bin/sh
+# benchgate: hold the perf trajectory. Records a fresh snapshot (same
+# collection as benchsnap: -benchtime=1x -benchmem -count=2, best-of kept)
+# and compares it against the latest committed BENCH_<n>.json. A benchmark
+# fails the gate when
+#
+#   - ns_per_op regresses beyond TOL_NS_PCT (default 50% — wall time at one
+#     iteration is noisy, so the band is wide; the gate catches cliffs, the
+#     committed snapshots track the fine trajectory), or
+#   - allocs_per_op regresses beyond TOL_ALLOCS_PCT (default 20% — counts
+#     are deterministic at a fixed iteration count, so the band only
+#     absorbs intentional small drifts between snapshot and gate runs).
+#
+# Benchmarks present on one side only are reported but never fail the gate:
+# new surfaces gate from their first committed snapshot onward. Baselines
+# older than BENCH_7 carry no alloc fields; those comparisons skip the
+# alloc check instead of failing.
+#
+# Usage: sh scripts/benchgate.sh            # gate against latest BENCH_*.json
+#        TOL_NS_PCT=30 sh scripts/benchgate.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+base="$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1)"
+if [ -z "$base" ]; then
+    echo "benchgate: no committed BENCH_*.json baseline; nothing to gate" >&2
+    exit 0
+fi
+
+tol_ns="${TOL_NS_PCT:-50}"
+tol_allocs="${TOL_ALLOCS_PCT:-20}"
+raw="$(mktemp)"
+cur="$(mktemp)"
+trap 'rm -f "$raw" "$cur"' EXIT
+
+go test -run='^$' -bench=. -benchtime=1x -benchmem -count=2 . > "$raw"
+awk '
+    /^Benchmark/ {
+        # Values picked by unit label (custom metrics shift positions);
+        # the -<GOMAXPROCS> suffix is stripped only when every name
+        # carries the same one — see benchsnap.sh.
+        name = $1; v_ns = ""; v_a = ""
+        for (i = 3; i < NF; i++) {
+            if ($(i + 1) == "ns/op")     v_ns = $i
+            if ($(i + 1) == "allocs/op") v_a = $i
+        }
+        if (!(name in ns) || v_ns + 0 < ns[name] + 0) { ns[name] = v_ns; allocs[name] = v_a }
+        if (!(name in seen)) { seen[name] = 1; order[++nb] = name }
+    }
+    END {
+        allsuffixed = nb > 0
+        for (i = 1; i <= nb; i++) {
+            if (match(order[i], /-[0-9]+$/)) {
+                s = substr(order[i], RSTART)
+                if (suffix == "") suffix = s
+                if (s != suffix) allsuffixed = 0
+            } else allsuffixed = 0
+        }
+        for (i = 1; i <= nb; i++) {
+            name = order[i]
+            out = name
+            if (allsuffixed) sub(/-[0-9]+$/, "", out)
+            printf "%s %s %s\n", out, ns[name], allocs[name]
+        }
+    }
+' "$raw" > "$cur"
+
+echo "benchgate: comparing against $base (ns +${tol_ns}%, allocs +${tol_allocs}%)"
+awk -v base="$base" -v tolns="$tol_ns" -v tolallocs="$tol_allocs" '
+    # Baseline: one benchmark object per line in our hand-rolled JSON.
+    NR == FNR && /"name"/ {
+        name = $0; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+        if (match($0, /"ns_per_op": [0-9.]+/))
+            bns[name] = substr($0, RSTART + 13, RLENGTH - 13)
+        if (match($0, /"allocs_per_op": [0-9]+/))
+            ballocs[name] = substr($0, RSTART + 17, RLENGTH - 17)
+        next
+    }
+    NR == FNR { next }
+    # Current: "name ns allocs" lines.
+    {
+        name = $1; cns = $2; callocs = $3; seen[name] = 1
+        if (!(name in bns)) { printf "  new      %-55s %12s ns/op (no baseline)\n", name, cns; next }
+        limit = bns[name] * (1 + tolns / 100)
+        if (cns + 0 > limit) {
+            printf "  FAIL ns  %-55s %12s ns/op > %.0f (baseline %s +%s%%)\n", name, cns, limit, bns[name], tolns
+            bad = 1
+        }
+        if ((name in ballocs) && callocs != "" ) {
+            alimit = ballocs[name] * (1 + tolallocs / 100)
+            if (callocs + 0 > alimit) {
+                printf "  FAIL alloc %-53s %12s allocs/op > %.0f (baseline %s +%s%%)\n", name, callocs, alimit, ballocs[name], tolallocs
+                bad = 1
+            }
+        }
+    }
+    END {
+        for (name in bns) if (!(name in seen))
+            printf "  gone     %-55s (in baseline, not in current run)\n", name
+        if (bad) { print "benchgate: FAIL — perf regressed beyond tolerance"; exit 1 }
+        print "benchgate: OK"
+    }
+' "$base" "$cur"
