@@ -209,6 +209,40 @@ func BenchmarkScale(b *testing.B) {
 			Shards:   4,
 		}, 256)
 	})
+	// swarm-16384 quadruples the directory behind the same selection load —
+	// the point on the curve where O(directory) selection work and the boot
+	// wave's spawn burst dominate everything else. uniform-65536 is a pure
+	// boot-wave stressor: 64k clients register, ack, and report stats, with
+	// a small swarm (the flow set stays constant so the axis is directory
+	// size, not traffic). Both raise CacheLimit so the whole directory stays
+	// broker-resident — the measurement is selection over the full catalog,
+	// not over whatever survived eviction — and both exist to keep the
+	// dispatcher honest at sizes where one goroutine per process or one
+	// heap op per timer would dominate the profile.
+	b.Run("swarm-16384", func(b *testing.B) {
+		if testing.Short() {
+			b.Skip("scale surface; run without -short (scripts/benchsnap.sh does)")
+		}
+		run(b, experiments.Config{
+			Reps:       1,
+			Scenario:   scenario.Heterogeneous(16384),
+			Workload:   workload.Swarm(256),
+			Shards:     8,
+			CacheLimit: 4096,
+		}, 256)
+	})
+	b.Run("uniform-65536", func(b *testing.B) {
+		if testing.Short() {
+			b.Skip("scale surface; run without -short (scripts/benchsnap.sh does)")
+		}
+		run(b, experiments.Config{
+			Reps:       1,
+			Scenario:   scenario.Uniform(65536),
+			Workload:   workload.Swarm(64),
+			Shards:     8,
+			CacheLimit: 16384,
+		}, 64)
+	})
 }
 
 // --- Ablations -----------------------------------------------------------

@@ -51,14 +51,18 @@
 //	         [-sweep "axis=v,v;..."]
 //	         [-seed N] [-reps N] [-parallel N] [-shards N]
 //	         [-format markdown|bars|csv|json]
-//	         [-cpuprofile FILE] [-memprofile FILE]
+//	         [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
 //
 // -cpuprofile and -memprofile write pprof profiles covering the whole run —
 // the supported way to profile an experiment at scale without wrapping it in
-// a Go benchmark (`go tool pprof p2pbench cpu.out`). The memory profile is
-// written at exit after a final GC, so it reflects live heap, and profiling
-// never changes results: the simulation runs on virtual time and identical
-// seeds, instrumented or not.
+// a Go benchmark (`go tool pprof p2pbench cpu.out`). -trace writes a
+// runtime/trace execution trace over the same span (`go tool trace
+// trace.out`) — the tool of choice for dispatcher questions (goroutine
+// wakeups, scheduler latency) that sampling profiles can't answer. The
+// memory profile is written at exit after a final GC, so it reflects live
+// heap, and instrumentation never changes results: the simulation runs on
+// virtual time and identical seeds, instrumented or not (CI checks a traced
+// run's JSON is byte-identical to an untraced one).
 package main
 
 import (
@@ -68,6 +72,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"runtime/trace"
 	"slices"
 	"strings"
 
@@ -104,6 +109,7 @@ func main() {
 		format   = flag.String("format", "markdown", "output format: markdown, bars, csv, json")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to FILE")
 		memProf  = flag.String("memprofile", "", "write a heap profile (after a final GC) to FILE at exit")
+		traceOut = flag.String("trace", "", "write a runtime execution trace of the whole run to FILE")
 	)
 	flag.Parse()
 
@@ -114,7 +120,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "p2pbench: unknown format %q (want markdown, bars, csv, json)\n", *format)
 		os.Exit(2)
 	}
-	if err := startProfiles(*cpuProf, *memProf); err != nil {
+	if err := startProfiles(*cpuProf, *memProf, *traceOut); err != nil {
 		fmt.Fprintf(os.Stderr, "p2pbench: %v\n", err)
 		os.Exit(2)
 	}
@@ -245,16 +251,20 @@ func main() {
 	}
 }
 
-// flushProfiles finishes whatever profiling -cpuprofile/-memprofile started.
-// It is a no-op closure when neither flag was given, and nil-safe to call
-// exactly once from every exit path via exit() or main's defer.
+// flushProfiles finishes whatever profiling -cpuprofile/-memprofile/-trace
+// started. It is a no-op closure when none of the flags was given, and
+// nil-safe to call exactly once from every exit path via exit() or main's
+// defer.
 var flushProfiles func()
 
-// startProfiles opens the requested profile outputs. The CPU profile starts
-// immediately; the heap profile is captured at exit, after a final GC, so it
-// reflects the live heap of the completed run rather than transient garbage.
-func startProfiles(cpuFile, memFile string) error {
-	var stopCPU func()
+// startProfiles opens the requested profile outputs. The CPU profile and
+// execution trace start immediately; the heap profile is captured at exit,
+// after a final GC, so it reflects the live heap of the completed run rather
+// than transient garbage. Like the profiles, tracing never changes results:
+// the simulation runs on virtual time and identical seeds, instrumented or
+// not (CI diffs a traced run's JSON against an untraced one).
+func startProfiles(cpuFile, memFile, traceFile string) error {
+	var stopCPU, stopTrace func()
 	if cpuFile != "" {
 		f, err := os.Create(cpuFile)
 		if err != nil {
@@ -269,9 +279,26 @@ func startProfiles(cpuFile, memFile string) error {
 			f.Close()
 		}
 	}
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			return err
+		}
+		stopTrace = func() {
+			trace.Stop()
+			f.Close()
+		}
+	}
 	flushProfiles = func() {
 		if stopCPU != nil {
 			stopCPU()
+		}
+		if stopTrace != nil {
+			stopTrace()
 		}
 		if memFile == "" {
 			return

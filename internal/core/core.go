@@ -282,25 +282,44 @@ func (e *Economic) Estimate(req Request, c Candidate) Estimate {
 // infeasible, then earliest completion, then faster CPU, then lower cost.
 func (e *Economic) Estimates(req Request, cands []Candidate) []Estimate {
 	ests := make([]Estimate, len(cands))
-	cpu := make(map[string]float64, len(cands))
+	cpu := make([]float64, len(cands))
 	for i, c := range cands {
 		ests[i] = e.Estimate(req, c)
-		cpu[c.Snapshot.Peer] = c.Snapshot.CPUScore
+		cpu[i] = c.Snapshot.CPUScore
 	}
-	sort.SliceStable(ests, func(i, j int) bool {
-		a, b := ests[i], ests[j]
-		if a.Feasible != b.Feasible {
-			return a.Feasible
-		}
-		if !a.Completion.Equal(b.Completion) {
-			return a.Completion.Before(b.Completion)
-		}
-		if cpu[a.Peer] != cpu[b.Peer] {
-			return cpu[a.Peer] > cpu[b.Peer]
-		}
-		return a.Cost < b.Cost
-	})
+	// Stable sort over a concrete interface: candidate sets reach the tens
+	// of thousands and the reflection-based sort.SliceStable spends more
+	// time in the generated swapper than in the comparison. The CPU score
+	// rides in a parallel slice so tie-breaking costs an index, not a map
+	// lookup per comparison.
+	sort.Stable(&estSorter{ests: ests, cpu: cpu})
 	return ests
+}
+
+// estSorter orders estimates best-first with their candidates' CPU scores
+// alongside (see Estimates).
+type estSorter struct {
+	ests []Estimate
+	cpu  []float64
+}
+
+func (s *estSorter) Len() int { return len(s.ests) }
+func (s *estSorter) Swap(i, j int) {
+	s.ests[i], s.ests[j] = s.ests[j], s.ests[i]
+	s.cpu[i], s.cpu[j] = s.cpu[j], s.cpu[i]
+}
+func (s *estSorter) Less(i, j int) bool {
+	a, b := &s.ests[i], &s.ests[j]
+	if a.Feasible != b.Feasible {
+		return a.Feasible
+	}
+	if !a.Completion.Equal(b.Completion) {
+		return a.Completion.Before(b.Completion)
+	}
+	if s.cpu[i] != s.cpu[j] {
+		return s.cpu[i] > s.cpu[j]
+	}
+	return a.Cost < b.Cost
 }
 
 // Select implements Selector.

@@ -8,8 +8,13 @@ import (
 	"peerlab/internal/overlay"
 	"peerlab/internal/planetlab"
 	"peerlab/internal/scenario"
+	"peerlab/internal/vtime"
 	"peerlab/internal/workload"
 )
+
+// cellPool is the shared process-pool handle every experiment cell's
+// scheduler runs on (see NewEnvFor).
+var cellPool = vtime.SharedPool()
 
 // Config controls an experiment run.
 type Config struct {
@@ -35,6 +40,12 @@ type Config struct {
 	// aggregate across shards in canonical order, so figures are identical
 	// at any shard count.
 	Shards int
+	// CacheLimit bounds each broker shard's advertisement directory (0 =
+	// the broker's default, 1024). Scale runs past a few thousand peers
+	// must raise it so the whole directory stays resident: once shards
+	// evict, which entries survive depends on how the catalog hashed
+	// across shards, and results stop being shard-count invariant.
+	CacheLimit int
 	// Workload is the flow set RunWorkload executes — who sends to whom.
 	// The zero value resolves to the scenario's workload hint, and failing
 	// that to controller-fanout (the paper's traffic shape). Figures always
@@ -134,6 +145,12 @@ func NewEnvFor(cfg Config, peers []string) (*Env, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Every cell's scheduler dispatches onto the one process-wide worker
+	// pool: consecutive sweep cells inherit each other's warm goroutine
+	// stacks instead of spawning tens of thousands apiece. Reuse is
+	// invisible to the event stream (see vtime.Pool), so cells stay
+	// byte-identical at any worker count.
+	s.Net.Scheduler().SetPool(cellPool)
 	// Leases must outlive the whole run by default — experiments span many
 	// virtual hours of idle gaps and figure cells never renew. Only the
 	// churn workload cells opt into the scenario's short TTL and eager
@@ -141,7 +158,8 @@ func NewEnvFor(cfg Config, peers []string) (*Env, error) {
 	// keeps live peers leased. Figure experiments on a churning scenario
 	// measure its catalog with static membership — a short TTL there would
 	// just expire every candidate across the idle gaps.
-	bcfg := overlay.BrokerConfig{AdvTTL: scenario.DefaultAdvTTL, Shards: cfg.Shards}
+	bcfg := overlay.BrokerConfig{AdvTTL: scenario.DefaultAdvTTL, Shards: cfg.Shards,
+		CacheLimit: cfg.CacheLimit}
 	if cfg.scenarioLeases {
 		bcfg.AdvTTL = cfg.Scenario.EffectiveAdvTTL()
 		bcfg.LeaseSweep = cfg.Scenario.LeaseSweep

@@ -72,3 +72,51 @@ func TestScaleSmoke(t *testing.T) {
 		})
 	}
 }
+
+// TestScaleSmokeSwarm16384 is the largest CI-checked scale point: 256
+// broker-selected flows over a 16384-peer heterogeneous directory on 8
+// shards. The boot wave admits ~16k pooled processes in one batch and every
+// selection call ranks the full directory, so this is where a dispatcher or
+// timer-wheel regression shows first. One serial run and one
+// parallel+resharded run instead of TestScaleSmoke's three-way matrix: at
+// this size the pair already covers both invariance axes, and CI's
+// -timeout flag is the hang detector.
+//
+// Runs only without -short: ~20s of real time at 16k peers.
+func TestScaleSmokeSwarm16384(t *testing.T) {
+	if testing.Short() {
+		t.Skip("16k-peer smoke; run without -short (CI's scale job does)")
+	}
+	cfg := Config{
+		Seed:     712,
+		Reps:     1,
+		Scenario: scenario.Heterogeneous(16384),
+		Workload: workload.Swarm(256),
+		Shards:   8,
+		Workers:  1,
+		// Big enough that every shard holds its whole slice of the 16384
+		// catalog at either shard count — eviction would make survival
+		// depend on the shard hash and break the invariance assertion.
+		CacheLimit: 8192,
+	}
+	a, err := RunWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Flows) != 256 {
+		t.Fatalf("flows = %d, want 256", len(a.Flows))
+	}
+	for _, f := range a.Flows {
+		if f.Failed || f.Error != "" {
+			t.Fatalf("flow failed at scale: %+v", f)
+		}
+	}
+	cfg.Workers, cfg.Shards = 4, 3
+	b, err := RunWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Flows, b.Flows) {
+		t.Fatal("worker/shard counts diverged at 16384 peers")
+	}
+}

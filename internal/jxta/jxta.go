@@ -14,7 +14,8 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
-	"sort"
+	"slices"
+	"strings"
 	"sync"
 	"time"
 
@@ -171,6 +172,24 @@ type Cache struct {
 	// stale-but-valid: the scan it eventually triggers removes nothing and
 	// recomputes it.
 	minExpiry time.Time
+	// version counts mutations (publish, eviction, expiry removal); memo
+	// holds the last whole-kind query result per kind, valid while the
+	// version matches and no included entry has expired. Selection queries
+	// the full peer directory far more often than leases renew it, so the
+	// memo turns the common Query("") from an O(n log n) scan-and-sort
+	// into a copy of a prebuilt slice.
+	version uint64
+	memo    map[AdvKind]*kindMemo
+}
+
+// kindMemo is one memoized whole-kind query result.
+type kindMemo struct {
+	result  []Advertisement
+	version uint64
+	// validUntil is the earliest expiry among result entries: strictly
+	// before it, the live set cannot have changed without a version bump.
+	// Zero when result is empty (nothing to expire).
+	validUntil time.Time
 }
 
 // NewCache returns a cache holding at most limit advertisements (default
@@ -204,6 +223,7 @@ func (c *Cache) Publish(a Advertisement) {
 	}
 	c.kindLen[a.Kind]++
 	c.byID[a.ID] = a
+	c.version++
 	if c.minExpiry.IsZero() || a.Expires.Before(c.minExpiry) {
 		c.minExpiry = a.Expires
 	}
@@ -221,6 +241,7 @@ func (c *Cache) gcLocked(now time.Time) {
 		if !a.Expires.After(now) {
 			delete(c.byID, id)
 			c.kindLen[a.Kind]--
+			c.version++
 			continue
 		}
 		if min.IsZero() || a.Expires.Before(min) {
@@ -243,6 +264,7 @@ func (c *Cache) evictOldestLocked() {
 	if !first {
 		c.kindLen[c.byID[victim].Kind]--
 		delete(c.byID, victim)
+		c.version++
 	}
 }
 
@@ -259,11 +281,24 @@ func (c *Cache) Lookup(id ID) (Advertisement, bool) {
 
 // Query returns live advertisements of the kind whose Name matches name
 // exactly; empty name matches all. Results are sorted by Name then ID for
-// determinism.
+// determinism. The returned slice is the caller's to keep (whole-kind
+// queries copy out of a memo rebuilt only when the directory changes).
 func (c *Cache) Query(kind AdvKind, name string) []Advertisement {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	now := c.now()
+	if name == "" {
+		m := c.memo[kind]
+		if m == nil || m.version != c.version || !(m.validUntil.IsZero() || now.Before(m.validUntil)) {
+			m = c.buildMemoLocked(kind, now)
+		}
+		if len(m.result) == 0 {
+			return nil
+		}
+		out := make([]Advertisement, len(m.result))
+		copy(out, m.result)
+		return out
+	}
 	var out []Advertisement
 	for _, a := range c.byID {
 		if !a.Expires.After(now) {
@@ -272,7 +307,7 @@ func (c *Cache) Query(kind AdvKind, name string) []Advertisement {
 		if a.Kind != kind {
 			continue
 		}
-		if name != "" && a.Name != name {
+		if a.Name != name {
 			continue
 		}
 		out = append(out, a)
@@ -281,17 +316,43 @@ func (c *Cache) Query(kind AdvKind, name string) []Advertisement {
 	return out
 }
 
+// buildMemoLocked scans and sorts the live entries of kind, recording the
+// directory version and the earliest expiry so hits stay exact. Caller
+// holds c.mu.
+func (c *Cache) buildMemoLocked(kind AdvKind, now time.Time) *kindMemo {
+	m := &kindMemo{version: c.version}
+	for _, a := range c.byID {
+		if a.Kind != kind || !a.Expires.After(now) {
+			continue
+		}
+		m.result = append(m.result, a)
+		if m.validUntil.IsZero() || a.Expires.Before(m.validUntil) {
+			m.validUntil = a.Expires
+		}
+	}
+	SortAdvertisements(m.result)
+	if c.memo == nil {
+		c.memo = make(map[AdvKind]*kindMemo, 3)
+	}
+	c.memo[kind] = m
+	return m
+}
+
 // SortAdvertisements orders advertisements by Name then ID — the canonical
 // directory order. Every query returns it, and sharded directories restore
 // it after merging per-shard results, so a multi-shard cache answers
 // queries identically to a single one.
 func SortAdvertisements(advs []Advertisement) {
-	sort.Slice(advs, func(i, j int) bool {
-		if advs[i].Name != advs[j].Name {
-			return advs[i].Name < advs[j].Name
-		}
-		return bytes.Compare(advs[i].ID[:], advs[j].ID[:]) < 0
-	})
+	slices.SortFunc(advs, CompareAdvertisements)
+}
+
+// CompareAdvertisements is the canonical (Name, ID) directory order as a
+// three-way comparison.
+func CompareAdvertisements(a, b Advertisement) int {
+	if c := strings.Compare(a.Name, b.Name); c != 0 {
+		return c
+	}
+	return bytes.Compare(a.ID[:], b.ID[:])
 }
 
 // NextExpiry returns the earliest expiry instant among cached
@@ -332,6 +393,7 @@ func (c *Cache) Clear() {
 	c.byID = make(map[ID]Advertisement)
 	c.kindLen = make(map[AdvKind]int, 3)
 	c.minExpiry = time.Time{}
+	c.version++
 }
 
 // Remove deletes an advertisement by ID.
@@ -341,6 +403,7 @@ func (c *Cache) Remove(id ID) {
 	if a, ok := c.byID[id]; ok {
 		c.kindLen[a.Kind]--
 		delete(c.byID, id)
+		c.version++
 	}
 }
 

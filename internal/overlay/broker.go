@@ -2,7 +2,9 @@ package overlay
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -182,11 +184,34 @@ func (b *Broker) Advertisements(kind jxta.AdvKind, name string) []jxta.Advertise
 	if len(b.shards) == 1 {
 		return b.shards[0].cache.Query(kind, name)
 	}
-	var out []jxta.Advertisement
+	// Each shard answers in canonical order already; a k-way merge (k =
+	// shard count, small) restores the global order without re-sorting the
+	// whole directory on every selection.
+	parts := make([][]jxta.Advertisement, 0, len(b.shards))
+	total := 0
 	for _, sh := range b.shards {
-		out = append(out, sh.cache.Query(kind, name)...)
+		if p := sh.cache.Query(kind, name); len(p) > 0 {
+			parts = append(parts, p)
+			total += len(p)
+		}
 	}
-	jxta.SortAdvertisements(out)
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	out := make([]jxta.Advertisement, 0, total)
+	for len(parts) > 0 {
+		min := 0
+		for i := 1; i < len(parts); i++ {
+			if jxta.CompareAdvertisements(parts[i][0], parts[min][0]) < 0 {
+				min = i
+			}
+		}
+		out = append(out, parts[min][0])
+		if parts[min] = parts[min][1:]; len(parts[min]) == 0 {
+			parts[min] = parts[len(parts)-1]
+			parts = parts[:len(parts)-1]
+		}
+	}
 	return out
 }
 
@@ -475,26 +500,42 @@ func (b *Broker) handleSelect(conn *pipe.Conn, d *wire.Decoder) {
 	conn.Send(res.encode())
 }
 
+// candPool recycles candidate slices across selections: at thousands of
+// registered peers the per-request candidate set is megabytes, and a
+// selection-heavy swarm would otherwise spend a quarter of its time in GC.
+var candPool = sync.Pool{New: func() any { return new([]core.Candidate) }}
+
 // selectPeers runs the requested model over the registered peers.
 func (b *Broker) selectPeers(req selectReq) (peers, addrs []string, err error) {
-	excluded := make(map[string]bool, len(req.Exclude))
-	for _, p := range req.Exclude {
-		excluded[p] = true
+	var excluded map[string]bool
+	if len(req.Exclude) > 0 {
+		excluded = make(map[string]bool, len(req.Exclude))
+		for _, p := range req.Exclude {
+			excluded[p] = true
+		}
 	}
 	// The candidate set spans the whole network: advertisements merge from
 	// every shard in canonical order, and each candidate's statistics come
 	// from its owning shard, so a sharded broker ranks exactly as a single
 	// one would.
 	advs := b.Advertisements(jxta.AdvPeer, "")
-	var cands []core.Candidate
-	addrOf := make(map[string]string, len(advs))
+	candsp := candPool.Get().(*[]core.Candidate)
+	defer func() {
+		clear(*candsp)
+		*candsp = (*candsp)[:0]
+		candPool.Put(candsp)
+	}()
+	cands := (*candsp)[:0]
+	if cap(cands) < len(advs) {
+		cands = make([]core.Candidate, 0, len(advs))
+	}
 	for _, a := range advs {
 		if excluded[a.Name] {
 			continue
 		}
 		cands = append(cands, core.Candidate{Snapshot: b.shardOf(a.Name).registry.Peer(a.Name).Snapshot()})
-		addrOf[a.Name] = a.Addr
 	}
+	*candsp = cands
 
 	sel, ok := b.selectors[req.Model]
 	if core.UsesPreferences(req.Model) {
@@ -527,9 +568,15 @@ func (b *Broker) selectPeers(req selectReq) (peers, addrs []string, err error) {
 		max = len(ranked)
 	}
 	ranked = ranked[:max]
+	// Addresses only for the winners: advs is in canonical (Name, ID) order
+	// and peer names are unique (one advertisement per peer), so a binary
+	// search replaces the per-request name→addr map over the whole
+	// directory.
 	addrs = make([]string, len(ranked))
 	for i, p := range ranked {
-		addrs[i] = addrOf[p]
+		if j, found := sort.Find(len(advs), func(k int) int { return strings.Compare(p, advs[k].Name) }); found {
+			addrs[i] = advs[j].Addr
+		}
 	}
 	return ranked, addrs, nil
 }

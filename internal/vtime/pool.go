@@ -1,0 +1,108 @@
+package vtime
+
+import "sync"
+
+// Pool is a reservoir of worker goroutines that scheduler processes execute
+// on. Simulations at 10k–100k peers start and finish millions of short
+// processes (flows, timer fires, per-connection handlers); without a pool
+// each one costs a goroutine spawn and teardown, and the transient stacks
+// dominate both allocation and GC stack-scanning time. A pool keeps exited
+// processes' warm stacks on an idle list (most recently parked first, for
+// cache locality) and runs the next process on one of them.
+//
+// Reuse is invisible to the simulation by construction: the dispatcher
+// orders processes by their admission to the ready ring (spawn order, wake
+// order), and which goroutine a closure happens to run on plays no part in
+// that order. A pool may therefore be shared freely — by every scheduler in
+// the process (the default, see SharedPool), and in particular across sweep
+// cells, so a 65k-peer cell inherits the previous cell's warm stacks
+// instead of spawning its own.
+//
+// Pool is safe for concurrent use. A worker that picks up a job for one
+// scheduler parks inside that scheduler's primitives as usual; it returns
+// to the idle list only after its process exits.
+type Pool struct {
+	mu      sync.Mutex
+	idle    *pworker // LIFO free list
+	spawned int64    // workers ever created
+	reused  int64    // dispatches served by an idle worker
+}
+
+// NewPool returns an empty pool. Workers are spawned on demand and never
+// expire; a pool's high-water mark is the peak number of simultaneously
+// live processes it ever served.
+func NewPool() *Pool { return &Pool{} }
+
+var sharedPool = NewPool()
+
+// SharedPool returns the process-wide pool every NewScheduler attaches to.
+// Sharing it is what lets consecutive sweep cells reuse each other's worker
+// stacks.
+func SharedPool() *Pool { return sharedPool }
+
+// Stats reports how many workers the pool ever spawned and how many
+// dispatches were served by reusing an idle worker. Useful in tests
+// asserting that recycling actually happens.
+func (p *Pool) Stats() (spawned, reused int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.spawned, p.reused
+}
+
+// pworker is one pooled worker goroutine, identified by its job channel.
+type pworker struct {
+	next *pworker
+	job  chan poolJob
+}
+
+// poolJob is one process to run: fn under scheduler s's process accounting.
+type poolJob struct {
+	s  *Scheduler
+	fn func()
+}
+
+// dispatch hands j to an idle worker, spawning one if none is parked. The
+// job channel has capacity 1, so dispatch never blocks and is safe to call
+// with a scheduler's mutex held (the pool mutex is a leaf lock: workers
+// take it only after releasing every scheduler lock).
+func (p *Pool) dispatch(j poolJob) {
+	p.mu.Lock()
+	if w := p.idle; w != nil {
+		p.idle = w.next
+		p.reused++
+		p.mu.Unlock()
+		w.next = nil
+		w.job <- j
+		return
+	}
+	p.spawned++
+	p.mu.Unlock()
+	w := &pworker{job: make(chan poolJob, 1)}
+	w.job <- j
+	go p.work(w)
+}
+
+func (p *Pool) work(w *pworker) {
+	for j := range w.job {
+		j.run(p, w)
+	}
+}
+
+// run executes one process. The deferred calls run in order: the worker
+// rejoins the idle list first, then the process exits (handing the
+// execution slot to the next ready process — possibly a closure dispatched
+// right back onto this worker's buffered job channel, which is the direct
+// handoff degenerating into "the same stack keeps going"). If fn panics the
+// program is crashing; the worker goroutine dies with it.
+func (j poolJob) run(p *Pool, w *pworker) {
+	defer j.s.exit()
+	defer p.put(w)
+	j.fn()
+}
+
+func (p *Pool) put(w *pworker) {
+	p.mu.Lock()
+	w.next = p.idle
+	p.idle = w
+	p.mu.Unlock()
+}

@@ -22,17 +22,21 @@ type Queue struct {
 	closed bool
 }
 
+// qwaiter is one parked Pop. The waker stores the result in v under the
+// scheduler lock and sends the single wake signal (directly, or later from
+// the dispatch ring via yieldLocked); the parked process receives once and
+// reads v — one channel operation and one goroutine wakeup per handoff.
 type qwaiter struct {
-	ch       chan any
-	grant    chan struct{} // execution grant set at wake time (see admitLocked)
-	deadline *timerEntry   // non-nil if a Pop timeout is armed
+	wake     chan struct{}
+	v        any
+	deadline *timerEntry // non-nil if a Pop timeout is armed
 }
 
 // qwaiterPool recycles waiters (and their cap-1 wake channels). A waiter is
 // referenced only by its parked process and q.waits; by the time the process
-// has drained w.ch the waker has dropped its reference, so the process owns
-// the waiter and may return it.
-var qwaiterPool = sync.Pool{New: func() any { return &qwaiter{ch: make(chan any, 1)} }}
+// has received the wake the waker has dropped its reference, so the process
+// owns the waiter and may return it.
+var qwaiterPool = sync.Pool{New: func() any { return &qwaiter{wake: make(chan struct{}, 1)} }}
 
 // NewQueue returns an empty queue bound to the scheduler.
 func NewQueue(s *Scheduler) *Queue {
@@ -57,9 +61,11 @@ func (q *Queue) pushLocked(v any) error {
 		w := q.waits[0]
 		q.waits = q.waits[1:]
 		q.s.cancelLocked(w.deadline)
+		w.deadline = nil
+		w.v = v
+		q.s.parked--
 		q.s.running++
-		w.grant = q.s.admitLocked()
-		w.ch <- v
+		q.s.wakeLocked(w.wake)
 		return nil
 	}
 	q.items = append(q.items, v)
@@ -104,24 +110,22 @@ func (q *Queue) pop(timeout time.Duration) (any, error) {
 					break
 				}
 			}
+			w.v = errTimeoutMarker{}
+			q.s.parked--
 			q.s.running++
-			w.grant = q.s.admitLocked()
-			w.ch <- errTimeoutMarker{}
+			q.s.wakeLocked(w.wake)
 		})
 	}
 	q.waits = append(q.waits, w)
+	q.s.parked++
 	q.s.running--
 	q.s.yieldLocked()
 	q.s.mu.Unlock()
 
-	v := <-w.ch
-	g := w.grant
-	w.grant, w.deadline = nil, nil
+	<-w.wake
+	v := w.v
+	w.v, w.deadline = nil, nil
 	qwaiterPool.Put(w)
-	if g != nil {
-		<-g
-		putGrant(g)
-	}
 	switch v.(type) {
 	case errTimeoutMarker:
 		return nil, ErrTimeout
@@ -165,9 +169,11 @@ func (q *Queue) Close() {
 	q.closed = true
 	for _, w := range q.waits {
 		q.s.cancelLocked(w.deadline)
+		w.deadline = nil
+		w.v = errClosedMarker{}
+		q.s.parked--
 		q.s.running++
-		w.grant = q.s.admitLocked()
-		w.ch <- errClosedMarker{}
+		q.s.wakeLocked(w.wake)
 	}
 	q.waits = nil
 }

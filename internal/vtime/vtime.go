@@ -18,6 +18,16 @@
 // the same way. A single-driver simulation pays nothing for the gate; it
 // was never parallel to begin with.
 //
+// Two mechanisms keep the serialized dispatch cheap at 10k–100k processes.
+// First, handoffs are direct: when the running process parks and another is
+// ready, the parker signals the successor's single wake channel in its own
+// unlock path — the execution slot never goes idle, and the woken goroutine
+// wakes exactly once with its value already in place. Second, processes run
+// on pooled worker goroutines (see Pool): a spawned process occupies no
+// goroutine until its first turn arrives, and a finished process's warm
+// stack is reused by the next spawn, so churn-heavy simulations stop paying
+// goroutine creation and teardown per peer, flow, and timer fire.
+//
 // The package underpins internal/simnet: network links schedule message
 // deliveries as timers, and protocol code written against the transport
 // interfaces blocks in Queue.Pop exactly as it would block in a socket read.
@@ -41,31 +51,63 @@ type Scheduler struct {
 	now     time.Duration // virtual time since Epoch
 	running int           // processes currently runnable (not parked)
 	started int           // processes ever started
-	timers  timerHeap
+	parked  int           // processes parked on queues with no wake scheduled
+	timers  timerHeap     // overflow beyond the wheel horizon (see wheel.go)
+	wheel   timerWheel    // short-horizon timers, the common case
 	seq     int64
 	batch   []*timerEntry // reused fire batch, see advanceLocked
 	free    []*timerEntry // recycled entries, see getEntryLocked
 	quiet   *sync.Cond    // signalled when the system quiesces
-	halted  bool
+	pool    *Pool         // worker goroutines processes run on
 
 	// Serialized dispatch (see the package comment): active marks the one
-	// process currently executing; ready holds the grant channels of
-	// processes that are runnable but waiting their deterministic turn, in
-	// wake order.
-	active bool
-	ready  []chan struct{}
+	// process currently executing; ready is a ring buffer (live region
+	// ready[readyHead:]) of processes that are runnable but waiting their
+	// deterministic turn, in wake order. Invariant throughout:
+	// running == (active ? 1 : 0) + len(ready) - readyHead.
+	active    bool
+	ready     []readyItem
+	readyHead int
 
-	// OnDeadlock, if non-nil, is invoked instead of panicking when every
-	// process is parked on a queue and no timers are pending while a Sleep
-	// could never complete. It exists for tests of the detector itself.
+	// OnDeadlock, if non-nil, is invoked (once per quiescence, with
+	// scheduler internals locked — the callback must not re-enter the
+	// scheduler) when no process is runnable, no timer is pending, and at
+	// least one process is still parked on a queue: nothing inside the
+	// simulation can ever wake it. When nil, such processes are treated as
+	// daemons (a broker handler parked in Pop between requests is the
+	// normal case) and Wait simply returns.
 	OnDeadlock func(info string)
+
+	// deadlockNotified latches OnDeadlock per quiescence so a Wait loop
+	// re-checking the same stuck state reports it once.
+	deadlockNotified bool
+}
+
+// readyItem is one entry in the dispatch ring: either a parked process to
+// signal (wake non-nil) or a process that was spawned but never started —
+// its closure is dispatched onto a pooled worker only when its turn
+// arrives, so spawning 100k flows queues 100k closures, not 100k blocked
+// goroutines.
+type readyItem struct {
+	wake chan struct{}
+	fn   func()
 }
 
 // NewScheduler returns a scheduler with the clock at Epoch and no processes.
+// Its processes run on the process-wide shared worker pool; SetPool installs
+// a private one.
 func NewScheduler() *Scheduler {
-	s := &Scheduler{}
+	s := &Scheduler{pool: SharedPool()}
 	s.quiet = sync.NewCond(&s.mu)
 	return s
+}
+
+// SetPool makes the scheduler run its processes on p instead of the shared
+// pool. It must be called before any process is started.
+func (s *Scheduler) SetPool(p *Pool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pool = p
 }
 
 // Now returns the current virtual time.
@@ -82,45 +124,83 @@ func (s *Scheduler) Elapsed() time.Duration {
 	return s.now
 }
 
-// grantPool recycles wake-grant channels (and Sleep wake channels — same
-// shape). Each channel carries exactly one buffered signal per use, so a
-// receiver that drained it may return it for reuse. Reuse cannot perturb
-// wake order: which channel a waiter holds is invisible to the dispatcher,
-// which only tracks the FIFO of grants in s.ready.
+// grantPool recycles wake channels. Each channel carries exactly one
+// buffered signal per use, so a receiver that drained it may return it for
+// reuse. Reuse cannot perturb wake order: which channel a waiter holds is
+// invisible to the dispatcher, which only tracks the FIFO of ready items.
 var grantPool = sync.Pool{New: func() any { return make(chan struct{}, 1) }}
 
 func putGrant(g chan struct{}) { grantPool.Put(g) }
 
-// admitLocked registers a newly runnable process with the serialized
-// dispatcher. It returns nil when the process may execute immediately
-// (nothing else holds the execution slot), or a grant channel its goroutine
-// must receive from (and then release via putGrant) before running any
-// code. Caller holds s.mu and has already incremented s.running. Invariant
-// throughout: running == (active ? 1 : 0) + len(ready).
-func (s *Scheduler) admitLocked() chan struct{} {
-	if !s.active {
-		s.active = true
-		return nil
+// pushReadyLocked appends a ready item to the dispatch ring. When the live
+// region no longer starts at 0 and the backing array is full, the live
+// items slide down instead of growing the array, so a long-lived scheduler
+// reuses one allocation. Caller holds s.mu.
+func (s *Scheduler) pushReadyLocked(it readyItem) {
+	if s.readyHead > 0 && len(s.ready) == cap(s.ready) {
+		n := copy(s.ready, s.ready[s.readyHead:])
+		clear(s.ready[n:])
+		s.ready = s.ready[:n]
+		s.readyHead = 0
 	}
-	g := grantPool.Get().(chan struct{})
-	s.ready = append(s.ready, g)
-	return g
+	s.ready = append(s.ready, it)
+}
+
+// wakeLocked hands the execution slot to a parked process whose wake channel
+// is ch, or queues it behind the currently active process. Caller holds s.mu
+// and has already incremented s.running. The single buffered send is the
+// entire wake: the process's value (queue item, timeout marker) was stored
+// in its waiter before this call, so the goroutine wakes exactly once.
+func (s *Scheduler) wakeLocked(ch chan struct{}) {
+	s.deadlockNotified = false
+	if s.active {
+		s.pushReadyLocked(readyItem{wake: ch})
+		return
+	}
+	s.active = true
+	ch <- struct{}{}
+}
+
+// spawnLocked registers fn as a new process. If the execution slot is free
+// it is dispatched onto a pooled worker immediately; otherwise the closure
+// itself waits in the ready ring and only occupies a worker once its turn
+// arrives. Caller holds s.mu.
+func (s *Scheduler) spawnLocked(fn func()) {
+	s.running++
+	s.started++
+	s.deadlockNotified = false
+	if s.active {
+		s.pushReadyLocked(readyItem{fn: fn})
+		return
+	}
+	s.active = true
+	s.pool.dispatch(poolJob{s: s, fn: fn})
 }
 
 // yieldLocked releases the execution slot when the active process parks or
-// exits: the oldest waiting process is granted the slot, or — when none is
-// runnable — the clock advances to the next timer instant. The grant is a
-// buffered send, not a close, so the channel survives for reuse. Caller
-// holds s.mu and has already decremented s.running.
+// exits. The oldest ready process takes over directly in this, the parker's,
+// unlock path — the slot stays occupied through the handoff (active never
+// flips false), and the successor is either signalled on its wake channel or,
+// if it never ran, dispatched onto a pooled worker. When nothing is ready the
+// clock advances to the next timer instant. Caller holds s.mu and has already
+// decremented s.running.
 func (s *Scheduler) yieldLocked() {
-	s.active = false
-	if len(s.ready) > 0 {
-		g := s.ready[0]
-		s.ready = s.ready[1:]
-		s.active = true
-		g <- struct{}{}
+	if s.readyHead < len(s.ready) {
+		it := s.ready[s.readyHead]
+		s.ready[s.readyHead] = readyItem{}
+		s.readyHead++
+		if s.readyHead == len(s.ready) {
+			s.ready = s.ready[:0]
+			s.readyHead = 0
+		}
+		if it.wake != nil {
+			it.wake <- struct{}{}
+		} else {
+			s.pool.dispatch(poolJob{s: s, fn: it.fn})
+		}
 		return
 	}
+	s.active = false
 	s.advanceLocked()
 }
 
@@ -130,18 +210,20 @@ func (s *Scheduler) yieldLocked() {
 // order.
 func (s *Scheduler) Go(fn func()) {
 	s.mu.Lock()
-	s.running++
-	s.started++
-	g := s.admitLocked()
+	s.spawnLocked(fn)
 	s.mu.Unlock()
-	go func() {
-		if g != nil {
-			<-g
-			putGrant(g)
-		}
-		defer s.exit()
-		fn()
-	}()
+}
+
+// GoBatch starts every closure in fns as a scheduler process under one lock
+// acquisition, in slice order — equivalent to calling Go in a loop, minus
+// the per-spawn lock traffic. Large fan-outs (a workload launching one
+// process per flow) should spawn through it.
+func (s *Scheduler) GoBatch(fns []func()) {
+	s.mu.Lock()
+	for _, fn := range fns {
+		s.spawnLocked(fn)
+	}
+	s.mu.Unlock()
 }
 
 func (s *Scheduler) exit() {
@@ -159,22 +241,16 @@ func (s *Scheduler) Sleep(d time.Duration) {
 		return
 	}
 	ch := grantPool.Get().(chan struct{})
-	var g chan struct{}
 	s.mu.Lock()
 	s.scheduleLocked(s.now+d, func() {
 		s.running++
-		g = s.admitLocked() // written under s.mu before the send; read after <-ch
-		ch <- struct{}{}
+		s.wakeLocked(ch)
 	})
 	s.running--
 	s.yieldLocked()
 	s.mu.Unlock()
 	<-ch
 	putGrant(ch)
-	if g != nil {
-		<-g
-		putGrant(g)
-	}
 }
 
 // Timer is a cancellable virtual-time timer created by AfterFunc.
@@ -209,17 +285,7 @@ func (s *Scheduler) AfterFunc(d time.Duration, fn func()) *Timer {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	entry := s.scheduleLocked(s.now+d, func() {
-		s.running++
-		s.started++
-		g := s.admitLocked()
-		go func() {
-			if g != nil {
-				<-g
-				putGrant(g)
-			}
-			defer s.exit()
-			fn()
-		}()
+		s.spawnLocked(fn)
 	})
 	return &Timer{s: s, entry: entry, gen: entry.gen}
 }
@@ -239,7 +305,7 @@ func (s *Scheduler) callbackAt(at time.Duration, fn func()) *timerEntry {
 // getEntryLocked pops a recycled timer entry off the free list, or allocates
 // one. Entries return to the list in cancelLocked and advanceLocked with
 // their generation bumped; reuse is invisible to scheduling order because an
-// entry's identity plays no part in heap order — only (at, seq) does, and
+// entry's identity plays no part in firing order — only (at, seq) does, and
 // seq is issued fresh per schedule. Caller holds s.mu.
 func (s *Scheduler) getEntryLocked() *timerEntry {
 	if n := len(s.free); n > 0 {
@@ -254,35 +320,46 @@ func (s *Scheduler) getEntryLocked() *timerEntry {
 
 // putEntryLocked recycles e: the generation bump invalidates any Timer still
 // holding it, and dropping fire unpins the callback closure. Caller holds
-// s.mu; e must already be out of the heap.
+// s.mu; e must already be out of the wheel and heap.
 func (s *Scheduler) putEntryLocked(e *timerEntry) {
 	e.gen++
 	e.fire = nil
 	s.free = append(s.free, e)
 }
 
-// scheduleLocked enqueues a timer entry. Caller holds s.mu.
+// scheduleLocked enqueues a timer entry. Every caller schedules at or after
+// the current instant (Sleep and AfterFunc add to now, callbackAt clamps),
+// which the wheel's slot-assignment invariants rely on. Caller holds s.mu.
 func (s *Scheduler) scheduleLocked(at time.Duration, fn func()) *timerEntry {
 	s.seq++
+	s.deadlockNotified = false
 	e := s.getEntryLocked()
 	e.at, e.seq, e.fire = at, s.seq, fn
-	heap.Push(&s.timers, e)
+	s.placeLocked(e)
 	return e
 }
 
-// cancelLocked marks e cancelled and removes it from the heap eagerly, using
-// the index the heap maintains. Eager removal keeps the invariant that every
-// heap entry is live, which makes Pending O(1). An entry already popped into
-// the current fire batch (index -1) is only marked; advanceLocked skips and
-// recycles it. Caller holds s.mu.
+// cancelLocked marks e cancelled and removes it from whichever structure
+// holds it — wheel slot (O(1) swap-remove) or heap (via the maintained
+// index). Eager removal keeps the invariant that every stored entry is live,
+// which makes Pending O(1). An entry already extracted into the current fire
+// batch (locBatch) is only marked; advanceLocked skips and recycles it.
+// Caller holds s.mu.
 func (s *Scheduler) cancelLocked(e *timerEntry) {
 	if e == nil || e.cancelled {
 		return
 	}
 	e.cancelled = true
-	if e.index >= 0 {
+	switch e.loc {
+	case locHeap:
 		heap.Remove(&s.timers, e.index)
 		s.putEntryLocked(e)
+	case locFine, locCoarse:
+		s.wheel.remove(e)
+		s.putEntryLocked(e)
+	case locBatch:
+		// A callback in the current batch cancelled it; advanceLocked
+		// skips it and recycles the entry after the batch completes.
 	}
 }
 
@@ -292,30 +369,47 @@ func (s *Scheduler) cancelLocked(e *timerEntry) {
 // holds s.mu.
 func (s *Scheduler) advanceLocked() {
 	for s.running == 0 {
-		if len(s.timers) == 0 {
+		at, ok := s.nextTimerLocked()
+		if !ok {
 			// Quiescent: no runnable process, no pending event. Remaining
-			// parked processes (queue waiters) are daemons.
+			// parked processes (queue waiters) are daemons — unless a
+			// deadlock handler wants to hear about them.
+			if s.parked > 0 && s.OnDeadlock != nil && !s.deadlockNotified {
+				s.deadlockNotified = true
+				s.OnDeadlock(fmt.Sprintf("vtime: deadlock at %v: %d process(es) parked on queues with no runnable process and no pending timer", Epoch.Add(s.now), s.parked))
+			}
 			s.quiet.Broadcast()
 			return
 		}
-		at := s.timers[0].at
 		if at < s.now {
 			panic(fmt.Sprintf("vtime: timer in the past: %v < %v", at, s.now))
 		}
+		oldCoarse := s.now >> coarseShift
 		s.now = at
-		// Fire every entry at this instant. The heap pops in (at, seq) order,
-		// so the batch is already in schedule order; the batch slice is reused
-		// across advances (detached from s while firing, in case a callback
-		// re-enters the scheduler).
+		if c := at >> coarseShift; c != oldCoarse {
+			// Entering a new coarse tick: its slot's entries all fit the
+			// fine window now (see wheel.go), restoring the invariant that
+			// the current coarse slot is empty. Slots skipped over held
+			// nothing, or their entries would have been the earlier minimum.
+			s.cascadeLocked(int(c) & coarseMask)
+		}
+		// Collect every entry at this instant: same-instant entries share a
+		// fine slot (same at ⇒ same fine tick), and the heap may hold more
+		// (scheduled when the instant was beyond the wheel horizon). The
+		// merged batch is sorted back into schedule (seq) order; the batch
+		// slice is reused across advances (detached from s while firing, in
+		// case a callback re-enters the scheduler).
 		batch := s.batch[:0]
 		s.batch = nil
+		batch = s.wheel.extract(at, batch)
 		for len(s.timers) > 0 && s.timers[0].at == at {
 			batch = append(batch, heap.Pop(&s.timers).(*timerEntry))
 		}
+		sortBatchBySeq(batch)
 		for _, e := range batch {
 			if e.cancelled {
 				// A callback earlier in this batch cancelled e after it was
-				// already popped (e.g. a same-instant push beating a pop
+				// already extracted (e.g. a same-instant push beating a pop
 				// deadline): firing it anyway would double-wake its waiter.
 				continue
 			}
@@ -354,10 +448,10 @@ func (s *Scheduler) Wait() {
 }
 
 // pendingLocked counts live timers. Cancelled entries are removed from the
-// heap eagerly (see cancelLocked), so the heap length is the live count —
-// O(1) instead of a scan. Caller holds s.mu.
+// wheel and heap eagerly (see cancelLocked), so the stored count is the live
+// count — O(1) instead of a scan. Caller holds s.mu.
 func (s *Scheduler) pendingLocked() int {
-	return len(s.timers)
+	return s.wheel.count + len(s.timers)
 }
 
 // Pending reports the number of live timers; useful in tests.
@@ -374,15 +468,29 @@ func (s *Scheduler) Running() int {
 	return s.running
 }
 
+// Timer entry location: which structure currently holds the entry, so
+// cancellation knows where to remove it from. locBatch doubles as "nowhere"
+// — extracted into the current fire batch, or sitting on the free list.
+const (
+	locBatch int8 = iota
+	locHeap
+	locFine
+	locCoarse
+)
+
 type timerEntry struct {
 	at        time.Duration
 	seq       int64
 	fire      func()
 	cancelled bool
 	gen       uint64 // bumped on recycle; guards stale Timer handles
-	index     int
+	loc       int8   // which structure holds the entry
+	index     int    // position within that structure
 }
 
+// timerHeap is the overflow store for entries beyond the wheel horizon
+// (~17s out). It orders by (at, seq) like the wheel's batch sort, so the two
+// stores fire interchangeably.
 type timerHeap []*timerEntry
 
 func (h timerHeap) Len() int { return len(h) }
@@ -399,6 +507,7 @@ func (h timerHeap) Swap(i, j int) {
 }
 func (h *timerHeap) Push(x any) {
 	e := x.(*timerEntry)
+	e.loc = locHeap
 	e.index = len(*h)
 	*h = append(*h, e)
 }
@@ -407,7 +516,8 @@ func (h *timerHeap) Pop() any {
 	n := len(old)
 	e := old[n-1]
 	old[n-1] = nil
-	e.index = -1 // no longer in the heap; cancelLocked must not Remove it
+	e.loc = locBatch // no longer stored; cancelLocked must not remove it
+	e.index = -1
 	*h = old[:n-1]
 	return e
 }

@@ -1,0 +1,240 @@
+package vtime
+
+import (
+	"cmp"
+	"container/heap"
+	"math/bits"
+	"slices"
+	"time"
+)
+
+// The scheduler stores timers in a two-level hierarchical timer wheel with
+// the binary heap as overflow. Swarm cells are dominated by dense
+// short-horizon timers — link deliveries a few milliseconds out, lease
+// renewals a few seconds out — and for those the wheel turns every heap
+// percolation (O(log n), pointer-chasing) into an O(1) slot append and an
+// O(1) swap-remove on cancel. The heap only ever holds the long tail
+// (anything more than ~17s ahead of the clock), where churn is low.
+//
+// Layout. A fine slot spans 2^fineShift ns ≈ 1.05ms; fineSlots of them
+// cover a window of 2^coarseShift ns ≈ 268ms, which is exactly one coarse
+// tick. A coarse slot spans one coarse tick; coarseSlots of them cover
+// ≈ 17.2s. Non-empty slots are tracked in bitmaps so the next-expiry scan
+// is a handful of word operations.
+//
+// Exactness. The wheel changes nothing about when or in what order timers
+// fire: advanceLocked always takes the global minimum instant across the
+// fine wheel, the coarse wheel, and the heap, collects the full same-instant
+// batch from all stores, and sorts it back into schedule (seq) order. Slots
+// are unsorted buckets; order within them never matters because firing
+// re-sorts.
+//
+// Invariants, relying on every entry satisfying at >= now when placed
+// (scheduleLocked guarantees it) and on now only moving in advanceLocked:
+//
+//   - Every fine entry's tick lies in [now>>fineShift, now>>fineShift+255]:
+//     it did at insert time, at only sits in the future, and now only grows.
+//     Each fine slot therefore holds exactly one tick's entries, and a
+//     circular bitmap scan starting at the current tick finds the earliest.
+//   - The current coarse slot is always empty: an entry in coarse tick c
+//     with at >= now always fits the fine window while now is in c (the
+//     window spans a full coarse tick), so placement prefers fine, and when
+//     the clock enters a new coarse tick that slot cascades into the fine
+//     wheel. Coarse slots the clock skips over were provably empty — any
+//     entry there would have been an earlier minimum.
+const (
+	fineShift   = 20 // ns per fine tick: 2^20 ≈ 1.05ms
+	fineSlots   = 256
+	fineMask    = fineSlots - 1
+	coarseShift = 28 // ns per coarse tick: 2^28 ≈ 268ms — the fine window
+	coarseSlots = 64
+	coarseMask  = coarseSlots - 1
+)
+
+type timerWheel struct {
+	fine       [fineSlots][]*timerEntry
+	fineBits   [fineSlots / 64]uint64
+	coarse     [coarseSlots][]*timerEntry
+	coarseBits uint64
+	count      int // live entries across both levels
+}
+
+// placeLocked files e into the fine wheel, the coarse wheel, or the overflow
+// heap, by distance from now. Caller holds s.mu; e.at >= s.now.
+func (s *Scheduler) placeLocked(e *timerEntry) {
+	w := &s.wheel
+	if ft := e.at >> fineShift; ft-(s.now>>fineShift) < fineSlots {
+		slot := int(ft) & fineMask
+		e.loc, e.index = locFine, len(w.fine[slot])
+		w.fine[slot] = append(w.fine[slot], e)
+		w.fineBits[slot>>6] |= 1 << (slot & 63)
+		w.count++
+		return
+	}
+	if ct := e.at >> coarseShift; ct-(s.now>>coarseShift) < coarseSlots {
+		slot := int(ct) & coarseMask
+		e.loc, e.index = locCoarse, len(w.coarse[slot])
+		w.coarse[slot] = append(w.coarse[slot], e)
+		w.coarseBits |= 1 << slot
+		w.count++
+		return
+	}
+	heap.Push(&s.timers, e)
+}
+
+// cascadeLocked empties the coarse slot the clock just entered into the fine
+// wheel. Every entry fits the fine window (see the invariants above), so
+// this never recurses. Caller holds s.mu, after updating s.now.
+func (s *Scheduler) cascadeLocked(slot int) {
+	w := &s.wheel
+	entries := w.coarse[slot]
+	if len(entries) == 0 {
+		return
+	}
+	w.coarseBits &^= 1 << slot
+	w.count -= len(entries)
+	w.coarse[slot] = entries[:0]
+	for i, e := range entries {
+		entries[i] = nil
+		s.placeLocked(e)
+	}
+}
+
+// remove takes a wheel-resident entry out of its slot: O(1) swap-remove,
+// fixing the moved entry's index and clearing the slot's bitmap bit when it
+// empties.
+func (w *timerWheel) remove(e *timerEntry) {
+	if e.loc == locFine {
+		slot := int(e.at>>fineShift) & fineMask
+		w.fine[slot] = swapRemove(w.fine[slot], e.index)
+		if len(w.fine[slot]) == 0 {
+			w.fineBits[slot>>6] &^= 1 << (slot & 63)
+		}
+	} else {
+		slot := int(e.at>>coarseShift) & coarseMask
+		w.coarse[slot] = swapRemove(w.coarse[slot], e.index)
+		if len(w.coarse[slot]) == 0 {
+			w.coarseBits &^= 1 << slot
+		}
+	}
+	w.count--
+	e.loc, e.index = locBatch, -1
+}
+
+// extract moves every entry scheduled for exactly instant at out of the
+// wheel and appends it to batch. Same-instant entries share one fine slot,
+// and the current coarse slot is empty, so only that slot is scanned.
+func (w *timerWheel) extract(at time.Duration, batch []*timerEntry) []*timerEntry {
+	slot := int(at>>fineShift) & fineMask
+	sl := w.fine[slot]
+	for i := 0; i < len(sl); {
+		if e := sl[i]; e.at == at {
+			sl = swapRemove(sl, i)
+			e.loc, e.index = locBatch, -1
+			batch = append(batch, e)
+			w.count--
+			continue // the swapped-in entry now sits at i
+		}
+		i++
+	}
+	w.fine[slot] = sl
+	if len(sl) == 0 {
+		w.fineBits[slot>>6] &^= 1 << (slot & 63)
+	}
+	return batch
+}
+
+func swapRemove(sl []*timerEntry, i int) []*timerEntry {
+	n := len(sl) - 1
+	if i != n {
+		sl[i] = sl[n]
+		sl[i].index = i
+	}
+	sl[n] = nil
+	return sl[:n]
+}
+
+// nextTimerLocked returns the earliest pending instant across the fine
+// wheel, the coarse wheel, and the overflow heap, and whether any timer is
+// pending at all. Caller holds s.mu.
+func (s *Scheduler) nextTimerLocked() (time.Duration, bool) {
+	const none = time.Duration(1<<63 - 1)
+	at := none
+	w := &s.wheel
+	if w.count > 0 {
+		// The first non-empty slot in circular order from the current tick
+		// holds the level's earliest tick; its minimum entry is the level
+		// minimum. Levels can interleave (a late fine tick may exceed an
+		// early coarse one), so both are compared.
+		if slot := firstSet256(&w.fineBits, int(s.now>>fineShift)&fineMask); slot >= 0 {
+			for _, e := range w.fine[slot] {
+				if e.at < at {
+					at = e.at
+				}
+			}
+		}
+		if slot := firstSet64(w.coarseBits, int(s.now>>coarseShift)&coarseMask); slot >= 0 {
+			for _, e := range w.coarse[slot] {
+				if e.at < at {
+					at = e.at
+				}
+			}
+		}
+	}
+	if len(s.timers) > 0 && s.timers[0].at < at {
+		at = s.timers[0].at
+	}
+	return at, at != none
+}
+
+// firstSet256 returns the first set bit position in the 256-bit bitmap,
+// scanning circularly from bit `from`, or -1 if the bitmap is empty.
+func firstSet256(bm *[4]uint64, from int) int {
+	w0, b0 := from>>6, from&63
+	if b := bm[w0] >> b0 << b0; b != 0 {
+		return w0<<6 + bits.TrailingZeros64(b)
+	}
+	for i := 1; i < 4; i++ {
+		w := (w0 + i) & 3
+		if bm[w] != 0 {
+			return w<<6 + bits.TrailingZeros64(bm[w])
+		}
+	}
+	if b := bm[w0] & (1<<b0 - 1); b != 0 {
+		return w0<<6 + bits.TrailingZeros64(b)
+	}
+	return -1
+}
+
+// firstSet64 is firstSet256 for the single-word coarse bitmap.
+func firstSet64(bm uint64, from int) int {
+	if b := bm >> from << from; b != 0 {
+		return bits.TrailingZeros64(b)
+	}
+	if b := bm & (1<<from - 1); b != 0 {
+		return bits.TrailingZeros64(b)
+	}
+	return -1
+}
+
+// sortBatchBySeq restores schedule order over a merged same-instant batch.
+// Batches are almost always tiny (one delivery, one lease), so insertion
+// sort beats the generic sort until they are genuinely large.
+func sortBatchBySeq(b []*timerEntry) {
+	if len(b) < 2 {
+		return
+	}
+	if len(b) <= 32 {
+		for i := 1; i < len(b); i++ {
+			e := b[i]
+			j := i - 1
+			for j >= 0 && b[j].seq > e.seq {
+				b[j+1] = b[j]
+				j--
+			}
+			b[j+1] = e
+		}
+		return
+	}
+	slices.SortFunc(b, func(x, y *timerEntry) int { return cmp.Compare(x.seq, y.seq) })
+}

@@ -1,0 +1,71 @@
+#!/bin/sh
+# benchdiff: print the delta table between the two latest committed
+# BENCH_<n>.json snapshots — the at-a-glance answer to "what did this PR do
+# to the perf trajectory". Reads the same hand-rolled JSON benchsnap.sh
+# writes (one benchmark object per line), so it needs nothing but awk.
+#
+# Columns: ns/op old -> new with percentage, and allocs/op old -> new with
+# percentage when both sides carry alloc fields (snapshots before BENCH_7
+# don't). Negative percentages are improvements. Benchmarks present on one
+# side only are listed as new/gone.
+#
+# Usage: sh scripts/benchdiff.sh                 # two latest snapshots
+#        sh scripts/benchdiff.sh OLD.json NEW.json
+set -eu
+cd "$(dirname "$0")/.."
+
+if [ $# -eq 2 ]; then
+    old="$1"; new="$2"
+else
+    new="$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1)"
+    old="$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -2 | head -1)"
+    if [ -z "$old" ] || [ -z "$new" ] || [ "$old" = "$new" ]; then
+        echo "benchdiff: need two committed BENCH_*.json snapshots to diff" >&2
+        exit 1
+    fi
+fi
+
+echo "benchdiff: $old -> $new"
+awk -v oldf="$old" -v newf="$new" '
+    function parse(line, field,    v) {
+        # Extract a numeric field from one benchmark JSON line; "" if absent.
+        if (match(line, "\"" field "\": [0-9.]+"))
+            return substr(line, RSTART + length(field) + 4, RLENGTH - length(field) - 4)
+        return ""
+    }
+    /"name"/ {
+        name = $0; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+        if (FILENAME == oldf) {
+            ons[name] = parse($0, "ns_per_op")
+            oallocs[name] = parse($0, "allocs_per_op")
+            if (!(name in oseen)) { oseen[name] = 1 }
+        } else {
+            nns[name] = parse($0, "ns_per_op")
+            nallocs[name] = parse($0, "allocs_per_op")
+            if (!(name in nseen)) { nseen[name] = 1; order[++nb] = name }
+        }
+    }
+    END {
+        printf "  %-55s %15s %15s %8s   %10s %10s %8s\n", \
+            "benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "delta"
+        for (i = 1; i <= nb; i++) {
+            name = order[i]
+            if (!(name in ons)) {
+                printf "  %-55s %15s %15s %8s\n", name, "(new)", nns[name], "-"
+                continue
+            }
+            dns = "-"
+            if (ons[name] + 0 > 0)
+                dns = sprintf("%+.1f%%", (nns[name] - ons[name]) / ons[name] * 100)
+            da = "-"; oa = "-"; na = "-"
+            if (oallocs[name] != "" && nallocs[name] != "") {
+                oa = oallocs[name]; na = nallocs[name]
+                if (oa + 0 > 0) da = sprintf("%+.1f%%", (na - oa) / oa * 100)
+            }
+            printf "  %-55s %15s %15s %8s   %10s %10s %8s\n", \
+                name, ons[name], nns[name], dns, oa, na, da
+        }
+        for (name in oseen) if (!(name in nseen))
+            printf "  %-55s %15s %15s\n", name, ons[name], "(gone)"
+    }
+' "$old" "$new"
