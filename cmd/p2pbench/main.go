@@ -31,8 +31,18 @@
 // expired — must always be zero). Figures ignore churn schedules; workloads
 // are the churn-aware path.
 //
+// A dissemination workload (disseminate:N, stream:N) splits one payload into
+// pieces and runs a multi-round swarm: every downloader re-originates the
+// pieces it holds, piece picking is pluggable (pick=rarest|sequential), and
+// uploaders run tit-for-tat choking with a deterministic optimistic-unchoke
+// rotation (choke=tft|none). stream:N adds per-piece playback deadlines and a
+// stall counter. The summary gains pieces_moved / peers_reoriginated /
+// stalled_flows / total_stalls plus the like/cross pair-byte split behind
+// -experiment figcluster (bandwidth clustering vs choking policy) and
+// figstream (playback stalls vs piece picking).
+//
 // With -sweep the run is a generic grid over (scenario × workload × model ×
-// granularity × size × churn-rate), e.g.
+// granularity × size × pick × choke × churn-rate), e.g.
 //
 //	p2pbench -sweep "scenario=table1,churn:64;model=all;rep=5" -format json
 //
@@ -45,9 +55,9 @@
 //
 // Usage:
 //
-//	p2pbench [-experiment all|table1|fig2|fig3|fig4|fig5|fig6|fig7|figchurn|figfault]
+//	p2pbench [-experiment all|table1|fig2..fig7|figchurn|figfault|figcluster|figstream]
 //	         [-scenario table1|uniform:N|heterogeneous:N|zipf:N|churn:N|faults:N]
-//	         [-workload controller-fanout|swarm:N|allpairs:N]
+//	         [-workload controller-fanout|swarm:N|allpairs:N|disseminate:N|stream:N]
 //	         [-sweep "axis=v,v;..."]
 //	         [-seed N] [-reps N] [-parallel N] [-shards N]
 //	         [-format markdown|bars|csv|json]
@@ -98,10 +108,10 @@ type result struct {
 
 func main() {
 	var (
-		exp      = flag.String("experiment", "all", "which exhibit to regenerate (all, table1, fig2..fig7, figchurn, figfault)")
+		exp      = flag.String("experiment", "all", "which exhibit to regenerate (all, table1, fig2..fig7, figchurn, figfault, figcluster, figstream)")
 		scen     = flag.String("scenario", "table1", "slice scenario: table1 (the paper's calibrated world), uniform:N, heterogeneous:N, zipf:N, churn:N, faults:N")
-		wl       = flag.String("workload", "", "run a flow workload instead of the figures: controller-fanout, swarm:N, allpairs:N")
-		sweep    = flag.String("sweep", "", `run a sweep grid instead: "scenario=table1,churn:64;model=all;rep=5" (axes: scenario, workload, model, granularity, size, churn, fault, rep)`)
+		wl       = flag.String("workload", "", "run a flow workload instead of the figures: controller-fanout, swarm:N, allpairs:N, disseminate:N, stream:N")
+		sweep    = flag.String("sweep", "", `run a sweep grid instead: "scenario=table1,churn:64;model=all;rep=5" (axes: scenario, workload, model, granularity, size, pick, choke, churn, fault, rep)`)
 		seed     = flag.Int64("seed", 2007, "simulation seed (runs with equal seeds are identical)")
 		reps     = flag.Int("reps", 5, "repetitions per data point (the paper used 5)")
 		parallel = flag.Int("parallel", 0, "experiment cells run concurrently (0 = GOMAXPROCS, 1 = serial)")
@@ -137,8 +147,10 @@ func main() {
 	// the choice made explicitly; failing up front beats burning the other
 	// figures' runs and aborting.
 	for name, def := range map[string]string{
-		"figchurn": experiments.DefaultChurnScenario,
-		"figfault": experiments.DefaultFaultScenario,
+		"figchurn":   experiments.DefaultChurnScenario,
+		"figfault":   experiments.DefaultFaultScenario,
+		"figcluster": experiments.DefaultClusterScenario,
+		"figstream":  experiments.DefaultClusterScenario,
 	} {
 		if flagWasSet("scenario") || !slices.Contains(expNames, name) {
 			continue
@@ -224,8 +236,10 @@ func main() {
 			"fig5":     experiments.Fig5Granularity,
 			"fig6":     experiments.Fig6SelectionModels,
 			"fig7":     experiments.Fig7ExecVsTransferExec,
-			"figchurn": experiments.FigChurnQuality,
-			"figfault": experiments.FigFaultResilience,
+			"figchurn":   experiments.FigChurnQuality,
+			"figfault":   experiments.FigFaultResilience,
+			"figcluster": experiments.FigBandwidthClustering,
+			"figstream":  experiments.FigStreamStalls,
 		}
 		for _, name := range expNames {
 			switch {
@@ -239,7 +253,7 @@ func main() {
 				}
 				out.Figures = append(out.Figures, experiments.SuiteFigure{Name: name, Figure: fig})
 			default:
-				fmt.Fprintf(os.Stderr, "p2pbench: unknown experiment %q (want all, table1, fig2..fig7, figchurn, figfault)\n", name)
+				fmt.Fprintf(os.Stderr, "p2pbench: unknown experiment %q (want all, table1, fig2..fig7, figchurn, figfault, figcluster, figstream)\n", name)
 				exit(2)
 			}
 		}
@@ -461,6 +475,15 @@ func renderWorkload(out result, format string) error {
 		// Fault counters, same rule: only a faulty run prints them.
 		fmt.Fprintf(summaryTo, " retries=%d degraded=%d recovered=%d broker-down=%.0fs",
 			s.RetriesSpent, s.SelectionsDegraded, s.FlowsRecovered, s.BrokerDownSeconds)
+	}
+	if s.PiecesMoved > 0 {
+		// Dissemination counters: only the piece engine moves pieces, so
+		// swarm/allpairs summary lines keep their exact historical shape.
+		fmt.Fprintf(summaryTo, " pieces=%d reoriginated=%d stalled=%d stalls=%d",
+			s.PiecesMoved, s.PeersReOriginated, s.StalledFlows, s.TotalStalls)
+		if s.CrossPairBytes > 0 {
+			fmt.Fprintf(summaryTo, " pairing=%.2f", float64(s.LikePairBytes)/float64(s.CrossPairBytes))
+		}
 	}
 	fmt.Fprintln(summaryTo)
 	return nil

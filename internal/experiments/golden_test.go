@@ -121,3 +121,112 @@ func TestGoldenFaultSwarm(t *testing.T) {
 		}
 	}
 }
+
+// dissemGoldenRun runs one dissemination workload repetition on zipf:16 —
+// the bandwidth-skewed world where piece exchange and choking have classes
+// to discriminate — at the given worker/shard counts.
+func dissemGoldenRun(t *testing.T, spec string, workers, shards int) *WorkloadReport {
+	t.Helper()
+	sc, err := scenario.Parse("zipf:16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := RunWorkload(Config{Seed: 2007, Reps: 1, Workers: workers, Shards: shards, Scenario: sc, Workload: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return report
+}
+
+// TestGoldenDisseminate is the piece-engine golden: a disseminate:16 swarm
+// over zipf:16 — multi-round piece exchange, re-origination, tit-for-tat
+// choking — reproduces its committed report at workers=1/4 and shards=1/3,
+// and actually swarms (peers re-originated, peer-pair bytes split across
+// bandwidth classes, nothing failed or stalled).
+func TestGoldenDisseminate(t *testing.T) {
+	const spec = "disseminate:16;pick=rarest;choke=tft"
+	report := dissemGoldenRun(t, spec, 1, 1)
+	s := report.Summary
+	if s.FailedFlows != 0 || s.StalledFlows != 0 {
+		t.Fatalf("dissemination golden has failed/stalled flows: %+v", s)
+	}
+	if s.PeersReOriginated == 0 {
+		t.Fatal("dissemination golden re-originated nothing; swarm degenerated to fanout")
+	}
+	if s.LikePairBytes == 0 || s.CrossPairBytes == 0 {
+		t.Fatalf("dissemination golden has a degenerate pair split: like=%d cross=%d", s.LikePairBytes, s.CrossPairBytes)
+	}
+	golden := goldenJSON(t, report)
+	sweeptest.Golden(t, "zipf16-disseminate16.golden.json", golden)
+
+	for _, alt := range [][2]int{{4, 1}, {4, 3}} {
+		report := dissemGoldenRun(t, spec, alt[0], alt[1])
+		if err := sweeptest.Diff(golden, goldenJSON(t, report)); err != nil {
+			t.Fatalf("dissemination at workers=%d shards=%d diverged from golden: %v", alt[0], alt[1], err)
+		}
+	}
+}
+
+// TestGoldenStream is the streaming golden: stream:16 over zipf:16 — the
+// same swarm under playback deadlines, sequential picking — reproduces its
+// committed report at workers=1/4 and shards=1/3.
+func TestGoldenStream(t *testing.T) {
+	const spec = "stream:16;pick=sequential;choke=tft"
+	report := dissemGoldenRun(t, spec, 1, 1)
+	if report.Summary.PiecesMoved == 0 {
+		t.Fatal("streaming golden moved no pieces")
+	}
+	if report.Summary.FailedFlows != 0 {
+		t.Fatalf("streaming golden has failed flows: %+v", report.Summary)
+	}
+	golden := goldenJSON(t, report)
+	sweeptest.Golden(t, "zipf16-stream16.golden.json", golden)
+
+	for _, alt := range [][2]int{{4, 1}, {4, 3}} {
+		report := dissemGoldenRun(t, spec, alt[0], alt[1])
+		if err := sweeptest.Diff(golden, goldenJSON(t, report)); err != nil {
+			t.Fatalf("streaming at workers=%d shards=%d diverged from golden: %v", alt[0], alt[1], err)
+		}
+	}
+}
+
+// TestGoldenClusterFigure locks the incentive result itself into a golden:
+// the clustering figure on its default world must show tit-for-tat pairing
+// fast peers with fast peers (like/cross ratio above 1 — Legout's
+// clustering) and more strongly than the policy-neutral baseline, and the
+// figure must reproduce byte-for-byte at other worker and shard counts.
+func TestGoldenClusterFigure(t *testing.T) {
+	fig, err := FigBandwidthClustering(Config{Seed: 2007, Reps: 1, Workers: 1, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratios := map[string]float64{}
+	for i, label := range fig.Labels {
+		ratios[label] = fig.Series[0].Values[i]
+	}
+	if ratios["choke=tft"] <= 1 {
+		t.Fatalf("tft pairing ratio %.3f not above 1; no bandwidth clustering", ratios["choke=tft"])
+	}
+	if ratios["choke=tft"] <= ratios["choke=none"] {
+		t.Fatalf("tft pairing ratio %.3f not above the unchoked baseline %.3f", ratios["choke=tft"], ratios["choke=none"])
+	}
+	golden := goldenJSON(t, fig)
+	sweeptest.Golden(t, "figcluster-zipf16.golden.json", golden)
+
+	for _, alt := range []Config{
+		{Seed: 2007, Reps: 1, Workers: 4, Shards: 1},
+		{Seed: 2007, Reps: 1, Workers: 4, Shards: 3},
+	} {
+		fig, err := FigBandwidthClustering(alt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sweeptest.Diff(golden, goldenJSON(t, fig)); err != nil {
+			t.Fatalf("clustering figure at workers=%d shards=%d diverged from golden: %v", alt.Workers, alt.Shards, err)
+		}
+	}
+}

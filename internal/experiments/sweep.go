@@ -1,5 +1,5 @@
 // Generic sweep engine: grid cells over (scenario × workload × model ×
-// granularity × size × churn-rate × fault-rate × rep).
+// granularity × size × pick × choke × churn-rate × fault-rate × rep).
 //
 // The paper's figures are each a hand-rolled 1-D sweep — granularity for
 // Figure 5, selection model for Figure 6 — and the figure generators now
@@ -19,6 +19,7 @@ package experiments
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -73,7 +74,7 @@ func runGrid[T any](cfg Config, figure string, ax axes, cell func(coord []int, c
 // Sweep describes a grid of workload cells over orthogonal axes. Empty axes
 // default as documented per field; the cross-product of the remaining values
 // expands in the fixed canonical order scenario → workload → model →
-// granularity → size → churn → fault → rep (rep fastest), whatever order
+// granularity → size → pick → choke → churn → fault → rep (rep fastest), whatever order
 // the axes were written in. Parse a "-sweep" spec with ParseSweep; Spec prints the
 // canonical form back.
 type Sweep struct {
@@ -93,6 +94,14 @@ type Sweep struct {
 	// Sizes, when set, overrides every flow's payload size, in Mb (the
 	// paper's unit). Empty keeps the workload's own.
 	Sizes []int
+	// Picks, when set, overrides the piece-picking policy of every swept
+	// dissemination workload ("rarest", "sequential"); sweeping it over a
+	// non-dissemination workload is an error. Empty keeps each workload's
+	// own policy.
+	Picks []string
+	// Chokes, when set, overrides the choking policy ("tft", "none") under
+	// the same applicability rule as Picks.
+	Chokes []string
 	// ChurnRates scales each scenario's membership dynamics
 	// (scenario.Scenario.ChurnRate): rate 2 roughly doubles departures per
 	// horizon while lease timescales stay fixed. Values other than 1
@@ -142,7 +151,8 @@ const (
 
 // ParseSweep parses a sweep grid spec: semicolon-separated axes, each
 // "axis=value,value,...". Axes are scenario, workload, model, granularity
-// (parts, positive integers), size (Mb, positive integers), churn and fault
+// (parts, positive integers), size (Mb, positive integers), pick and choke
+// (dissemination policies), churn and fault
 // (rate multipliers, positive floats) and rep (a single positive integer;
 // "reps" is accepted too). "model=all" expands to the Figure 6 lineup. Example:
 //
@@ -219,6 +229,20 @@ func ParseSweep(spec string) (Sweep, error) {
 				}
 				sw.Sizes = append(sw.Sizes, n)
 			}
+		case "pick":
+			for _, v := range values {
+				if !slices.Contains(workload.Picks, v) {
+					return Sweep{}, fmt.Errorf("sweep: unknown pick policy %q (want %s)", v, strings.Join(workload.Picks, ", "))
+				}
+				sw.Picks = append(sw.Picks, v)
+			}
+		case "choke":
+			for _, v := range values {
+				if !slices.Contains(workload.Chokes, v) {
+					return Sweep{}, fmt.Errorf("sweep: unknown choke policy %q (want %s)", v, strings.Join(workload.Chokes, ", "))
+				}
+				sw.Chokes = append(sw.Chokes, v)
+			}
 		case "churn":
 			for _, v := range values {
 				f, err := strconv.ParseFloat(v, 64)
@@ -245,7 +269,7 @@ func ParseSweep(spec string) (Sweep, error) {
 			}
 			sw.Reps = n
 		default:
-			return Sweep{}, fmt.Errorf("sweep: unknown axis %q (want scenario, workload, model, granularity, size, churn, fault, rep)", name)
+			return Sweep{}, fmt.Errorf("sweep: unknown axis %q (want scenario, workload, model, granularity, size, pick, choke, churn, fault, rep)", name)
 		}
 	}
 	sw.Scenarios = dedup(sw.Scenarios)
@@ -253,6 +277,8 @@ func ParseSweep(spec string) (Sweep, error) {
 	sw.Models = dedup(sw.Models)
 	sw.Granularities = dedup(sw.Granularities)
 	sw.Sizes = dedup(sw.Sizes)
+	sw.Picks = dedup(sw.Picks)
+	sw.Chokes = dedup(sw.Chokes)
 	sw.ChurnRates = dedup(sw.ChurnRates)
 	sw.FaultRates = dedup(sw.FaultRates)
 	return sw, nil
@@ -311,6 +337,8 @@ func (sw Sweep) Spec() string {
 	add("model", sw.Models)
 	add("granularity", ints(sw.Granularities))
 	add("size", ints(sw.Sizes))
+	add("pick", sw.Picks)
+	add("choke", sw.Chokes)
 	fmtRates := func(rs []float64) []string {
 		out := make([]string, len(rs))
 		for i, r := range rs {
@@ -335,6 +363,8 @@ type SweepCell struct {
 	Model     string
 	Parts     int
 	SizeMb    int
+	Pick      string
+	Choke     string
 	ChurnRate float64
 	FaultRate float64
 	Rep       int
@@ -342,10 +372,17 @@ type SweepCell struct {
 
 // key is the cell's seed-derivation identity: every axis coordinate, in
 // canonical order. Two sweeps that contain the same cell — whatever else
-// they sweep — simulate it in the identical world.
+// they sweep — simulate it in the identical world. The pick/choke segment
+// is appended only when either axis is set: a cell that predates the
+// dissemination axes must keep its key, and with it the seed every
+// committed sweep golden derives from.
 func (c SweepCell) key() string {
-	return fmt.Sprintf("sweep|scenario=%s|workload=%s|model=%s|parts=%d|size=%d|churn=%s|fault=%s|rep=%d",
+	k := fmt.Sprintf("sweep|scenario=%s|workload=%s|model=%s|parts=%d|size=%d|churn=%s|fault=%s|rep=%d",
 		c.Scenario, c.Workload, c.Model, c.Parts, c.SizeMb, formatRate(c.ChurnRate), formatRate(c.FaultRate), c.Rep)
+	if c.Pick != "" || c.Choke != "" {
+		k += fmt.Sprintf("|pick=%s|choke=%s", c.Pick, c.Choke)
+	}
+	return k
 }
 
 // SweepRecord is one executed cell's JSON row: the axis coordinates plus the
@@ -358,6 +395,8 @@ type SweepRecord struct {
 	Model     string          `json:"model,omitempty"`
 	Parts     int             `json:"parts,omitempty"`
 	SizeMb    int             `json:"size_mb,omitempty"`
+	Pick      string          `json:"pick,omitempty"`
+	Choke     string          `json:"choke,omitempty"`
 	ChurnRate float64         `json:"churn_rate"`
 	FaultRate float64         `json:"fault_rate"`
 	Rep       int             `json:"rep"`
@@ -381,6 +420,16 @@ type SweepMarginal struct {
 	DegradedPct             float64 `json:"degraded_pct"`
 	RecoveredPct            float64 `json:"recovered_pct"`
 	MeanTransmissionSeconds float64 `json:"mean_transmission_seconds"`
+	// Dissemination views, omitted (zero) for single-round workloads.
+	// PairingRatio is like/cross pair bytes across the contributing cells —
+	// above 1 means bandwidth classes trade within themselves (clustering).
+	// StallsPerFlow is total playback stalls over all flows; StalledPct is
+	// the share of flows that stalled at least once — the viewer-experience
+	// number (total stalls concentrate on capacity-starved tail peers, the
+	// stalled share is where picking policy shows).
+	PairingRatio  float64 `json:"pairing_ratio,omitempty"`
+	StallsPerFlow float64 `json:"stalls_per_flow,omitempty"`
+	StalledPct    float64 `json:"stalled_pct,omitempty"`
 }
 
 // SweepReport is RunSweep's result: the canonical spec, every cell's record
@@ -503,6 +552,14 @@ func expandSweep(cfg Config, sw Sweep) ([]sweepPlan, int, error) {
 	if len(sizes) == 0 {
 		sizes = []int{0}
 	}
+	picks := sw.Picks
+	if len(picks) == 0 {
+		picks = []string{""}
+	}
+	chokes := sw.Chokes
+	if len(chokes) == 0 {
+		chokes = []string{""}
+	}
 	reps := sw.Reps
 	if reps <= 0 {
 		reps = cfg.Reps
@@ -538,6 +595,19 @@ func expandSweep(cfg Config, sw Sweep) ([]sweepPlan, int, error) {
 		}
 		for _, w := range ws {
 			for _, model := range models {
+				// Axis applicability is validated where the workload is in
+				// hand: the policy axes parameterize the piece engine, and
+				// the model axis rewires sink selection — meaningless for
+				// dissemination flows, whose sinks are the downloaders
+				// themselves. Failing here costs nothing; failing inside a
+				// deployed cell costs a simulated slice.
+				if model != "" && w.Disseminate != nil {
+					return nil, 0, fmt.Errorf("sweep: model %s over dissemination workload %q (its flows have fixed sinks; sweep pick/choke instead)",
+						model, w.Name)
+				}
+				if (len(sw.Picks) > 0 || len(sw.Chokes) > 0) && w.Disseminate == nil {
+					return nil, 0, fmt.Errorf("sweep: pick/choke over workload %q, which has no pieces to police (want disseminate:N / stream:N)", w.Name)
+				}
 				for _, parts := range grans {
 					for _, sizeMb := range sizes {
 						sized := 0
@@ -545,24 +615,31 @@ func expandSweep(cfg Config, sw Sweep) ([]sweepPlan, int, error) {
 							sized = sizeMb * transfer.Mb
 						}
 						cellW := w.With(model, parts, sized)
-						for _, rate := range rates {
-							for _, frate := range faultRates {
-								cellSc := ratedBy[ratePair{rate, frate}]
-								for rep := 0; rep < reps; rep++ {
-									plans = append(plans, sweepPlan{
-										cell: SweepCell{
-											Scenario:  sc.Name,
-											Workload:  w.Name,
-											Model:     model,
-											Parts:     parts,
-											SizeMb:    sizeMb,
-											ChurnRate: rate,
-											FaultRate: frate,
-											Rep:       rep,
-										},
-										sc: cellSc,
-										w:  cellW,
-									})
+						for _, pick := range picks {
+							for _, choke := range chokes {
+								policyW := cellW.WithPolicies(pick, choke)
+								for _, rate := range rates {
+									for _, frate := range faultRates {
+										cellSc := ratedBy[ratePair{rate, frate}]
+										for rep := 0; rep < reps; rep++ {
+											plans = append(plans, sweepPlan{
+												cell: SweepCell{
+													Scenario:  sc.Name,
+													Workload:  w.Name,
+													Model:     model,
+													Parts:     parts,
+													SizeMb:    sizeMb,
+													Pick:      pick,
+													Choke:     choke,
+													ChurnRate: rate,
+													FaultRate: frate,
+													Rep:       rep,
+												},
+												sc: cellSc,
+												w:  policyW,
+											})
+										}
+									}
 								}
 							}
 						}
@@ -633,6 +710,8 @@ func sweepCell(cellCfg Config, p sweepPlan) (SweepRecord, error) {
 		Model:     p.cell.Model,
 		Parts:     p.cell.Parts,
 		SizeMb:    p.cell.SizeMb,
+		Pick:      p.cell.Pick,
+		Choke:     p.cell.Choke,
 		ChurnRate: p.cell.ChurnRate,
 		FaultRate: p.cell.FaultRate,
 		Rep:       p.cell.Rep,
@@ -643,6 +722,8 @@ func sweepCell(cellCfg Config, p sweepPlan) (SweepRecord, error) {
 	rec.Summary.SelectionsStale = res.stale
 	rec.Summary.SelectionsLagged = res.lagged
 	rec.Summary.BrokerDownSeconds = res.brokerDown
+	rec.Summary.LikePairBytes = res.like
+	rec.Summary.CrossPairBytes = res.cross
 	return rec, nil
 }
 
@@ -658,6 +739,8 @@ var sweepAxisViews = []struct {
 	{"model", func(r SweepRecord) string { return r.Model }},
 	{"granularity", func(r SweepRecord) string { return strconv.Itoa(r.Parts) }},
 	{"size", func(r SweepRecord) string { return strconv.Itoa(r.SizeMb) }},
+	{"pick", func(r SweepRecord) string { return r.Pick }},
+	{"choke", func(r SweepRecord) string { return r.Choke }},
 	{"churn", func(r SweepRecord) string { return formatRate(r.ChurnRate) }},
 	{"fault", func(r SweepRecord) string { return formatRate(r.FaultRate) }},
 }
@@ -682,8 +765,9 @@ func marginals(records []SweepRecord) []SweepMarginal {
 		}
 		for _, v := range order {
 			m := SweepMarginal{Axis: ax.name, Value: v}
-			var completed int
+			var completed, stalls, stalled int
 			var xmitWeighted float64
+			var like, cross int64
 			for _, r := range groups[v] {
 				m.Cells++
 				m.Flows += r.Summary.Flows
@@ -692,6 +776,10 @@ func marginals(records []SweepRecord) []SweepMarginal {
 				m.StalePct += float64(r.Summary.SelectionsStale)
 				m.DegradedPct += float64(r.Summary.SelectionsDegraded)
 				m.RecoveredPct += float64(r.Summary.FlowsRecovered)
+				stalls += r.Summary.TotalStalls
+				stalled += r.Summary.StalledFlows
+				like += r.Summary.LikePairBytes
+				cross += r.Summary.CrossPairBytes
 				c := r.Summary.Flows - r.Summary.FailedFlows
 				completed += c
 				xmitWeighted += r.Summary.MeanTransmissionSeconds * float64(c)
@@ -705,6 +793,13 @@ func marginals(records []SweepRecord) []SweepMarginal {
 			}
 			if completed > 0 {
 				m.MeanTransmissionSeconds = xmitWeighted / float64(completed)
+			}
+			if cross > 0 {
+				m.PairingRatio = float64(like) / float64(cross)
+			}
+			if m.Flows > 0 {
+				m.StallsPerFlow = float64(stalls) / float64(m.Flows)
+				m.StalledPct = 100 * float64(stalled) / float64(m.Flows)
 			}
 			out = append(out, m)
 		}

@@ -47,6 +47,14 @@ type FlowRecord struct {
 	// scenarios.
 	Degraded bool `json:"degraded,omitempty"`
 	Retries  int  `json:"retries,omitempty"`
+	// Pieces counts the pieces this downloader received (dissemination
+	// workloads; omitted elsewhere). Stalls counts the playback deadlines
+	// it missed (streaming mode). ReOriginated marks a downloader that
+	// also uploaded at least one piece it held — the sink-became-source
+	// path the dissemination workloads exist to measure.
+	Pieces       int  `json:"pieces,omitempty"`
+	Stalls       int  `json:"stalls,omitempty"`
+	ReOriginated bool `json:"reoriginated,omitempty"`
 }
 
 // WorkloadSummary aggregates a report's flows. The churn counters are zero
@@ -89,6 +97,20 @@ type WorkloadSummary struct {
 	// (overlaps merged), summed across repetitions. Plan-derived, so it is
 	// identical at any worker or shard count.
 	BrokerDownSeconds float64 `json:"broker_down_seconds,omitempty"`
+	// Dissemination counters, zero (and omitted) for the single-round
+	// workloads. PiecesMoved counts piece deliveries — partial progress of
+	// failed downloaders included, so a churn departure cannot silently
+	// lose accounting. PeersReOriginated counts downloaders that uploaded
+	// at least one piece; StalledFlows/TotalStalls score streaming
+	// playback; Like/CrossPairBytes split the peer-pair byte matrix by
+	// bandwidth class (fast half vs slow half of the catalog, control
+	// pairs excluded) — the Legout clustering measurement.
+	PiecesMoved       int   `json:"pieces_moved,omitempty"`
+	PeersReOriginated int   `json:"peers_reoriginated,omitempty"`
+	StalledFlows      int   `json:"stalled_flows,omitempty"`
+	TotalStalls       int   `json:"total_stalls,omitempty"`
+	LikePairBytes     int64 `json:"like_pair_bytes,omitempty"`
+	CrossPairBytes    int64 `json:"cross_pair_bytes,omitempty"`
 }
 
 // WorkloadReport is RunWorkload's result: every flow of every repetition in
@@ -143,6 +165,10 @@ type workloadCellResult struct {
 	stale      int
 	lagged     int
 	brokerDown float64
+	// like/cross split a dissemination cell's pair matrix by bandwidth
+	// class (zero for single-round workloads).
+	like  int64
+	cross int64
 }
 
 // RunWorkload executes cfg's workload over cfg's scenario, one cell per
@@ -170,6 +196,8 @@ func RunWorkload(cfg Config) (*WorkloadReport, error) {
 		report.Summary.SelectionsStale += cell.stale
 		report.Summary.SelectionsLagged += cell.lagged
 		report.Summary.BrokerDownSeconds += cell.brokerDown
+		report.Summary.LikePairBytes += cell.like
+		report.Summary.CrossPairBytes += cell.cross
 	}
 	return report, nil
 }
@@ -193,6 +221,11 @@ func workloadCell(cellCfg Config, w workload.Workload, rep int) (workloadCellRes
 	flows := w.Flows(cellCfg.Scenario.Labels, cellCfg.Seed)
 	if len(flows) == 0 {
 		return workloadCellResult{}, fmt.Errorf("workload %s produced no flows", w.Name)
+	}
+	if w.Disseminate != nil {
+		// The piece-level family runs the multi-round engine — on static and
+		// churning scenarios alike — instead of the single-round executor.
+		return disseminateCell(cellCfg, w, flows, rep)
 	}
 	if cellCfg.Scenario.Churn != nil {
 		return churnWorkloadCell(cellCfg, flows, rep)
@@ -372,6 +405,9 @@ func flowRecords(results []workload.Result, rep int) []FlowRecord {
 			Error:               r.Err,
 			Degraded:            r.Degraded,
 			Retries:             r.Retries,
+			Pieces:              r.Pieces,
+			Stalls:              r.Stalls,
+			ReOriginated:        r.ReOriginated,
 		}
 	}
 	return recs
@@ -396,6 +432,18 @@ func summarize(recs []FlowRecord) WorkloadSummary {
 		}
 		if !r.Failed && (r.Degraded || r.Retries > 0) {
 			s.FlowsRecovered++
+		}
+		// Dissemination progress is counted before the failed-flow cut: an
+		// incomplete downloader's delivered pieces really moved, and losing
+		// them here is exactly the lost-flow accounting the churn race test
+		// guards against.
+		s.PiecesMoved += r.Pieces
+		if r.ReOriginated {
+			s.PeersReOriginated++
+		}
+		if r.Stalls > 0 {
+			s.StalledFlows++
+			s.TotalStalls += r.Stalls
 		}
 		if r.Failed {
 			// Failed flows moved no payload and have no surviving timing;

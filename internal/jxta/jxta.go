@@ -432,4 +432,9 @@ const (
 	AttrServices = "services"
 	AttrCountry  = "country"
 	AttrSite     = "site"
+	// AttrPieces and AttrUnchoked carry a disseminating peer's piece
+	// inventory (comma-joined indices) and currently unchoked hostnames
+	// (comma-joined); published by the broker's piece-report handler.
+	AttrPieces   = "pieces"
+	AttrUnchoked = "unchoked"
 )

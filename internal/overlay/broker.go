@@ -415,6 +415,8 @@ func (b *Broker) serve(conn *pipe.Conn) {
 		b.handleSelect(conn, d)
 	case mtReportTransfer:
 		b.handleReportTransfer(conn, d)
+	case mtPieceReport:
+		b.handlePieceReport(conn, d)
 	case mtReportTask:
 		b.handleReportTask(conn, d)
 	case mtReportMessage:
@@ -605,6 +607,42 @@ func (b *Broker) handleReportTransfer(conn *pipe.Conn, d *wire.Decoder) {
 	if from := conn.Remote().Node(); from != "" {
 		b.shardOf(from).registry.Peer(from).RecordTransferOriginated(rep.OK, rep.Bytes)
 	}
+	conn.Send(ackBytes())
+}
+
+// handlePieceReport folds a disseminating peer's piece inventory and choke
+// state into its advertisement attributes and renews the lease — the same
+// resurrection discipline as a stats report, so a late report under churn
+// rebuilds the entry instead of dropping it. Stats heartbeats preserve
+// attributes on lease renewal (they Publish the looked-up advertisement),
+// so inventory survives the renewal traffic between piece reports.
+func (b *Broker) handlePieceReport(conn *pipe.Conn, d *wire.Decoder) {
+	rep, err := decodePieceReport(d)
+	if err != nil {
+		return
+	}
+	sh := b.shardOf(rep.Peer)
+	adv, ok := sh.cache.Lookup(jxta.NewID("peer", rep.Peer))
+	if !ok {
+		adv = jxta.Advertisement{
+			Kind: jxta.AdvPeer,
+			ID:   jxta.NewID("peer", rep.Peer),
+			Name: rep.Peer,
+			Addr: string(transport.MakeAddr(conn.Remote().Node(), ServiceTransfer)),
+		}
+	}
+	var have strings.Builder
+	for i, p := range rep.Have {
+		if i > 0 {
+			have.WriteByte(',')
+		}
+		have.WriteString(strconv.Itoa(p))
+	}
+	adv = adv.WithAttr(jxta.AttrPieces, have.String())
+	adv = adv.WithAttr(jxta.AttrUnchoked, strings.Join(rep.Unchoked, ","))
+	adv.Expires = b.host.Now().Add(b.cfg.AdvTTL)
+	sh.cache.Publish(adv)
+	b.armSweep()
 	conn.Send(ackBytes())
 }
 

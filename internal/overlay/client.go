@@ -364,6 +364,52 @@ func (c *Client) SendFile(peer string, f transfer.File, parts int) (transfer.Met
 	return m, sendErr
 }
 
+// SendPieces transmits the pieces of f named by indices (positions in the
+// canonical pieces-way split) to the named peer and reports the outcome to
+// the broker's statistics service. The report travels the same
+// origin-attributed path as whole-file sends, so a downloader that
+// re-originates pieces it holds is credited as an originator by the
+// broker's union registry with no new accounting machinery; Bytes counts
+// only the pieces actually moved.
+func (c *Client) SendPieces(peer string, f transfer.File, pieces int, indices []int) (transfer.Metrics, error) {
+	addr, err := c.resolve(peer)
+	if err != nil {
+		return transfer.Metrics{}, err
+	}
+	m, sendErr := c.sender.SendPieces(addr, f, pieces, indices)
+	c.msgsOut.Add(int64(len(m.Parts) + 1))
+	rep := reportTransfer{
+		Peer:          peer,
+		OK:            sendErr == nil,
+		Cancelled:     sendErr != nil && !errors.Is(sendErr, transfer.ErrRejected),
+		Bytes:         m.TotalBytes,
+		Duration:      m.TransmissionTime(),
+		PetitionDelay: m.PetitionDelay(),
+	}
+	if _, err := c.call(c.broker, rep.encode()); err != nil {
+		// Statistics are best-effort; the transfer outcome stands.
+		_ = err
+	}
+	return m, sendErr
+}
+
+// ReportPieces publishes this peer's piece inventory and unchoke set into
+// its broker advertisement, where the dissemination driver reads them back
+// through Discover. Best-effort semantics are NOT wanted here: the caller
+// decides a round's assignments from this state, so a failed report must
+// surface (the driver then treats the peer as silent this round).
+func (c *Client) ReportPieces(have []int, unchoked []string) error {
+	rep := pieceReport{Peer: c.host.Name(), Have: have, Unchoked: unchoked}
+	reply, err := c.call(c.broker, rep.encode())
+	if err != nil {
+		return err
+	}
+	if len(reply) == 0 || reply[0] != mtAck {
+		return fmt.Errorf("%w: piece report ack", ErrBadReply)
+	}
+	return nil
+}
+
 // SubmitTask sends a task to the named peer, waits for the result, and
 // reports acceptance/execution statistics to the broker.
 func (c *Client) SubmitTask(peer string, t task.Task) (task.Result, error) {

@@ -41,6 +41,7 @@ const (
 	mtTaskDone       byte = 14
 	mtInstant        byte = 15
 	mtInstantAck     byte = 16
+	mtPieceReport    byte = 17
 )
 
 // register announces a client to its broker.
@@ -195,6 +196,30 @@ func (m reportTransfer) encode() []byte {
 	e.Int(m.Bytes)
 	e.Duration(m.Duration)
 	e.Duration(m.PetitionDelay)
+	return e.Detach()
+}
+
+// pieceReport publishes a peer's piece inventory and choke state into its
+// broker advertisement (a new message kind: registration and stats frames
+// keep their exact bytes, so pre-dissemination timing is untouched). Have
+// lists held piece indices; Unchoked lists the hostnames currently granted
+// upload service under the reporter's choking policy.
+type pieceReport struct {
+	Peer     string
+	Have     []int
+	Unchoked []string
+}
+
+func (m pieceReport) encode() []byte {
+	e := wire.GetEncoder()
+	defer wire.PutEncoder(e)
+	e.Byte(mtPieceReport)
+	e.String(m.Peer)
+	e.Int(len(m.Have))
+	for _, p := range m.Have {
+		e.Int(p)
+	}
+	e.StringSlice(m.Unchoked)
 	return e.Detach()
 }
 
@@ -380,6 +405,22 @@ func decodeReportTransfer(d *wire.Decoder) (reportTransfer, error) {
 		Duration:      d.Duration(),
 		PetitionDelay: d.Duration(),
 	}
+	return m, d.Finish()
+}
+
+func decodePieceReport(d *wire.Decoder) (pieceReport, error) {
+	m := pieceReport{Peer: d.StringField()}
+	n := d.Int()
+	if err := d.Err(); err != nil {
+		return pieceReport{}, err
+	}
+	if n < 0 {
+		return pieceReport{}, fmt.Errorf("overlay: piece report with %d pieces", n)
+	}
+	for i := 0; i < n; i++ {
+		m.Have = append(m.Have, d.Int())
+	}
+	m.Unchoked = d.StringSlice()
 	return m, d.Finish()
 }
 

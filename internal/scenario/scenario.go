@@ -547,6 +547,14 @@ func Zipf(n int) Scenario {
 		SynthesizeOne: one,
 		Remembered:    remembered,
 		Blemished:     blemished,
+		// The capacity skew is where piece-level incentives are visible —
+		// fast-with-fast clustering needs bandwidth classes to cluster — so
+		// the hinted workload is the swarm dissemination over all n peers.
+		// 128 pieces keeps the swarm in its leeching phase long enough for
+		// tit-for-tat reciprocity to latch onto observed rates; with the
+		// 16-piece default the seeding transient dominates the pair matrix
+		// and the clustering signal drowns in it.
+		Workload: fmt.Sprintf("disseminate:%d;pieces=128", n),
 	}
 }
 

@@ -260,6 +260,142 @@ func (s *Sender) Send(remote transport.Addr, f File, parts int) (Metrics, error)
 	return m, nil
 }
 
+// SendPieces transmits the pieces of f named by indices — positions in the
+// canonical pieces-way split — to the remote transfer service. Pieces are
+// always pipelined: a dissemination round batches every piece one holder
+// owes one downloader into a single conn, and the per-piece stop-and-wait
+// round-trip is exactly the protocol cost a swarm does not pay. Metrics
+// slots follow the order of indices; each PartTiming keeps the piece's
+// original index. TotalBytes counts only the selected pieces.
+func (s *Sender) SendPieces(remote transport.Addr, f File, pieces int, indices []int) (Metrics, error) {
+	m := Metrics{
+		TransferID:  s.nextID.Add(1),
+		Peer:        remote.Node(),
+		FileName:    f.Name,
+		Granularity: len(indices),
+		Attempts:    1,
+	}
+	split, err := Split(f, pieces)
+	if err != nil {
+		m.Failed = true
+		return m, err
+	}
+	selected := make([]Part, 0, len(indices))
+	seen := make(map[int]bool, len(indices))
+	for _, idx := range indices {
+		if idx < 0 || idx >= len(split) || seen[idx] {
+			m.Failed = true
+			return m, fmt.Errorf("transfer: piece index %d invalid for %d-piece split of %q", idx, len(split), f.Name)
+		}
+		seen[idx] = true
+		selected = append(selected, split[idx])
+		m.TotalBytes += split[idx].Size
+	}
+	if len(selected) == 0 {
+		m.Failed = true
+		return m, fmt.Errorf("transfer: no pieces selected for %q", f.Name)
+	}
+	conn, err := s.mux.Dial(remote)
+	if err != nil {
+		m.Failed = true
+		return m, fmt.Errorf("%w: %v", ErrFailed, err)
+	}
+	defer conn.Close()
+
+	m.PetitionSent = s.host.Now()
+	pet := piecePetition{
+		TransferID: m.TransferID,
+		FileName:   f.Name,
+		Checksum:   f.Checksum(),
+		TotalSize:  f.Size,
+		Pieces:     len(split),
+		Indices:    indices,
+		Sender:     s.host.Name(),
+		SentAt:     m.PetitionSent,
+	}
+	if err := conn.Send(pet.encode()); err != nil {
+		m.Failed = true
+		return m, fmt.Errorf("%w: piece petition: %v", ErrFailed, err)
+	}
+	ackMsg, err := conn.RecvTimeout(s.opts.PetitionTimeout)
+	if err != nil {
+		m.Failed = true
+		return m, fmt.Errorf("%w: waiting piece petition ack: %v", ErrFailed, err)
+	}
+	kind, d, err := decodeKind(ackMsg.Payload)
+	if err != nil || kind != msgPetitionAck {
+		m.Failed = true
+		return m, fmt.Errorf("%w: unexpected reply %d to piece petition", ErrFailed, kind)
+	}
+	ack, err := decodePetitionAck(d)
+	if err != nil {
+		m.Failed = true
+		return m, fmt.Errorf("%w: piece petition ack: %v", ErrFailed, err)
+	}
+	m.PetitionAcked = s.host.Now()
+	m.PetitionReceived = ack.ReceivedAt
+	if !ack.Accept {
+		m.Failed = true
+		return m, fmt.Errorf("%w: %s", ErrRejected, ack.Reason)
+	}
+
+	// Pipelined part streams, confirmations collected as they land. Acks
+	// carry original piece indices; map them back to metric slots.
+	slotOf := make(map[int]int, len(selected))
+	for slot, p := range selected {
+		slotOf[p.Index] = slot
+	}
+	m.Parts = make([]PartTiming, len(selected))
+	sendErrs := s.host.NewQueue()
+	for slot, p := range selected {
+		slot, p := slot, p
+		s.host.Go(func() {
+			m.Parts[slot] = PartTiming{Index: p.Index, Size: p.Size, Started: s.host.Now()}
+			hdr := partHeader{
+				TransferID: m.TransferID,
+				Index:      p.Index,
+				Offset:     p.Offset,
+				Size:       p.Size,
+				Data:       p.Data,
+			}
+			if err := conn.SendSized(hdr.encode(), p.Size); err != nil {
+				sendErrs.Push(fmt.Errorf("%w: piece %d: %v", ErrFailed, p.Index, err))
+			}
+		})
+	}
+	fail := func(err error) (Metrics, error) {
+		m.Failed = true
+		if sendErrs.Len() > 0 {
+			if v, perr := sendErrs.Pop(); perr == nil {
+				return m, v.(error)
+			}
+		}
+		return m, err
+	}
+	for confirmed := 0; confirmed < len(selected); confirmed++ {
+		reply, err := conn.RecvTimeout(s.opts.PartAckTimeout)
+		if err != nil {
+			return fail(fmt.Errorf("%w: waiting piece acks (%d/%d): %v", ErrFailed, confirmed, len(selected), err))
+		}
+		kind, d, err := decodeKind(reply.Payload)
+		if err != nil || kind != msgPartAck {
+			return fail(fmt.Errorf("%w: unexpected reply %d while awaiting piece acks", ErrFailed, kind))
+		}
+		pa, err := decodePartAck(d)
+		if err != nil {
+			return fail(fmt.Errorf("%w: piece ack: %v", ErrFailed, err))
+		}
+		slot, known := slotOf[pa.Index]
+		if !pa.OK || !known {
+			return fail(fmt.Errorf("%w: receiver rejected piece %d: %s", ErrFailed, pa.Index, pa.Reason))
+		}
+		m.Parts[slot].Delivered = pa.DeliveredAt
+		m.Parts[slot].Confirmed = s.host.Now()
+	}
+	m.Done = s.host.Now()
+	return m, nil
+}
+
 // sendPipelined streams the parts through concurrent sender processes (the
 // pipe's Send blocks until the peer's pipe-level acknowledgment, so filling
 // its window takes concurrency), while the calling process collects the
@@ -381,7 +517,18 @@ func (r *Receiver) handle(conn *pipe.Conn) {
 		return
 	}
 	kind, d, err := decodeKind(first.Payload)
-	if err != nil || kind != msgPetition {
+	if err != nil {
+		return
+	}
+	if kind == msgPiecePetition {
+		pp, err := decodePiecePetition(d)
+		if err != nil {
+			return
+		}
+		r.handlePieces(conn, pp)
+		return
+	}
+	if kind != msgPetition {
 		return
 	}
 	pet, err := decodePetition(d)
@@ -472,5 +619,74 @@ func (r *Receiver) handle(conn *pipe.Conn) {
 			Elapsed:    r.host.Now().Sub(start),
 			Verified:   verified,
 		})
+	}
+}
+
+// handlePieces serves one piece-indexed transmission: a piecePetition
+// followed by the named pieces in any order, each acknowledged exactly like
+// a whole-file part. The pieces are partial coverage by construction, so
+// there is no Join and no OnFile callback — the dissemination engine owns
+// the piece inventory on the driver side, and the receiver only has to
+// pace, validate, and confirm.
+func (r *Receiver) handlePieces(conn *pipe.Conn, pet piecePetition) {
+	receivedAt := r.host.Now()
+	accept, reason := true, ""
+	if r.opts.Accept != nil {
+		accept, reason = r.opts.Accept(pet.FileName, pet.TotalSize, pet.Pieces, pet.Sender)
+	}
+	ack := petitionAck{
+		TransferID: pet.TransferID,
+		Accept:     accept,
+		Reason:     reason,
+		ReceivedAt: receivedAt,
+	}
+	if err := conn.Send(ack.encode()); err != nil || !accept {
+		return
+	}
+
+	// Expected set doubles as the dedup filter: a repeat piece rejects.
+	expected := make(map[int]bool, len(pet.Indices))
+	for _, i := range pet.Indices {
+		expected[i] = true
+	}
+	partSize := pet.TotalSize
+	if pet.Pieces > 0 {
+		partSize = pet.TotalSize / pet.Pieces
+	}
+	perPart := r.opts.PartTimeout +
+		time.Duration(10*float64(partSize)/assumedFloorRate*float64(time.Second))
+	for i := 0; i < len(pet.Indices); i++ {
+		msg, err := conn.RecvTimeout(perPart)
+		if err != nil {
+			return
+		}
+		kind, d, err := decodeKind(msg.Payload)
+		if err != nil || kind != msgPart {
+			return
+		}
+		ph, err := decodePart(d)
+		if err != nil {
+			return
+		}
+		delivered := r.host.Now()
+		ok, why := expected[ph.Index], ""
+		if !ok {
+			why = fmt.Sprintf("unexpected piece %d", ph.Index)
+		}
+		pa := partAck{
+			TransferID:  pet.TransferID,
+			Index:       ph.Index,
+			OK:          ok,
+			Reason:      why,
+			DeliveredAt: delivered,
+			Ready:       i+1 < len(pet.Indices),
+		}
+		if err := conn.Send(pa.encode()); err != nil {
+			return
+		}
+		if !ok {
+			return
+		}
+		delete(expected, ph.Index)
 	}
 }

@@ -9,10 +9,11 @@ import (
 
 // Message types on a transfer conn.
 const (
-	msgPetition    byte = 1
-	msgPetitionAck byte = 2
-	msgPart        byte = 3
-	msgPartAck     byte = 4
+	msgPetition      byte = 1
+	msgPetitionAck   byte = 2
+	msgPart          byte = 3
+	msgPartAck       byte = 4
+	msgPiecePetition byte = 5
 )
 
 // petition announces an incoming file and its granularity.
@@ -80,6 +81,62 @@ func decodePetitionAck(d *wire.Decoder) (petitionAck, error) {
 		Reason:     d.StringField(),
 		ReceivedAt: d.Time(),
 	}
+	return p, d.Finish()
+}
+
+// piecePetition announces a piece-indexed transmission: a subset of the
+// file's canonical split, identified by original piece indices. It is a
+// new message kind — the whole-file petition keeps its exact frame bytes,
+// so the simulated timing (and with it every pre-dissemination golden) is
+// untouched. The receiver replies with the standard petitionAck and then
+// standard partAcks.
+type piecePetition struct {
+	TransferID uint64
+	FileName   string
+	Checksum   string
+	TotalSize  int
+	Pieces     int   // the canonical split's piece count
+	Indices    []int // which pieces this transmission carries
+	Sender     string
+	SentAt     time.Time
+}
+
+func (p piecePetition) encode() []byte {
+	e := wire.GetEncoder()
+	defer wire.PutEncoder(e)
+	e.Byte(msgPiecePetition)
+	e.Uint64(p.TransferID)
+	e.String(p.FileName)
+	e.String(p.Checksum)
+	e.Int(p.TotalSize)
+	e.Int(p.Pieces)
+	e.Int(len(p.Indices))
+	for _, i := range p.Indices {
+		e.Int(i)
+	}
+	e.String(p.Sender)
+	e.Time(p.SentAt)
+	return e.Detach()
+}
+
+func decodePiecePetition(d *wire.Decoder) (piecePetition, error) {
+	p := piecePetition{
+		TransferID: d.Uint64(),
+		FileName:   d.StringField(),
+		Checksum:   d.StringField(),
+		TotalSize:  d.Int(),
+		Pieces:     d.Int(),
+	}
+	n := d.Int()
+	if n < 0 || n > p.Pieces {
+		return piecePetition{}, fmt.Errorf("transfer: piece petition names %d of %d pieces", n, p.Pieces)
+	}
+	p.Indices = make([]int, 0, max(n, 0))
+	for i := 0; i < n; i++ {
+		p.Indices = append(p.Indices, d.Int())
+	}
+	p.Sender = d.StringField()
+	p.SentAt = d.Time()
 	return p, d.Finish()
 }
 

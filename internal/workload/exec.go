@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"sync"
 	"time"
 
 	"peerlab/internal/core"
@@ -127,6 +128,15 @@ type Result struct {
 	// Retries counts the extra selection-call attempts the flow spent
 	// under the source's CallPolicy.
 	Retries int
+	// Pieces counts the pieces this downloader received (dissemination
+	// workloads only; zero elsewhere).
+	Pieces int
+	// Stalls counts the playback deadlines this downloader missed
+	// (streaming mode only).
+	Stalls int
+	// ReOriginated reports this downloader also uploaded at least one
+	// piece it held — the sink-became-source path.
+	ReOriginated bool
 }
 
 // Execute runs every flow as its own concurrent simulation process and
@@ -137,12 +147,13 @@ type Result struct {
 func Execute(env Env, flows []Flow, seed int64) ([]Result, error) {
 	out := make([]Result, len(flows))
 	errs := make([]error, len(flows))
+	warns := new(RelaunchWarnings) // one exhaustion event per flow index
 	join := env.Host.NewQueue()
 	spawn := make([]func(), len(flows))
 	for i, f := range flows {
 		i, f := i, f
 		spawn[i] = func() {
-			res, err := runFlow(env, f, seed)
+			res, err := runFlow(env, f, seed, warns)
 			if err != nil && env.RecordFailures {
 				// Keep everything the failed flow did establish — the sink
 				// it selected, when, and the attempts it burned — and
@@ -193,7 +204,7 @@ func spawnBatch(h transport.Host, fns []func()) {
 // standard relaunch budget. A failure after sink resolution still reports
 // the sink and its resolution instant, so churn audits can classify the
 // selection even when the transfer died.
-func runFlow(env Env, f Flow, seed int64) (Result, error) {
+func runFlow(env Env, f Flow, seed int64, warns *RelaunchWarnings) (Result, error) {
 	if env.StartOf != nil {
 		if d := env.StartOf(f); d > 0 {
 			env.Host.Sleep(d)
@@ -245,7 +256,7 @@ func runFlow(env Env, f Flow, seed int64) (Result, error) {
 
 	file := transfer.NewVirtualFile(f.FileName, f.SizeBytes, FlowSeed(seed, f.Index))
 	flowID := fmt.Sprintf("flow %d (%s -> %s)", f.Index, srcLabel, sinkLabel)
-	m, err := SendRelaunched(env.logf, env.Host.Sleep, env.IdleGap, src, sinkHost, file, f.Parts, flowID)
+	m, err := SendRelaunchedFlow(env.logf, env.Host.Sleep, env.IdleGap, src, sinkHost, file, f.Parts, flowID, warns, f.Index)
 	res.Metrics = m // even on failure: Attempts carries the relaunches spent
 	if err != nil {
 		return res, fmt.Errorf("%s -> %s: %w", src.Name(), sinkLabel, err)
@@ -269,6 +280,56 @@ func runFlow(env Env, f Flow, seed int64) (Result, error) {
 func SendRelaunched(logf func(format string, args ...any),
 	sleep func(time.Duration), gap time.Duration, src *overlay.Client,
 	host string, f transfer.File, parts int, flowID string) (transfer.Metrics, error) {
+	return sendRelaunched(logf, sleep, gap, src.SendFile, src.Name(), host, f, parts, flowID, nil, 0)
+}
+
+// RelaunchWarnings dedupes relaunch-exhaustion warnings by flow index. An
+// engine that re-resolves a flow's source after a departure runs the same
+// flow through the relaunch budget again; without the dedupe every wave
+// re-logs the exhaustion, so an operator tallying warnings counts the
+// flow's attempts once per wave instead of once. One RelaunchWarnings per
+// engine run gives each flow index exactly one exhaustion event no matter
+// how many waves it rode. The zero value is ready to use.
+type RelaunchWarnings struct {
+	mu     sync.Mutex
+	warned map[int]bool
+}
+
+// First records flow index's budget exhaustion and reports whether it was
+// the first — callers log (and count) only then.
+func (w *RelaunchWarnings) First(index int) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.warned == nil {
+		w.warned = make(map[int]bool)
+	}
+	if w.warned[index] {
+		return false
+	}
+	w.warned[index] = true
+	return true
+}
+
+// SendRelaunchedFlow is SendRelaunched with the flow's index and a shared
+// exhaustion dedupe: engines that may relaunch the same flow through the
+// budget more than once pass one RelaunchWarnings for the whole run, so a
+// re-resolved flow's second exhaustion is returned as an error without
+// being double-counted in the operator log.
+func SendRelaunchedFlow(logf func(format string, args ...any),
+	sleep func(time.Duration), gap time.Duration, src *overlay.Client,
+	host string, f transfer.File, parts int, flowID string,
+	warns *RelaunchWarnings, index int) (transfer.Metrics, error) {
+	return sendRelaunched(logf, sleep, gap, src.SendFile, src.Name(), host, f, parts, flowID, warns, index)
+}
+
+// sendRelaunched is the shared relaunch loop, with the send entry point
+// injectable so the exhaustion path is testable without fabricating a
+// pathological network.
+func sendRelaunched(logf func(format string, args ...any),
+	sleep func(time.Duration), gap time.Duration,
+	send func(string, transfer.File, int) (transfer.Metrics, error),
+	srcName, host string, f transfer.File, parts int, flowID string,
+	warns *RelaunchWarnings, index int) (transfer.Metrics, error) {
 	if logf == nil {
 		logf = log.Printf
 	}
@@ -277,7 +338,7 @@ func SendRelaunched(logf func(format string, args ...any),
 		if gap > 0 {
 			sleep(gap)
 		}
-		m, err := src.SendFile(host, f, parts)
+		m, err := send(host, f, parts)
 		m.Attempts = attempt + 1
 		if err == nil {
 			return m, nil
@@ -288,8 +349,10 @@ func SendRelaunched(logf func(format string, args ...any),
 		}
 		lastErr = err
 	}
-	logf("workload: WARNING: %s: transfer %s -> %s (%s, %d bytes) abandoned after exhausting %d attempts: %v",
-		flowID, src.Name(), host, f.Name, f.Size, Attempts, lastErr)
+	if warns == nil || warns.First(index) {
+		logf("workload: WARNING: %s: transfer %s -> %s (%s, %d bytes) abandoned after exhausting %d attempts: %v",
+			flowID, srcName, host, f.Name, f.Size, Attempts, lastErr)
+	}
 	return transfer.Metrics{Attempts: Attempts},
 		fmt.Errorf("gave up after %d attempts: %w", Attempts, lastErr)
 }
