@@ -20,6 +20,7 @@ import (
 	"peerlab/internal/core"
 	"peerlab/internal/experiments"
 	"peerlab/internal/metrics"
+	"peerlab/internal/overlay"
 	"peerlab/internal/pipe"
 	"peerlab/internal/planetlab"
 	"peerlab/internal/scenario"
@@ -242,6 +243,42 @@ func BenchmarkScale(b *testing.B) {
 			Shards:     8,
 			CacheLimit: 16384,
 		}, 64)
+	})
+	// boot-65536 isolates the boot wave itself: 64k peers registering
+	// through the batched frame and the coalesced accept loop, no workload
+	// afterwards. The ctlRPCs/peer metric pins the control-plane cost of
+	// admission — 1.0 batched against 2.0 for the legacy register+report
+	// pair (the +1 in the numerator is the controller's own registration).
+	b.Run("boot-65536", func(b *testing.B) {
+		if testing.Short() {
+			b.Skip("scale surface; run without -short (scripts/benchsnap.sh does)")
+		}
+		b.ReportAllocs()
+		var rpcsPerPeer float64
+		for i := 0; i < b.N; i++ {
+			env, err := experiments.NewEnv(experiments.Config{
+				Seed:       int64(700 + i),
+				Reps:       1,
+				Scenario:   scenario.Uniform(65536),
+				Shards:     8,
+				CacheLimit: 16384,
+				BatchBoot:  true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			err = env.RunPeers(nil, func(ctl *overlay.Client, sc map[string]*overlay.Client) error {
+				if len(sc) != 65536 {
+					b.Errorf("booted %d peers, want 65536", len(sc))
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rpcsPerPeer = float64(env.Broker.ControlRPCs()) / 65536
+		}
+		b.ReportMetric(rpcsPerPeer, "ctlRPCs/peer")
 	})
 }
 

@@ -22,6 +22,8 @@ func main() {
 	var (
 		name   = flag.String("name", "broker0", "this broker's node name")
 		listen = flag.String("listen", "127.0.0.1:7000", "TCP listen address")
+		shards = flag.Int("shards", 1, "advertisement directory shard count")
+		ttl    = flag.Duration("ttl", 0, "advertisement lease TTL (0 = broker default)")
 	)
 	flag.Parse()
 
@@ -31,15 +33,18 @@ func main() {
 		os.Exit(1)
 	}
 	defer host.Close()
-	if _, err := overlay.NewBroker(host, overlay.BrokerConfig{}); err != nil {
+	broker, err := overlay.NewBroker(host, overlay.BrokerConfig{Shards: *shards, AdvTTL: *ttl})
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "broker: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("broker %q serving on %s (address %s/%s)\n",
-		*name, host.AddrOf(), *name, overlay.ServiceBroker)
+	defer broker.Close()
+	fmt.Printf("broker %q serving on %s (address %s/%s, %d shard(s))\n",
+		*name, host.AddrOf(), *name, overlay.ServiceBroker, broker.Shards())
 
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt)
 	<-ch
-	fmt.Println("broker: shutting down")
+	fmt.Printf("broker: shutting down (%d peers registered, %d control RPCs served)\n",
+		len(broker.Peers()), broker.ControlRPCs())
 }

@@ -9,7 +9,9 @@
 //	peer ... -route sc2=127.0.0.1:7002 -task sc2:2.5
 //	peer ... -route sc2=127.0.0.1:7002 -msg sc2:hello
 //
-// Without an action flag, the peer serves until interrupted.
+// Without an action flag, the peer serves until interrupted. -batchboot
+// registers with the batched frame (one control RPC instead of the legacy
+// register + stats-report pair).
 package main
 
 import (
@@ -34,6 +36,7 @@ func main() {
 		broker   = flag.String("broker", "broker0=127.0.0.1:7000", "broker as name=addr")
 		routes   = flag.String("route", "", "extra routes, comma-separated name=addr pairs")
 		cpu      = flag.Float64("cpu", 1.0, "advertised CPU score")
+		batch    = flag.Bool("batchboot", false, "register with the batched boot frame (register + initial stats in one control RPC)")
 		sendfile = flag.String("sendfile", "", "one-shot: peer:bytes:parts")
 		submit   = flag.String("task", "", "one-shot: peer:workunits")
 		msg      = flag.String("msg", "", "one-shot: peer:text")
@@ -59,10 +62,15 @@ func main() {
 		}
 	}
 
-	client := overlay.NewClient(host,
+	// BootPeerWith is the full boot: register (one batched control RPC with
+	// -batchboot, register + stats report otherwise) with everything torn
+	// down if any step fails — the CLI exercises the same boot surface the
+	// simulator does.
+	client, err := overlay.BootPeerWith(host,
 		transport.MakeAddr(brokerName, overlay.ServiceBroker),
 		overlay.ClientConfig{
-			CPUScore: *cpu,
+			CPUScore:  *cpu,
+			BatchBoot: *batch,
 			OnFile: func(rc transfer.Received) {
 				fmt.Printf("received %q (%d bytes) from %s, verified=%v\n",
 					rc.File.Name, rc.File.Size, rc.Sender, rc.Verified)
@@ -71,9 +79,10 @@ func main() {
 				fmt.Printf("instant from %s: %s\n", from, text)
 			},
 		})
-	if err := client.Start(); err != nil {
-		fatal("start: %v", err)
+	if err != nil {
+		fatal("boot: %v", err)
 	}
+	defer client.Stop()
 	fmt.Printf("peer %q registered with broker %q; listening on %s\n",
 		*name, brokerName, host.AddrOf())
 

@@ -100,6 +100,34 @@ type Ranker interface {
 	Rank(req Request, cands []Candidate) ([]string, error)
 }
 
+// PureRanker is an optional capability of a Ranker: implementing it asserts
+// that Rank is a pure function of (req, cands) — no internal state advances
+// between calls — so a caller may memoize a ranking and replay it while the
+// candidate set and their snapshots are provably unchanged (the broker's
+// rank index does). The two predicates refine how far a memoized ranking
+// stretches:
+//
+//   - RankSubsetStable: for any subset S' of the candidate set S,
+//     Rank(req, S') equals Rank(req, S) with the missing names deleted.
+//     Holds when the ranking is a stable sort under a pairwise comparator
+//     that reads only the two candidates being compared (Economic). Fails
+//     when any candidate's score depends on the rest of the set, e.g.
+//     min-max normalization (DataEvaluator). A subset-stable ranking over
+//     the full directory serves every exclusion pattern by filtration.
+//
+//   - RankNowShiftInvariant: the ranking is unchanged when req.Now moves
+//     forward, provided req carries no Deadline/Budget admission and Now is
+//     already at or past every candidate's ReadyAt (so every ready time
+//     degenerates to Now + petition delay and completions shift uniformly).
+//     Callers must check those provisos; the predicate only asserts the
+//     model reads no other Now-dependent input.
+//
+// Blind must NOT implement this: its round-robin cursor advances per call.
+type PureRanker interface {
+	RankSubsetStable() bool
+	RankNowShiftInvariant() bool
+}
+
 // names extracts candidate names preserving order.
 func names(cands []Candidate) []string {
 	out := make([]string, len(cands))
@@ -224,6 +252,20 @@ func NewEconomic(cfg EconomicConfig) *Economic {
 
 // Name implements Selector.
 func (e *Economic) Name() string { return "economic" }
+
+// RankSubsetStable implements PureRanker. Estimates is a stable sort under
+// a pairwise comparator (feasibility, completion, CPU, cost) where each
+// estimate reads only its own candidate's snapshot — never the rest of the
+// set — so deleting candidates never reorders the survivors.
+func (e *Economic) RankSubsetStable() bool { return true }
+
+// RankNowShiftInvariant implements PureRanker. With no deadline/budget
+// admission every candidate is feasible, and once Now ≥ ReadyAt for all of
+// them each completion is Now + PetitionDelay + Duration with both terms
+// Now-independent — shifting Now shifts every completion equally and the
+// order (and every tie-break) is unchanged. The caller owns checking those
+// two provisos.
+func (e *Economic) RankNowShiftInvariant() bool { return true }
 
 // Estimate is the economic model's appraisal of one candidate.
 type Estimate struct {

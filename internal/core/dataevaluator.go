@@ -122,6 +122,16 @@ func NewDataEvaluator(w Weights) *DataEvaluator {
 	return &DataEvaluator{criteria: StandardCriteria(), weights: w, label: "data-evaluator"}
 }
 
+// RankSubsetStable implements PureRanker: false — every criterion is
+// min-max normalized over the candidate set (rangeOf), so removing the
+// extremal candidate rescales everyone else's score.
+func (d *DataEvaluator) RankSubsetStable() bool { return false }
+
+// RankNowShiftInvariant implements PureRanker: false — PctMsgLastK is an
+// hour-bucketed window anchored at snapshot time, so a memoized ranking is
+// only replayable at the exact instant (and snapshots) it was built from.
+func (d *DataEvaluator) RankNowShiftInvariant() bool { return false }
+
 // NewSamePriority is the equal-weights variant, labeled as the paper labels
 // it in Figure 6.
 func NewSamePriority() *DataEvaluator {

@@ -51,6 +51,14 @@ type Config struct {
 	// that to controller-fanout (the paper's traffic shape). Figures always
 	// measure controller-fanout traffic regardless of this field.
 	Workload workload.Workload
+	// BatchBoot boots the peer wave through overlay.BootPeers: concurrent
+	// boot processes, each registering with the batched frame (register +
+	// initial stats in one control RPC). The broker converges to the same
+	// state, but the boot wave's virtual-time event stream differs from
+	// the legacy serial two-RPC boot — so this is a scale switch, off on
+	// every golden path. Runs with BatchBoot set remain deterministic and
+	// worker/shard-count invariant among themselves.
+	BatchBoot bool
 	// Logf receives operator-visible warnings from inside cells (relaunch
 	// budget exhaustion, see workload.SendRelaunched). nil falls back to the
 	// process default logger. Sweep runs install a per-cell collector here
@@ -117,6 +125,9 @@ type Env struct {
 	// retry and degrade like peer-sourced ones), zero everywhere else so
 	// static and churn-only event streams are untouched.
 	policy overlay.CallPolicy
+	// batchBoot makes RunPeers boot the peer wave through overlay.BootPeers
+	// (see Config.BatchBoot).
+	batchBoot bool
 }
 
 // NewEnv deploys the configured scenario and builds (but does not yet
@@ -169,10 +180,11 @@ func NewEnvFor(cfg Config, peers []string) (*Env, error) {
 		return nil, err
 	}
 	env := &Env{
-		Slice:   s,
-		Broker:  broker,
-		hostOf:  make(map[string]string, len(s.Catalog)),
-		labelOf: make(map[string]string, len(s.Catalog)),
+		Slice:     s,
+		Broker:    broker,
+		batchBoot: cfg.BatchBoot,
+		hostOf:    make(map[string]string, len(s.Catalog)),
+		labelOf:   make(map[string]string, len(s.Catalog)),
 	}
 	if cfg.scenarioLeases && cfg.Scenario.Faults != nil {
 		env.policy = overlay.DefaultCallPolicy()
@@ -215,23 +227,50 @@ func (e *Env) RunPeers(labels []string, fn func(ctl *overlay.Client, sc map[stri
 		}
 		e.Controller = ctl
 		clients := make(map[string]*overlay.Client, len(e.Slice.Catalog))
-		for _, p := range e.Slice.Catalog {
-			if labels != nil && !want[p.Label] {
-				continue
+		if e.batchBoot {
+			// The boot wave: one concurrent boot process per peer, each a
+			// single batched control RPC, drained by the broker's coalesced
+			// accept loop. Catalog order fixes spec order, so the wave is
+			// as deterministic as the serial boot below.
+			specs := make([]overlay.BootSpec, 0, len(e.Slice.Catalog))
+			booted := make([]string, 0, len(e.Slice.Catalog))
+			for _, p := range e.Slice.Catalog {
+				if labels != nil && !want[p.Label] {
+					continue
+				}
+				specs = append(specs, overlay.BootSpec{
+					Host:   e.Slice.Peers[p.Label],
+					Config: overlay.ClientConfig{CPUScore: p.Profile.CPUScore},
+				})
+				booted = append(booted, p.Label)
 			}
-			node := e.Slice.Peers[p.Label]
-			c := overlay.NewClient(node, e.Broker.Addr(), overlay.ClientConfig{
-				CPUScore: p.Profile.CPUScore,
-			})
-			if err := c.Start(); err != nil {
-				runErr = fmt.Errorf("experiments: start %s: %w", p.Label, err)
+			cs, err := overlay.BootPeers(e.Slice.Control, e.Broker.Addr(), specs)
+			if err != nil {
+				runErr = fmt.Errorf("experiments: boot wave: %w", err)
 				return
 			}
-			if err := c.ReportStats(); err != nil {
-				runErr = fmt.Errorf("experiments: report %s: %w", p.Label, err)
-				return
+			for i, label := range booted {
+				clients[label] = cs[i]
 			}
-			clients[p.Label] = c
+		} else {
+			for _, p := range e.Slice.Catalog {
+				if labels != nil && !want[p.Label] {
+					continue
+				}
+				node := e.Slice.Peers[p.Label]
+				c := overlay.NewClient(node, e.Broker.Addr(), overlay.ClientConfig{
+					CPUScore: p.Profile.CPUScore,
+				})
+				if err := c.Start(); err != nil {
+					runErr = fmt.Errorf("experiments: start %s: %w", p.Label, err)
+					return
+				}
+				if err := c.ReportStats(); err != nil {
+					runErr = fmt.Errorf("experiments: report %s: %w", p.Label, err)
+					return
+				}
+				clients[p.Label] = c
+			}
 		}
 		e.Clients = clients
 		runErr = fn(ctl, clients)

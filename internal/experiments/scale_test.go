@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"peerlab/internal/overlay"
 	"peerlab/internal/scenario"
 	"peerlab/internal/workload"
 )
@@ -118,5 +119,91 @@ func TestScaleSmokeSwarm16384(t *testing.T) {
 	}
 	if !reflect.DeepEqual(a.Flows, b.Flows) {
 		t.Fatal("worker/shard counts diverged at 16384 peers")
+	}
+}
+
+// TestScaleSmokeBatchedBoot pins the determinism contract of the batched
+// boot wave (Config.BatchBoot): a kilopeer run booted through
+// overlay.BootPeers completes with zero failures and stays bit-identical
+// across worker and shard counts. Batched runs are NOT compared against
+// legacy runs — the wave's virtual-time event stream legitimately differs
+// from the serial two-RPC boot — only against themselves.
+//
+// Runs only without -short: a kilopeer slice costs a few seconds.
+func TestScaleSmokeBatchedBoot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kilopeer smoke; run without -short (CI's scale job does)")
+	}
+	cfg := Config{
+		Seed:      713,
+		Reps:      1,
+		Scenario:  scenario.Uniform(1024),
+		BatchBoot: true,
+		Workers:   1,
+	}
+	a, err := RunWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Flows) != 1024 {
+		t.Fatalf("flows = %d, want 1024", len(a.Flows))
+	}
+	for _, f := range a.Flows {
+		if f.Failed || f.Error != "" {
+			t.Fatalf("flow failed under batched boot: %+v", f)
+		}
+	}
+	cfg.Workers, cfg.Shards = 4, 3
+	b, err := RunWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Flows, b.Flows) {
+		t.Fatal("worker/shard counts diverged under batched boot")
+	}
+	if !reflect.DeepEqual(a.Summary, b.Summary) {
+		t.Fatalf("summaries diverged under batched boot: %+v vs %+v", a.Summary, b.Summary)
+	}
+}
+
+// TestBatchBootCutsControlRPCs is the boot-wave efficiency contract: the
+// legacy serial boot spends exactly two control RPCs per peer (register +
+// initial stats report) while the batched wave spends exactly one, a ≥2×
+// cut in control-plane traffic per booted peer. The controller always boots
+// legacy (one register, no report), so it is excluded from the per-peer
+// rate on both sides.
+func TestBatchBootCutsControlRPCs(t *testing.T) {
+	const peers = 256
+	bootRPCs := func(batch bool) int64 {
+		env, err := NewEnv(Config{
+			Seed:      714,
+			Reps:      1,
+			Scenario:  scenario.Uniform(peers),
+			BatchBoot: batch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = env.RunPeers(nil, func(ctl *overlay.Client, sc map[string]*overlay.Client) error {
+			if len(sc) != peers {
+				t.Errorf("booted %d peers, want %d", len(sc), peers)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return env.Broker.ControlRPCs() - 1 // minus the controller's register
+	}
+	legacy := bootRPCs(false)
+	batched := bootRPCs(true)
+	if perPeer := float64(legacy) / peers; perPeer != 2.0 {
+		t.Fatalf("legacy boot = %.2f control RPCs/peer, want 2.0", perPeer)
+	}
+	if perPeer := float64(batched) / peers; perPeer != 1.0 {
+		t.Fatalf("batched boot = %.2f control RPCs/peer, want 1.0", perPeer)
+	}
+	if legacy < 2*batched {
+		t.Fatalf("batching cut control RPCs %d -> %d, want >=2x", legacy, batched)
 	}
 }

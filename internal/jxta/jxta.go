@@ -426,6 +426,21 @@ func (c *Cache) LiveLen(kind AdvKind) int {
 	return c.kindLen[kind]
 }
 
+// Stamp settles expiry accounting as of now and returns the mutation
+// version. Because the internal gc removes every entry already expired at
+// now (bumping the version per removal) before the version is read, two
+// equal stamps guarantee the live set — entries and payloads — is
+// byte-identical at both instants: publishes, evictions, explicit removals
+// and lazy expiries all advance the version once gc has run. Like LiveLen
+// this is O(1) on the static fast path (nothing can have expired before
+// minExpiry). The broker's rank index keys on it.
+func (c *Cache) Stamp() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gcLocked(c.now())
+	return c.version
+}
+
 // Standard attribute keys used by the overlay.
 const (
 	AttrCPUScore = "cpu-score"

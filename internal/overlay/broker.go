@@ -103,6 +103,18 @@ type Broker struct {
 	workMu sync.Mutex
 	work   transport.Queue
 	idle   int
+
+	// ctlRPCs counts well-formed control frames received (including frames
+	// dropped by a blackout). Boot-wave instrumentation reads it to prove
+	// batched registration halves the per-peer RPC count.
+	ctlRPCs atomic.Int64
+
+	// Rank index (see rankindex.go): memoized full-directory rankings keyed
+	// on request shape and validated against cache/registry mutation
+	// versions.
+	rankMu   sync.Mutex
+	rankRing [rankIndexSlots]*rankEntry
+	rankNext int
 }
 
 // brokerResidentHandlers caps how many idle handler processes stay parked
@@ -336,31 +348,66 @@ func (b *Broker) sweep() {
 // to a freshly spawned process otherwise, so a same-instant burst larger
 // than the idle pool never serializes behind one handler's park points.
 //
-// Dispatch order is unchanged from the one-process-per-conn broker: waking
-// a parked handler (Queue.Push) and spawning a process (host.Go) admit a
-// runnable to the scheduler through the same mechanics at the same point in
-// the accept loop, and the handler body between park points is identical
-// either way — so the virtual-time event stream, and with it every golden
-// figure, is byte-identical.
+// Conns already buffered behind the first Accept — a same-instant dial
+// burst the mux dispatcher has queued up — are drained into one admission
+// batch before any handler is admitted. The drain is free of scheduling
+// points (Accept on a non-empty queue returns without yielding), and the
+// admission mechanics are the legacy ones: waking a parked handler
+// (Queue.Push) and spawning a process (host.Go / GoBatch, proven
+// event-equivalent to a Go loop) admit runnables in arrival order at the
+// same point in the loop, and idle handlers cannot re-park mid-batch
+// because nothing between admissions yields. The per-conn admission
+// sequence the scheduler observes is therefore byte-identical to the
+// one-at-a-time loop, and with it every golden figure.
 func (b *Broker) acceptLoop() {
+	var batch []*pipe.Conn
+	var fns []func()
 	for {
 		conn, err := b.mux.Accept()
 		if err != nil {
 			b.work.Close()
 			return
 		}
+		batch = append(batch[:0], conn)
+		for b.mux.Pending() > 0 {
+			c, err := b.mux.Accept()
+			if err != nil {
+				break
+			}
+			batch = append(batch, c)
+		}
+		// Parked handlers take the head of the batch in arrival order —
+		// exactly the assignment the per-conn loop makes, since idle can
+		// only shrink while admitting.
 		b.workMu.Lock()
-		if b.idle > 0 {
-			b.idle--
-			b.workMu.Unlock()
+		wake := len(batch)
+		if wake > b.idle {
+			wake = b.idle
+		}
+		b.idle -= wake
+		b.workMu.Unlock()
+		for _, c := range batch[:wake] {
 			// A parked handler exists (idle is exact, see Broker.idle), so
 			// Push never buffers: the conn is handed straight to its waiter.
-			_ = b.work.Push(conn)
+			_ = b.work.Push(c)
+		}
+		rest := batch[wake:]
+		if len(rest) == 0 {
 			continue
 		}
-		b.workMu.Unlock()
-		c := conn
-		b.host.Go(func() { b.handlerLoop(c) })
+		if bs, ok := b.host.(transport.BatchSpawner); ok && len(rest) > 1 {
+			fns = fns[:0]
+			for _, c := range rest {
+				c := c
+				fns = append(fns, func() { b.handlerLoop(c) })
+			}
+			bs.GoBatch(fns)
+		} else {
+			for _, c := range rest {
+				c := c
+				b.host.Go(func() { b.handlerLoop(c) })
+			}
+		}
 	}
 }
 
@@ -398,6 +445,7 @@ func (b *Broker) serve(conn *pipe.Conn) {
 	if err != nil {
 		return
 	}
+	b.ctlRPCs.Add(1)
 	if b.down.Load() {
 		// Blacked out: drop the request unanswered. The deferred Close
 		// resets the conn, so the caller fails fast instead of waiting
@@ -407,6 +455,8 @@ func (b *Broker) serve(conn *pipe.Conn) {
 	switch kind {
 	case mtRegister:
 		b.handleRegister(conn, d)
+	case mtRegisterBatch:
+		b.handleRegisterBatch(conn, d)
 	case mtStatsReport:
 		b.handleStatsReport(conn, d)
 	case mtDiscover:
@@ -441,6 +491,41 @@ func (b *Broker) handleRegister(conn *pipe.Conn, d *wire.Decoder) {
 	ack := registerAck{OK: true, Broker: b.host.Name(), KnownPeers: b.knownPeers()}
 	conn.Send(ack.encode())
 }
+
+// handleRegisterBatch serves the batched boot frame: the effects of
+// handleRegister and handleStatsReport applied in that order under one
+// exchange and one ack. The lease is published once with the batch
+// instant's expiry (the legacy pair publishes twice, one RPC apart), which
+// is why batched boot is scale-gated rather than a golden-path default.
+func (b *Broker) handleRegisterBatch(conn *pipe.Conn, d *wire.Decoder) {
+	req, err := decodeRegisterBatch(d)
+	if err != nil {
+		return
+	}
+	adv := req.Adv
+	adv.Expires = b.host.Now().Add(b.cfg.AdvTTL)
+	sh := b.shardOf(adv.Name)
+	sh.cache.Publish(adv)
+	ps := sh.registry.Peer(adv.Name)
+	if cpu, err := strconv.ParseFloat(adv.Attr(jxta.AttrCPUScore), 64); err == nil && cpu > 0 {
+		ps.SetCPUScore(cpu)
+	}
+	rep := req.Stats
+	ps.SetQueues(rep.InboxLen, rep.OutboxLen)
+	ps.SetQueueLen(rep.QueueLen)
+	ps.SetReadyAt(b.host.Now().Add(rep.ReadyIn))
+	if rep.CPUScore > 0 {
+		ps.SetCPUScore(rep.CPUScore)
+	}
+	b.armSweep()
+	ack := registerAck{OK: true, Broker: b.host.Name(), KnownPeers: b.knownPeers()}
+	conn.Send(ack.encode())
+}
+
+// ControlRPCs reports how many well-formed control frames the broker has
+// received since construction. A legacy boot costs two (register + stats
+// report); a batched boot costs one.
+func (b *Broker) ControlRPCs() int64 { return b.ctlRPCs.Load() }
 
 func (b *Broker) handleStatsReport(conn *pipe.Conn, d *wire.Decoder) {
 	rep, err := decodeStatsReport(d)
@@ -507,8 +592,41 @@ func (b *Broker) handleSelect(conn *pipe.Conn, d *wire.Decoder) {
 // selection-heavy swarm would otherwise spend a quarter of its time in GC.
 var candPool = sync.Pool{New: func() any { return new([]core.Candidate) }}
 
-// selectPeers runs the requested model over the registered peers.
+// selectPeers runs the requested model over the registered peers. Models
+// that assert purity (core.PureRanker) route through the rank index
+// (rankindex.go), which replays a memoized full-directory ranking while the
+// directory and every statistic are provably unchanged; everything else —
+// the stateful blind cursor, per-request preference models, custom
+// selectors — takes the scan path. Both paths return byte-identical
+// results; the index only removes CPU work.
 func (b *Broker) selectPeers(req selectReq) (peers, addrs []string, err error) {
+	sel, ok := b.selectors[req.Model]
+	if core.UsesPreferences(req.Model) {
+		// Built per request from the user's own ranking.
+		sel, ok = core.NewUserPreference(req.Preferred), true
+	}
+	if !ok {
+		return nil, nil, fmt.Errorf("overlay: unknown selection model %q", req.Model)
+	}
+	creq := core.Request{
+		Kind:      core.RequestKind(req.Kind),
+		SizeBytes: req.SizeBytes,
+		WorkUnits: req.WorkUnits,
+		Now:       b.host.Now(),
+	}
+	if !core.UsesPreferences(req.Model) {
+		if pure, isPure := sel.(core.PureRanker); isPure {
+			if r, isRanker := sel.(core.Ranker); isRanker {
+				return b.selectIndexed(req, creq, r, pure)
+			}
+		}
+	}
+	return b.selectScan(req, creq, sel)
+}
+
+// selectScan is the unindexed selection path: build the candidate set from
+// scratch and run the model over it.
+func (b *Broker) selectScan(req selectReq, creq core.Request, sel core.Selector) (peers, addrs []string, err error) {
 	var excluded map[string]bool
 	if len(req.Exclude) > 0 {
 		excluded = make(map[string]bool, len(req.Exclude))
@@ -539,21 +657,6 @@ func (b *Broker) selectPeers(req selectReq) (peers, addrs []string, err error) {
 	}
 	*candsp = cands
 
-	sel, ok := b.selectors[req.Model]
-	if core.UsesPreferences(req.Model) {
-		// Built per request from the user's own ranking.
-		sel, ok = core.NewUserPreference(req.Preferred), true
-	}
-	if !ok {
-		return nil, nil, fmt.Errorf("overlay: unknown selection model %q", req.Model)
-	}
-
-	creq := core.Request{
-		Kind:      core.RequestKind(req.Kind),
-		SizeBytes: req.SizeBytes,
-		WorkUnits: req.WorkUnits,
-		Now:       b.host.Now(),
-	}
 	var ranked []string
 	if r, isRanker := sel.(core.Ranker); isRanker {
 		ranked, err = r.Rank(creq, cands)

@@ -36,6 +36,12 @@ type ClientConfig struct {
 	// selection). The zero value is the legacy single blocking exchange —
 	// see CallPolicy.
 	Call CallPolicy
+	// BatchBoot registers through the batched boot frame: registration and
+	// the initial stats report in ONE control RPC instead of two. The
+	// broker ends up in the same state, but the control-plane event count
+	// halves — so this is scale-gating, not a default: golden paths keep
+	// the legacy two-exchange boot and their event streams byte-identical.
+	BatchBoot bool
 	// Sender tunes the client's transfer sender (e.g. Pipelined). The zero
 	// value is the paper's stop-and-wait protocol.
 	Sender transfer.SenderOptions
@@ -123,6 +129,68 @@ func BootPeer(host transport.Host, broker transport.Addr, cpuScore float64) (*Cl
 	return c, nil
 }
 
+// BootSpec names one client of a BootPeers wave.
+type BootSpec struct {
+	// Host is the node the client lives on.
+	Host transport.Host
+	// Config tunes the client. BatchBoot is forced on: the wave exists to
+	// cut the boot to one control RPC per peer.
+	Config ClientConfig
+}
+
+// BootPeers boots a wave of clients concurrently: one boot process per
+// spec, admitted through one batch when the spawner supports it, each
+// registering through the batched boot frame (one control RPC per peer —
+// no separate ReportStats; the frame carries the initial stats). The
+// broker's accept loop drains the resulting same-instant dial burst into
+// coalesced handler admissions, so a 64k wave costs 64k control RPCs
+// instead of 128k serialized ones.
+//
+// On any failure the whole wave is stopped — BootPeer's no-half-booted-
+// client rule, wave-wide — and the lowest-index failure is returned.
+// Clients come back in spec order.
+func BootPeers(spawner transport.Host, broker transport.Addr, specs []BootSpec) ([]*Client, error) {
+	clients := make([]*Client, len(specs))
+	errs := make([]error, len(specs))
+	join := spawner.NewQueue()
+	fns := make([]func(), len(specs))
+	for i, sp := range specs {
+		i := i
+		cfg := sp.Config
+		cfg.BatchBoot = true
+		c := NewClient(sp.Host, broker, cfg)
+		clients[i] = c
+		fns[i] = func() {
+			errs[i] = c.Start()
+			join.Push(nil)
+		}
+	}
+	if bs, ok := spawner.(transport.BatchSpawner); ok {
+		bs.GoBatch(fns)
+	} else {
+		for _, fn := range fns {
+			spawner.Go(fn)
+		}
+	}
+	for range specs {
+		if _, err := join.Pop(); err != nil {
+			return nil, err
+		}
+	}
+	for i, bootErr := range errs {
+		if bootErr == nil {
+			continue
+		}
+		for j, c := range clients {
+			if errs[j] == nil {
+				c.Stop()
+			}
+		}
+		return nil, fmt.Errorf("overlay: boot %s: %w", specs[i].Host.Name(), bootErr)
+	}
+	return clients, nil
+}
+
 // Start binds the client's services, starts its executor and receiver, and
 // registers with the broker.
 func (c *Client) Start() error {
@@ -149,8 +217,17 @@ func (c *Client) Start() error {
 	})
 	c.exec.Start()
 	c.host.Go(c.controlLoop)
-	if err := c.register(); err != nil {
-		return err
+	regErr := c.register()
+	if regErr != nil {
+		// Never leave a half-booted incarnation behind (BootPeer's rule,
+		// applied at the source): the receiver, executor, control loop and
+		// both muxes are already live, and a caller that drops the client
+		// on error would leak them — the node's service endpoints stay
+		// bound and the next boot on the node fails. Closing the muxes
+		// unblocks the control loop's Accept and the receiver, so the
+		// failed incarnation quiesces and frees its endpoints.
+		c.Stop()
+		return regErr
 	}
 	if c.cfg.Call.Degrade {
 		// Seed the degraded-selection cache; later Discover calls (each
@@ -163,7 +240,9 @@ func (c *Client) Start() error {
 	return nil
 }
 
-// register announces this client to the broker.
+// register announces this client to the broker: the legacy single-frame
+// registration, or — under BatchBoot — the batched frame that folds the
+// initial stats report into the same exchange.
 func (c *Client) register() error {
 	adv := jxta.Advertisement{
 		Kind: jxta.AdvPeer,
@@ -172,7 +251,13 @@ func (c *Client) register() error {
 		Addr: string(transport.MakeAddr(c.host.Name(), ServiceTransfer)),
 	}
 	adv = adv.WithAttr(jxta.AttrCPUScore, strconv.FormatFloat(c.cfg.CPUScore, 'f', -1, 64))
-	reply, err := c.call(c.broker, register{Adv: adv}.encode())
+	var payload []byte
+	if c.cfg.BatchBoot {
+		payload = registerBatch{Adv: adv, Stats: c.currentStats()}.encode()
+	} else {
+		payload = register{Adv: adv}.encode()
+	}
+	reply, err := c.call(c.broker, payload)
 	if err != nil {
 		return err
 	}
@@ -268,15 +353,7 @@ func (c *Client) serveControl(conn *pipe.Conn) {
 // this after significant events; there is no eternal timer so simulations
 // can quiesce).
 func (c *Client) ReportStats() error {
-	rep := statsReport{
-		Peer:      c.host.Name(),
-		InboxLen:  int(c.msgsIn.Swap(0)),
-		OutboxLen: int(c.msgsOut.Swap(0)),
-		QueueLen:  c.exec.QueueLen(),
-		ReadyIn:   c.exec.ReadyIn(),
-		CPUScore:  c.cfg.CPUScore,
-	}
-	reply, err := c.call(c.broker, rep.encode())
+	reply, err := c.call(c.broker, c.currentStats().encode())
 	if err != nil {
 		return err
 	}
@@ -291,6 +368,20 @@ func (c *Client) ReportStats() error {
 		}
 	}
 	return nil
+}
+
+// currentStats snapshots the client's load as a stats report, consuming
+// (swap-to-zero) the message counters exactly as the report on the wire
+// would.
+func (c *Client) currentStats() statsReport {
+	return statsReport{
+		Peer:      c.host.Name(),
+		InboxLen:  int(c.msgsIn.Swap(0)),
+		OutboxLen: int(c.msgsOut.Swap(0)),
+		QueueLen:  c.exec.QueueLen(),
+		ReadyIn:   c.exec.ReadyIn(),
+		CPUScore:  c.cfg.CPUScore,
+	}
 }
 
 // Discover queries the broker's directory for peer advertisements. A

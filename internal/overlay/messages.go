@@ -42,6 +42,7 @@ const (
 	mtInstant        byte = 15
 	mtInstantAck     byte = 16
 	mtPieceReport    byte = 17
+	mtRegisterBatch  byte = 18
 )
 
 // register announces a client to its broker.
@@ -94,6 +95,30 @@ func (m statsReport) encode() []byte {
 	e.Int(m.QueueLen)
 	e.Duration(m.ReadyIn)
 	e.Float64(m.CPUScore)
+	return e.Detach()
+}
+
+// registerBatch is the batched boot frame: registration and the client's
+// initial load report in one exchange, acknowledged by a registerAck. It
+// collapses the legacy register + statsReport pair to one control RPC per
+// boot; because that halves the control-plane event count it is opt-in
+// (ClientConfig.BatchBoot) and stays off on golden paths.
+type registerBatch struct {
+	Adv   jxta.Advertisement
+	Stats statsReport
+}
+
+func (m registerBatch) encode() []byte {
+	e := wire.GetEncoder()
+	defer wire.PutEncoder(e)
+	e.Byte(mtRegisterBatch)
+	m.Adv.Encode(e)
+	e.String(m.Stats.Peer)
+	e.Int(m.Stats.InboxLen)
+	e.Int(m.Stats.OutboxLen)
+	e.Int(m.Stats.QueueLen)
+	e.Duration(m.Stats.ReadyIn)
+	e.Float64(m.Stats.CPUScore)
 	return e.Detach()
 }
 
@@ -353,6 +378,25 @@ func decodeStatsReport(d *wire.Decoder) (statsReport, error) {
 		QueueLen:  d.Int(),
 		ReadyIn:   d.Duration(),
 		CPUScore:  d.Float64(),
+	}
+	return m, d.Finish()
+}
+
+func decodeRegisterBatch(d *wire.Decoder) (registerBatch, error) {
+	adv, err := jxta.DecodeAdvertisement(d)
+	if err != nil {
+		return registerBatch{}, err
+	}
+	m := registerBatch{
+		Adv: adv,
+		Stats: statsReport{
+			Peer:      d.StringField(),
+			InboxLen:  d.Int(),
+			OutboxLen: d.Int(),
+			QueueLen:  d.Int(),
+			ReadyIn:   d.Duration(),
+			CPUScore:  d.Float64(),
+		},
 	}
 	return m, d.Finish()
 }

@@ -1,0 +1,177 @@
+package overlay
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"peerlab/internal/core"
+	"peerlab/internal/simnet"
+)
+
+// rankDeploy boots a slice with spread-out profiles so rankings are
+// non-trivial, and returns after the network quiesced.
+func rankDeploy(t *testing.T) *deployment {
+	t.Helper()
+	profiles := map[string]simnet.Profile{}
+	names := []string{"ra", "rb", "rc", "rd", "re", "rf"}
+	for i, n := range names {
+		p := clientProfile()
+		p.CPUScore = 1 + 0.5*float64(i)
+		p.Bandwidth = 1e6 * float64(1+i)
+		profiles[n] = p
+	}
+	d := deployShards(t, 3, profiles)
+	d.net.Run(func() {
+		d.startAll(t)
+		for _, c := range d.clients {
+			if err := c.ReportStats(); err != nil {
+				t.Errorf("report %s: %v", c.Name(), err)
+			}
+		}
+	})
+	return d
+}
+
+// scanOf runs the unindexed path for req at the same instant selectPeers
+// would — the oracle every indexed result must match byte for byte.
+func scanOf(b *Broker, req selectReq) ([]string, []string, error) {
+	sel := b.selectors[req.Model]
+	creq := core.Request{
+		Kind:      core.RequestKind(req.Kind),
+		SizeBytes: req.SizeBytes,
+		WorkUnits: req.WorkUnits,
+		Now:       b.host.Now(),
+	}
+	return b.selectScan(req, creq, sel)
+}
+
+func mustMatchScan(t *testing.T, b *Broker, req selectReq) ([]string, []string) {
+	t.Helper()
+	gotP, gotA, gotErr := b.selectPeers(req)
+	wantP, wantA, wantErr := scanOf(b, req)
+	if !errors.Is(gotErr, wantErr) && (gotErr == nil) != (wantErr == nil) {
+		t.Fatalf("%s/%v: err = %v, scan err = %v", req.Model, req.Exclude, gotErr, wantErr)
+	}
+	if !reflect.DeepEqual(gotP, wantP) || !reflect.DeepEqual(gotA, wantA) {
+		t.Fatalf("%s/%v: indexed (%v, %v) != scan (%v, %v)", req.Model, req.Exclude, gotP, gotA, wantP, wantA)
+	}
+	return gotP, gotA
+}
+
+// TestRankIndexMatchesScan proves the indexed selection path is
+// byte-identical to the scan path across models, exclusions, truncation,
+// stats mutation, directory mutation and time shift — the exactness claim
+// the golden figures rest on.
+func TestRankIndexMatchesScan(t *testing.T) {
+	d := rankDeploy(t)
+	b := d.broker
+	eco := selectReq{Model: "economic", Kind: 1, SizeBytes: 5 << 20}
+	same := selectReq{Model: "same-priority", Kind: 1, SizeBytes: 5 << 20}
+
+	ranked, _ := mustMatchScan(t, b, eco)
+	if len(ranked) != 6 {
+		t.Fatalf("economic ranked %d peers, want 6", len(ranked))
+	}
+	mustMatchScan(t, b, same)
+
+	// Replay must hit the memo: poison the cached ranking and watch the
+	// poisoned order come back, then restore it. (White-box canary — the
+	// serve path must not have rebuilt.)
+	var entry *rankEntry
+	for _, e := range b.rankRing {
+		if e != nil && e.key.model == "economic" {
+			entry = e
+		}
+	}
+	if entry == nil {
+		t.Fatal("no economic entry installed in the rank index")
+	}
+	if !entry.anyTime {
+		t.Fatal("post-boot economic entry not marked Now-shift replayable")
+	}
+	real := entry.ranked
+	poisoned := make([]string, len(real))
+	for i, p := range real {
+		poisoned[len(real)-1-i] = p
+	}
+	entry.ranked = poisoned
+	gotP, _, err := b.selectPeers(eco)
+	if err != nil || !reflect.DeepEqual(gotP, poisoned) {
+		t.Fatalf("replay did not serve from the index: got %v (%v), want poisoned %v", gotP, err, poisoned)
+	}
+	entry.ranked = real
+
+	// Exclusion filtration (subset-stable): excluding the winner must
+	// shift everyone up exactly as a fresh scan would rank the remainder.
+	excl := eco
+	excl.Exclude = []string{ranked[0], ranked[2]}
+	exP, _ := mustMatchScan(t, b, excl)
+	if len(exP) != 4 || exP[0] != ranked[1] {
+		t.Fatalf("exclusion filtration: got %v from full ranking %v", exP, ranked)
+	}
+	// Excluding everyone must surface the scan path's sentinel.
+	allOut := eco
+	allOut.Exclude = append([]string{}, ranked...)
+	if _, _, err := b.selectPeers(allOut); !errors.Is(err, core.ErrNoCandidates) {
+		t.Fatalf("exclude-all err = %v, want ErrNoCandidates", err)
+	}
+	// Truncation rides on top of filtration.
+	top := excl
+	top.MaxResults = 2
+	topP, topA := mustMatchScan(t, b, top)
+	if len(topP) != 2 || len(topA) != 2 {
+		t.Fatalf("MaxResults: got %v / %v", topP, topA)
+	}
+
+	// A stats mutation must invalidate: push the winner's ready time out an
+	// hour (its completion estimate collapses) and the indexed path must
+	// re-rank exactly as the scan does.
+	b.Registry().Peer(ranked[0]).SetReadyAt(b.host.Now().Add(time.Hour))
+	reP, _ := mustMatchScan(t, b, eco)
+	if reflect.DeepEqual(reP, ranked) {
+		t.Fatalf("ranking unchanged after delaying %s by an hour: %v", ranked[0], reP)
+	}
+	mustMatchScan(t, b, same)
+
+	// A directory mutation (new registration) must invalidate too.
+	d.net.Run(func() {
+		if _, err := BootPeer(d.net.MustAddNode("rz", clientProfile()), b.Addr(), 9); err != nil {
+			t.Errorf("boot rz: %v", err)
+		}
+	})
+	grownP, _ := mustMatchScan(t, b, eco)
+	if len(grownP) != 7 {
+		t.Fatalf("after growth ranked %d peers, want 7", len(grownP))
+	}
+	mustMatchScan(t, b, same)
+
+	// Time shift: economic replays across instants (Now-shift invariant
+	// once every ReadyAt has passed), same-priority rebuilds at the new
+	// instant — both must still equal the scan.
+	d.net.Run(func() { d.net.Node("broker0").Sleep(10 * time.Second) })
+	mustMatchScan(t, b, eco)
+	mustMatchScan(t, b, same)
+}
+
+// TestRankIndexBlindBypass: the blind model's round-robin cursor is
+// stateful, so it must bypass the index — consecutive selections rotate.
+func TestRankIndexBlindBypass(t *testing.T) {
+	d := rankDeploy(t)
+	req := selectReq{Model: "blind", Kind: 1}
+	first, _, err := d.broker.selectPeers(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, _, err := d.broker.selectPeers(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(first, second) {
+		t.Fatalf("blind selection did not rotate: %v twice", first)
+	}
+	if first[1] != second[0] {
+		t.Fatalf("blind rotation broken: %v then %v", first, second)
+	}
+}

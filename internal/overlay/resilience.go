@@ -354,6 +354,10 @@ func BootPeerWith(host transport.Host, broker transport.Addr, cfg ClientConfig) 
 	if err := c.Start(); err != nil {
 		return nil, err
 	}
+	if cfg.BatchBoot {
+		// The batched register frame already carried the initial stats.
+		return c, nil
+	}
 	if err := c.ReportStats(); err != nil {
 		c.Stop()
 		return nil, err

@@ -158,7 +158,7 @@ func (h *Host) acceptLoop() {
 
 // readLoop decodes frames from one TCP conn into service queues.
 func (h *Host) readLoop(conn net.Conn) {
-	defer conn.Close()
+	defer h.forgetConn(conn)
 	for {
 		frame, err := wire.ReadFrame(conn)
 		if err != nil {
@@ -172,6 +172,7 @@ func (h *Host) readLoop(conn net.Conn) {
 		if d.Finish() != nil {
 			continue // corrupt frame; drop like a damaged datagram
 		}
+		h.learnConn(from.Node(), conn)
 		h.mu.Lock()
 		ep := h.services[to.Service()]
 		h.mu.Unlock()
@@ -180,6 +181,37 @@ func (h *Host) readLoop(conn net.Conn) {
 		}
 		ep.queue.Push(transport.Message{From: from, To: to, Payload: payload, Size: size})
 	}
+}
+
+// learnConn registers an inbound conn as the return route to its sender, so
+// replies flow back over the socket the request arrived on. This is how
+// cmd/broker answers peers it has no table entry for: peers dial in from
+// arbitrary addresses and the broker learns each return path from the first
+// frame. A statically routed or already-connected node keeps its existing
+// conn — learning only fills gaps, it never replaces.
+func (h *Host) learnConn(node string, c net.Conn) {
+	if node == "" || node == h.name {
+		return
+	}
+	h.mu.Lock()
+	if _, ok := h.outbound[node]; !ok && !h.closed {
+		h.outbound[node] = c
+	}
+	h.mu.Unlock()
+}
+
+// forgetConn closes a conn whose read loop ended and drops any return
+// routes learned through it, so a reconnecting peer gets a fresh path
+// instead of sends silently dying on the dead socket.
+func (h *Host) forgetConn(c net.Conn) {
+	h.mu.Lock()
+	for n, oc := range h.outbound {
+		if oc == c {
+			delete(h.outbound, n)
+		}
+	}
+	h.mu.Unlock()
+	c.Close()
 }
 
 // dial returns (creating if needed) the outbound conn to a node.

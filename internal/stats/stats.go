@@ -17,6 +17,7 @@ package stats
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -137,6 +138,11 @@ type PeerStats struct {
 	mu   sync.Mutex
 	peer string
 	now  func() time.Time
+	// ver, when non-nil, is the owning Registry's mutation counter; every
+	// state change bumps it so readers can cache derived views (the broker's
+	// rank index) against an unchanged registry. Standalone PeerStats leave
+	// it nil.
+	ver *atomic.Uint64
 
 	// Messaging.
 	msgSession Ratio
@@ -183,7 +189,12 @@ func NewPeerStats(peer string, now func() time.Time) *PeerStats {
 // Peer returns the peer name.
 func (p *PeerStats) Peer() string { return p.peer }
 
-func (p *PeerStats) touch() { p.lastUpdate = p.now() }
+func (p *PeerStats) touch() {
+	p.lastUpdate = p.now()
+	if p.ver != nil {
+		p.ver.Add(1)
+	}
+}
 
 // RecordMessage records a message send attempt toward the peer.
 func (p *PeerStats) RecordMessage(ok bool) {
@@ -325,6 +336,11 @@ func (p *PeerStats) ResetSession() {
 	p.taskAcceptSession = Ratio{}
 	p.fileSentSession = Ratio{}
 	p.cancelSession = Ratio{}
+	// Deliberately not touch(): a session reset is not an observation, so
+	// lastUpdate stays put — but derived views still need invalidating.
+	if p.ver != nil {
+		p.ver.Add(1)
+	}
 }
 
 // Snapshot is an immutable view of a peer's statistics. Percentages are in
@@ -426,6 +442,7 @@ type Registry struct {
 	mu    sync.Mutex
 	now   func() time.Time
 	peers map[string]*PeerStats
+	ver   atomic.Uint64
 }
 
 // NewRegistry returns an empty registry; now supplies timestamps and may be
@@ -444,10 +461,19 @@ func (r *Registry) Peer(name string) *PeerStats {
 	p, ok := r.peers[name]
 	if !ok {
 		p = NewPeerStats(name, r.now)
+		p.ver = &r.ver
 		r.peers[name] = p
+		r.ver.Add(1)
 	}
 	return p
 }
+
+// Version returns the registry's mutation counter. It advances on every
+// state change of every registered peer (and on peer creation), so two equal
+// readings with no interleaved mutation guarantee that every Snapshot taken
+// at the first reading is still exact at the second. Readers may use it to
+// cache views derived from snapshots — the broker's rank index does.
+func (r *Registry) Version() uint64 { return r.ver.Load() }
 
 // Names returns all known peer names, sorted.
 func (r *Registry) Names() []string {

@@ -11,10 +11,11 @@ import (
 // The scheduler stores timers in a two-level hierarchical timer wheel with
 // the binary heap as overflow. Swarm cells are dominated by dense
 // short-horizon timers — link deliveries a few milliseconds out, lease
-// renewals a few seconds out — and for those the wheel turns every heap
-// percolation (O(log n), pointer-chasing) into an O(1) slot append and an
-// O(1) swap-remove on cancel. The heap only ever holds the long tail
-// (anything more than ~17s ahead of the clock), where churn is low.
+// renewals a few seconds out — and for those the wheel replaces a global
+// heap percolation over n entries (pointer-chasing across the whole
+// population) with operations local to one slot of k entries. The heap only
+// ever holds the long tail (anything more than ~17s ahead of the clock),
+// where churn is low.
 //
 // Layout. A fine slot spans 2^fineShift ns ≈ 1.05ms; fineSlots of them
 // cover a window of 2^coarseShift ns ≈ 268ms, which is exactly one coarse
@@ -22,12 +23,17 @@ import (
 // ≈ 17.2s. Non-empty slots are tracked in bitmaps so the next-expiry scan
 // is a handful of word operations.
 //
+// Each slot is a small binary min-heap ordered by at alone, so the slot
+// minimum is an O(1) peek and place/cancel are O(log k). nextTimerLocked
+// runs once per dispatch; when a 65k-peer boot wave piles thousands of
+// near-simultaneous timers into one slot, an unsorted bucket would make
+// that per-dispatch minimum scan O(k) and the whole wave quadratic.
+//
 // Exactness. The wheel changes nothing about when or in what order timers
 // fire: advanceLocked always takes the global minimum instant across the
 // fine wheel, the coarse wheel, and the heap, collects the full same-instant
-// batch from all stores, and sorts it back into schedule (seq) order. Slots
-// are unsorted buckets; order within them never matters because firing
-// re-sorts.
+// batch from all stores, and sorts it back into schedule (seq) order. Order
+// within a slot beyond the at key never matters because firing re-sorts.
 //
 // Invariants, relying on every entry satisfying at >= now when placed
 // (scheduleLocked guarantees it) and on now only moving in advanceLocked:
@@ -65,16 +71,16 @@ func (s *Scheduler) placeLocked(e *timerEntry) {
 	w := &s.wheel
 	if ft := e.at >> fineShift; ft-(s.now>>fineShift) < fineSlots {
 		slot := int(ft) & fineMask
-		e.loc, e.index = locFine, len(w.fine[slot])
-		w.fine[slot] = append(w.fine[slot], e)
+		e.loc = locFine
+		w.fine[slot] = slotPush(w.fine[slot], e)
 		w.fineBits[slot>>6] |= 1 << (slot & 63)
 		w.count++
 		return
 	}
 	if ct := e.at >> coarseShift; ct-(s.now>>coarseShift) < coarseSlots {
 		slot := int(ct) & coarseMask
-		e.loc, e.index = locCoarse, len(w.coarse[slot])
-		w.coarse[slot] = append(w.coarse[slot], e)
+		e.loc = locCoarse
+		w.coarse[slot] = slotPush(w.coarse[slot], e)
 		w.coarseBits |= 1 << slot
 		w.count++
 		return
@@ -100,19 +106,18 @@ func (s *Scheduler) cascadeLocked(slot int) {
 	}
 }
 
-// remove takes a wheel-resident entry out of its slot: O(1) swap-remove,
-// fixing the moved entry's index and clearing the slot's bitmap bit when it
-// empties.
+// remove takes a wheel-resident entry out of its slot heap — O(log k) via
+// the maintained index — clearing the slot's bitmap bit when it empties.
 func (w *timerWheel) remove(e *timerEntry) {
 	if e.loc == locFine {
 		slot := int(e.at>>fineShift) & fineMask
-		w.fine[slot] = swapRemove(w.fine[slot], e.index)
+		w.fine[slot] = slotRemove(w.fine[slot], e.index)
 		if len(w.fine[slot]) == 0 {
 			w.fineBits[slot>>6] &^= 1 << (slot & 63)
 		}
 	} else {
 		slot := int(e.at>>coarseShift) & coarseMask
-		w.coarse[slot] = swapRemove(w.coarse[slot], e.index)
+		w.coarse[slot] = slotRemove(w.coarse[slot], e.index)
 		if len(w.coarse[slot]) == 0 {
 			w.coarseBits &^= 1 << slot
 		}
@@ -123,19 +128,18 @@ func (w *timerWheel) remove(e *timerEntry) {
 
 // extract moves every entry scheduled for exactly instant at out of the
 // wheel and appends it to batch. Same-instant entries share one fine slot,
-// and the current coarse slot is empty, so only that slot is scanned.
+// and the current coarse slot is empty, so only that slot is touched: its
+// heap pops entries in nondecreasing at, so the equal-at run sits at the
+// top and extraction stops at the first later entry.
 func (w *timerWheel) extract(at time.Duration, batch []*timerEntry) []*timerEntry {
 	slot := int(at>>fineShift) & fineMask
 	sl := w.fine[slot]
-	for i := 0; i < len(sl); {
-		if e := sl[i]; e.at == at {
-			sl = swapRemove(sl, i)
-			e.loc, e.index = locBatch, -1
-			batch = append(batch, e)
-			w.count--
-			continue // the swapped-in entry now sits at i
-		}
-		i++
+	for len(sl) > 0 && sl[0].at == at {
+		e := sl[0]
+		sl = slotRemove(sl, 0)
+		e.loc, e.index = locBatch, -1
+		batch = append(batch, e)
+		w.count--
 	}
 	w.fine[slot] = sl
 	if len(sl) == 0 {
@@ -144,14 +148,65 @@ func (w *timerWheel) extract(at time.Duration, batch []*timerEntry) []*timerEntr
 	return batch
 }
 
-func swapRemove(sl []*timerEntry, i int) []*timerEntry {
+// slotPush appends e to a slot heap and restores heap order, maintaining
+// e.index so cancellation can find it.
+func slotPush(sl []*timerEntry, e *timerEntry) []*timerEntry {
+	e.index = len(sl)
+	sl = append(sl, e)
+	slotSiftUp(sl, len(sl)-1)
+	return sl
+}
+
+// slotRemove deletes the entry at heap position i: the last entry takes its
+// place and is sifted whichever way restores order.
+func slotRemove(sl []*timerEntry, i int) []*timerEntry {
 	n := len(sl) - 1
-	if i != n {
-		sl[i] = sl[n]
-		sl[i].index = i
-	}
+	moved := sl[n]
 	sl[n] = nil
-	return sl[:n]
+	sl = sl[:n]
+	if i < n {
+		sl[i] = moved
+		moved.index = i
+		slotSiftDown(sl, i)
+		slotSiftUp(sl, moved.index)
+	}
+	return sl
+}
+
+func slotSiftUp(sl []*timerEntry, i int) {
+	e := sl[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if sl[p].at <= e.at {
+			break
+		}
+		sl[i] = sl[p]
+		sl[i].index = i
+		i = p
+	}
+	sl[i] = e
+	e.index = i
+}
+
+func slotSiftDown(sl []*timerEntry, i int) {
+	e := sl[i]
+	for {
+		c := 2*i + 1
+		if c >= len(sl) {
+			break
+		}
+		if r := c + 1; r < len(sl) && sl[r].at < sl[c].at {
+			c = r
+		}
+		if e.at <= sl[c].at {
+			break
+		}
+		sl[i] = sl[c]
+		sl[i].index = i
+		i = c
+	}
+	sl[i] = e
+	e.index = i
 }
 
 // nextTimerLocked returns the earliest pending instant across the fine
@@ -163,21 +218,17 @@ func (s *Scheduler) nextTimerLocked() (time.Duration, bool) {
 	w := &s.wheel
 	if w.count > 0 {
 		// The first non-empty slot in circular order from the current tick
-		// holds the level's earliest tick; its minimum entry is the level
+		// holds the level's earliest tick; its heap top is the level
 		// minimum. Levels can interleave (a late fine tick may exceed an
 		// early coarse one), so both are compared.
 		if slot := firstSet256(&w.fineBits, int(s.now>>fineShift)&fineMask); slot >= 0 {
-			for _, e := range w.fine[slot] {
-				if e.at < at {
-					at = e.at
-				}
+			if e := w.fine[slot][0]; e.at < at {
+				at = e.at
 			}
 		}
 		if slot := firstSet64(w.coarseBits, int(s.now>>coarseShift)&coarseMask); slot >= 0 {
-			for _, e := range w.coarse[slot] {
-				if e.at < at {
-					at = e.at
-				}
+			if e := w.coarse[slot][0]; e.at < at {
+				at = e.at
 			}
 		}
 	}

@@ -33,7 +33,7 @@ raw="$(mktemp)"
 cur="$(mktemp)"
 trap 'rm -f "$raw" "$cur"' EXIT
 
-go test -run='^$' -bench=. -benchtime=1x -benchmem -count=2 . > "$raw"
+go test -run='^$' -bench=. -benchtime=1x -benchmem -count=2 -timeout=60m . > "$raw"
 awk '
     /^Benchmark/ {
         # Values picked by unit label (custom metrics shift positions);

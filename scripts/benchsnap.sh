@@ -13,7 +13,9 @@
 # The run is NOT -short: the production-scale surfaces
 # (BenchmarkFigureSuite/heterogeneous, BenchmarkScale/*) skip themselves
 # under -short and exist precisely to be pinned here. Expect the full run
-# to take a minute or two.
+# to take a while: the 65536-peer points (uniform-65536 and boot-65536,
+# the batched boot wave with its ctlRPCs/peer column) each cost minutes
+# of wall clock per iteration.
 #
 # Usage: sh scripts/benchsnap.sh <n>    # writes BENCH_<n>.json
 set -eu
@@ -26,8 +28,9 @@ trap 'rm -f "$raw"' EXIT
 
 # -benchtime=1x: the suite benchmarks simulate full figure runs; one
 # iteration each is the tripwire granularity the trajectory needs, and it
-# keeps the snapshot cheap enough to re-record on any machine.
-go test -run='^$' -bench=. -benchtime=1x -benchmem -count=2 . > "$raw"
+# keeps the snapshot cheap enough to re-record on any machine. -timeout=60m
+# because the 65536-peer points alone exceed go test's 10m default.
+go test -run='^$' -bench=. -benchtime=1x -benchmem -count=2 -timeout=60m . > "$raw"
 
 awk -v goversion="$(go env GOVERSION)" '
     /^goos:/    { goos = $2 }
